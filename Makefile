@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench figures figures-paper emu cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/emu/ ./internal/vod/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure at laptop scale (~90 s).
+figures:
+	$(GO) run ./cmd/socialtube-bench
+
+# Regenerate the simulation figures at the paper's Table I scale (minutes).
+figures-paper:
+	$(GO) run ./cmd/socialtube-sim -fig all -scale paper
+
+# Run the TCP emulation at the paper's 250-node PlanetLab scale.
+emu:
+	$(GO) run ./cmd/socialtube-emu -fig all -peers 250 -sessions 2 -videos 6 -watch 30ms
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

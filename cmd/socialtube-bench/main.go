@@ -1,0 +1,115 @@
+// Command socialtube-bench regenerates every table and figure of the
+// paper's evaluation in one run: the Section III trace analysis (Figs.
+// 2–13), the analytical models (Fig. 15, §IV-B), the simulation evaluation
+// (Figs. 16a/17a/18a, Table I) and the TCP emulation (Figs. 16b/17b/18b).
+//
+// Usage:
+//
+//	socialtube-bench                 # small scale, seconds
+//	socialtube-bench -scale paper    # Table I scale, minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtube-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("socialtube-bench", flag.ContinueOnError)
+	var (
+		scale   = fs.String("scale", "small", "workload scale: small or paper")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+		skipEmu = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var s figures.Scale
+	switch *scale {
+	case "small":
+		s = figures.SmallScale()
+	case "paper":
+		s = figures.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	s.Seed = *seed
+
+	begin := time.Now()
+	tr, err := s.BuildTrace()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== SocialTube full evaluation (scale %s, seed %d) ==\n", *scale, *seed)
+	fmt.Printf("trace: %d channels, %d videos, %d users\n\n", len(tr.Channels), len(tr.Videos), len(tr.Users))
+
+	fmt.Println("---- Section III: trace analysis ----")
+	for _, tb := range []*metrics.Table{
+		figures.Fig02(tr), figures.Fig03(tr), figures.Fig04(tr), figures.Fig05(tr),
+		figures.Fig06(tr), figures.Fig07(tr), figures.Fig08(tr), figures.Fig09(tr),
+		figures.Fig10(tr, 3), figures.Fig11(tr), figures.Fig12(tr), figures.Fig13(tr),
+	} {
+		fmt.Println(tb)
+	}
+
+	fmt.Println("---- Section IV: analytical models ----")
+	fmt.Println(figures.Fig15())
+	fmt.Println(figures.PrefetchAccuracyTable())
+
+	fmt.Println("---- Section V: trace-driven simulation ----")
+	fmt.Println(figures.Table1(s, tr))
+	t16, err := figures.Fig16a(s, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t16)
+	t17, err := figures.Fig17a(s, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t17)
+	t18, err := figures.Fig18a(s, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t18)
+
+	if !*skipEmu {
+		fmt.Println("---- Section V: TCP emulation (PlanetLab substitute) ----")
+		es := figures.SmallEmuScale()
+		es.Seed = *seed
+		etr, err := es.EmuTrace()
+		if err != nil {
+			return err
+		}
+		e16, err := figures.Fig16b(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(e16)
+		e17, err := figures.Fig17b(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(e17)
+		e18, err := figures.Fig18b(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(e18)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(begin).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunSmallSkipEmu(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale evaluation")
+	}
+	if err := run([]string{"-skip-emu"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command socialtube-emu runs the real-network TCP emulation (the PlanetLab
+// experiments): Figs. 16(b), 17(b) and 18(b). Every peer is a real TCP node
+// on loopback with injected WAN latency and loss.
+//
+// Usage:
+//
+//	socialtube-emu -fig 16b -peers 40
+//	socialtube-emu -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtube-emu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("socialtube-emu", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b or all")
+		peers    = fs.Int("peers", 24, "number of TCP peers")
+		sessions = fs.Int("sessions", 2, "sessions per peer")
+		videos   = fs.Int("videos", 6, "videos per session")
+		watch    = fs.Duration("watch", 25*time.Millisecond, "emulated playback per video")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := figures.EmuScale{
+		Peers:            *peers,
+		Sessions:         *sessions,
+		VideosPerSession: *videos,
+		WatchTime:        *watch,
+		Seed:             *seed,
+	}
+	tr, err := s.EmuTrace()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("emulation: %d TCP peers, %d sessions x %d videos over %d channels\n\n",
+		s.Peers, s.Sessions, s.VideosPerSession, len(tr.Channels))
+
+	show := func(id string) error {
+		switch id {
+		case "16b":
+			t, err := figures.Fig16b(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "17b":
+			t, err := figures.Fig17b(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "18b":
+			t, err := figures.Fig18b(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		default:
+			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b or all)", id)
+		}
+		return nil
+	}
+	if *fig == "all" {
+		for _, id := range []string{"16b", "17b", "18b"} {
+			if err := show(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return show(*fig)
+}

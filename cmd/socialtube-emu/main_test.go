@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunEmuFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster run")
+	}
+	args := []string{
+		"-fig", "16b", "-peers", "8", "-sessions", "1", "-videos", "3",
+		"-watch", (5 * time.Millisecond).String(),
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "nope", "-peers", "4"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunBadPeerCount(t *testing.T) {
+	if err := run([]string{"-fig", "16b", "-peers", "0"}); err == nil {
+		t.Fatal("expected error for zero peers")
+	}
+}

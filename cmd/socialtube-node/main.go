@@ -1,0 +1,148 @@
+// Command socialtube-node runs one real SocialTube network element — the
+// tracker (central server) or a peer — so a cluster can be spread across
+// real machines, PlanetLab-style. All elements must share the same trace
+// file (generate one with `socialtube-trace -save trace.json`).
+//
+// Usage:
+//
+//	socialtube-node -role tracker -trace trace.json -addr :7070
+//	socialtube-node -role peer -trace trace.json -tracker host:7070 \
+//	    -id 7 -sessions 3 -videos 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+func main() {
+	if err := run(os.Args[1:], make(chan struct{})); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtube-node:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the node until its work completes or stop closes (stop only
+// applies to the tracker role, which otherwise serves forever).
+func run(args []string, stop chan struct{}) error {
+	fs := flag.NewFlagSet("socialtube-node", flag.ContinueOnError)
+	var (
+		role        = fs.String("role", "", "tracker or peer")
+		tracePath   = fs.String("trace", "", "path to the shared trace JSON (see socialtube-trace -save)")
+		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
+		trackerAddr = fs.String("tracker", "", "tracker address (peer role)")
+		id          = fs.Int("id", 0, "peer id — the user id this peer plays (peer role)")
+		mode        = fs.String("mode", "socialtube", "protocol: socialtube, nettube or pavod")
+		sessions    = fs.Int("sessions", 1, "sessions to run before exiting (peer role)")
+		videos      = fs.Int("videos", 10, "videos per session (peer role)")
+		watch       = fs.Duration("watch", 500*time.Millisecond, "emulated playback per video (peer role)")
+		seed        = fs.Int64("seed", 1, "workload seed (peer role)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	switch *role {
+	case "tracker":
+		return runTracker(tr, *addr, stop)
+	case "peer":
+		return runPeer(tr, *addr, *trackerAddr, *id, *mode, *sessions, *videos, *watch, *seed)
+	default:
+		return fmt.Errorf("unknown role %q (want tracker or peer)", *role)
+	}
+}
+
+func runTracker(tr *trace.Trace, addr string, stop chan struct{}) error {
+	cfg := emu.DefaultTrackerConfig()
+	cfg.Addr = addr
+	tk, err := emu.NewTracker(cfg, tr, emu.DefaultConditions())
+	if err != nil {
+		return err
+	}
+	if err := tk.Start(); err != nil {
+		return err
+	}
+	defer tk.Stop()
+	fmt.Printf("tracker serving %d videos on %s\n", len(tr.Videos), tk.Addr())
+	<-stop
+	fmt.Printf("tracker served %d bytes\n", tk.ServedBytes())
+	return nil
+}
+
+func parseMode(mode string) (emu.Mode, error) {
+	switch mode {
+	case "socialtube":
+		return emu.ModeSocialTube, nil
+	case "nettube":
+		return emu.ModeNetTube, nil
+	case "pavod":
+		return emu.ModePAVoD, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string, sessions, videos int, watch time.Duration, seed int64) error {
+	if trackerAddr == "" {
+		return fmt.Errorf("-tracker is required for the peer role")
+	}
+	if tr.User(trace.UserID(id)) == nil {
+		return fmt.Errorf("peer id %d is not a user of the trace (0..%d)", id, len(tr.Users)-1)
+	}
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return err
+	}
+	cfg := emu.DefaultPeerConfig(id, mode)
+	cfg.Addr = addr
+	p, err := emu.NewPeer(cfg, tr, trackerAddr, emu.DefaultConditions())
+	if err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil {
+		return err
+	}
+	defer p.Stop()
+	fmt.Printf("peer %d (%s) on %s, tracker %s\n", id, mode, p.Addr(), trackerAddr)
+
+	picker, err := vod.NewPicker(tr, vod.DefaultBehavior())
+	if err != nil {
+		return err
+	}
+	g := dist.NewRNG(seed + int64(id))
+	user := tr.Users[id]
+	for s := 0; s < sessions; s++ {
+		p.SetOnline(true)
+		plan := picker.PlanSession(g, user, videos, watch)
+		for _, v := range plan.Videos {
+			rec := p.RequestVideo(v)
+			fmt.Printf("session %d: video %d from %s in %v (links %d, msgs %d)\n",
+				s+1, v, rec.Source, rec.Startup.Round(time.Millisecond), rec.Links, rec.Messages)
+			time.Sleep(watch)
+			p.FinishVideo(v)
+		}
+		p.SetOnline(false)
+		p.LeaveOverlays()
+	}
+	fmt.Printf("peer %d done: cached %d videos, uploaded %d bytes\n", id, p.CacheLen(), p.ServedBytes())
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command socialtube-sim runs the trace-driven simulation evaluation (the
+// PeerSim experiments): Figs. 16(a), 17(a), 18(a) and Table I.
+//
+// Usage:
+//
+//	socialtube-sim -fig 16a
+//	socialtube-sim -fig all -scale paper
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// dumpJSON runs the three protocols through the standard workload and
+// prints one JSON object with their raw result summaries.
+func dumpJSON(s figures.Scale, tr *trace.Trace) error {
+	results, err := figures.RunAllProtocols(s, tr)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtube-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, table1 or all")
+		scale    = fs.String("scale", "small", "workload scale: small or paper")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		jsonDump = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var s figures.Scale
+	switch *scale {
+	case "small":
+		s = figures.SmallScale()
+	case "paper":
+		s = figures.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", *scale)
+	}
+	s.Seed = *seed
+	tr, err := s.BuildTrace()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d channels, %d videos, %d users (scale %s, seed %d)\n\n",
+		len(tr.Channels), len(tr.Videos), len(tr.Users), *scale, *seed)
+
+	if *jsonDump {
+		return dumpJSON(s, tr)
+	}
+
+	show := func(id string) error {
+		switch id {
+		case "15":
+			fmt.Println(figures.Fig15())
+		case "16a":
+			t, err := figures.Fig16a(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "17a":
+			t, err := figures.Fig17a(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "18a":
+			t, err := figures.Fig18a(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+		case "table1":
+			fmt.Println(figures.Table1(s, tr))
+		default:
+			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, table1 or all)", id)
+		}
+		return nil
+	}
+	if *fig == "all" {
+		for _, id := range []string{"table1", "15", "16a", "17a", "18a"} {
+			if err := show(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return show(*fig)
+}

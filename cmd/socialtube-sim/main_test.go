@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunAnalyticalFigures(t *testing.T) {
+	if err := run([]string{"-fig", "15"}); err != nil {
+		t.Fatalf("fig 15: %v", err)
+	}
+	if err := run([]string{"-fig", "table1"}); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunSimFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale simulation")
+	}
+	if err := run([]string{"-fig", "18a"}); err != nil {
+		t.Fatalf("fig 18a: %v", err)
+	}
+}
+
+func TestRunJSONDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale simulation")
+	}
+	if err := run([]string{"-json"}); err != nil {
+		t.Fatalf("json dump: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Command socialtube-trace generates a synthetic YouTube social-network
+// trace and reproduces the Section III trace-analysis figures (Figs. 2–13).
+//
+// Usage:
+//
+//	socialtube-trace -fig 9 -channels 545 -users 2000 -seed 1
+//	socialtube-trace -fig all
+//	socialtube-trace -save trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtube-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("socialtube-trace", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "all", "figure to regenerate: 2..13 or all")
+		seed      = fs.Int64("seed", 1, "trace generation seed")
+		channels  = fs.Int("channels", 545, "number of channels")
+		users     = fs.Int("users", 2000, "number of users")
+		cats      = fs.Int("categories", 18, "number of interest categories")
+		minShared = fs.Int("minshared", 3, "shared-subscriber threshold for fig 10")
+		save      = fs.String("save", "", "write the generated trace as JSON to this file")
+		crawl     = fs.Int("crawl", 0, "BFS-crawl this many users from the generated network first (the paper's Section III sampling methodology)")
+		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := trace.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Channels = *channels
+	cfg.Users = *users
+	cfg.Categories = *cats
+	if cfg.MaxInterestsPerUser > *cats {
+		cfg.MaxInterestsPerUser = *cats
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *crawl > 0 {
+		tr, err = trace.Crawl(tr, *seed, *crawl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BFS crawl sampled %d users (mean degree %.2f)\n", len(tr.Users), tr.MeanDegree())
+	}
+	s := tr.Summarize()
+	fmt.Printf("trace: %d channels, %d videos, %d users, %d categories (seed %d)\n\n",
+		s.Channels, s.Videos, s.Users, s.Categories, *seed)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved trace to %s\n", *save)
+	}
+
+	tables := map[string]func() *metrics.Table{
+		"2":  func() *metrics.Table { return figures.Fig02(tr) },
+		"3":  func() *metrics.Table { return figures.Fig03(tr) },
+		"4":  func() *metrics.Table { return figures.Fig04(tr) },
+		"5":  func() *metrics.Table { return figures.Fig05(tr) },
+		"6":  func() *metrics.Table { return figures.Fig06(tr) },
+		"7":  func() *metrics.Table { return figures.Fig07(tr) },
+		"8":  func() *metrics.Table { return figures.Fig08(tr) },
+		"9":  func() *metrics.Table { return figures.Fig09(tr) },
+		"10": func() *metrics.Table { return figures.Fig10(tr, *minShared) },
+		"11": func() *metrics.Table { return figures.Fig11(tr) },
+		"12": func() *metrics.Table { return figures.Fig12(tr) },
+		"13": func() *metrics.Table { return figures.Fig13(tr) },
+	}
+	show := func(t *metrics.Table) {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title(), t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+	if *fig == "all" {
+		for _, id := range []string{"2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13"} {
+			show(tables[id]())
+		}
+		return nil
+	}
+	build, ok := tables[*fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (want 2..13 or all)", *fig)
+	}
+	show(build())
+	return nil
+}

@@ -1,0 +1,47 @@
+package socialtube_test
+
+import (
+	"fmt"
+
+	socialtube "github.com/socialtube/socialtube"
+)
+
+// ExamplePrefetchAccuracy reproduces the paper's §IV-B numbers: the
+// probability that a prefetched top video is the one watched next.
+func ExamplePrefetchAccuracy() {
+	fmt.Printf("%.1f%%\n", 100*socialtube.PrefetchAccuracy(25, 1))
+	fmt.Printf("%.1f%%\n", 100*socialtube.PrefetchAccuracy(25, 4))
+	// Output:
+	// 26.2%
+	// 54.6%
+}
+
+// ExampleDefaultMaintenanceModel shows Fig. 15's crossover: per-video
+// overlays beat the hierarchy only for users who watch almost nothing.
+func ExampleDefaultMaintenanceModel() {
+	m := socialtube.DefaultMaintenanceModel()
+	fmt.Printf("SocialTube after 10 videos: %.0f links\n", m.SocialTube(10))
+	fmt.Printf("NetTube after 10 videos: %.0f links\n", m.NetTube(10))
+	// Output:
+	// SocialTube after 10 videos: 27 links
+	// NetTube after 10 videos: 90 links
+}
+
+// ExampleGenerateTrace builds a small deterministic social network.
+func ExampleGenerateTrace() {
+	cfg := socialtube.DefaultTraceConfig()
+	cfg.Channels = 20
+	cfg.Users = 50
+	cfg.Categories = 5
+	cfg.MaxInterestsPerUser = 5
+	tr, err := socialtube.GenerateTrace(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("channels:", len(tr.Channels))
+	fmt.Println("users:", len(tr.Users))
+	// Output:
+	// channels: 20
+	// users: 50
+}

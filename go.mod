@@ -1,0 +1,3 @@
+module github.com/socialtube/socialtube
+
+go 1.22

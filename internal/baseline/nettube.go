@@ -1,0 +1,348 @@
+// Package baseline reimplements the two comparison systems of the paper's
+// evaluation on the same simulator interfaces as SocialTube: NetTube
+// (Cheng & Liu, INFOCOM'09 — per-video overlays with a session cache and
+// random neighbour prefetching) and PA-VoD (Huang, Li & Ross, SIGCOMM'07 —
+// server-directed peer assistance from current watchers, no cache).
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/overlay"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// NetTubeConfig holds NetTube's protocol parameters.
+type NetTubeConfig struct {
+	// LinksPerOverlay bounds a node's links within one per-video overlay
+	// (the paper's analysis assumes ≈log(u) links per overlay).
+	LinksPerOverlay int
+	// TTL bounds query forwarding; NetTube queries neighbours within two
+	// hops.
+	TTL int
+	// PrefetchCount is how many videos a node randomly prefetches from
+	// its neighbours' caches (the paper's experiments use 3; 0 disables).
+	PrefetchCount int
+	// CacheVideos bounds the cache (0 = unbounded session cache).
+	CacheVideos int
+	// Seed drives random choices.
+	Seed int64
+}
+
+// DefaultNetTubeConfig returns the parameters used in the paper's
+// comparison.
+func DefaultNetTubeConfig() NetTubeConfig {
+	return NetTubeConfig{
+		LinksPerOverlay: 6,
+		TTL:             2,
+		PrefetchCount:   3,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c NetTubeConfig) Validate() error {
+	switch {
+	case c.LinksPerOverlay <= 0:
+		return fmt.Errorf("%w: linksPerOverlay=%d", dist.ErrBadParameter, c.LinksPerOverlay)
+	case c.TTL <= 0:
+		return fmt.Errorf("%w: ttl=%d", dist.ErrBadParameter, c.TTL)
+	case c.PrefetchCount < 0:
+		return fmt.Errorf("%w: prefetchCount=%d", dist.ErrBadParameter, c.PrefetchCount)
+	case c.CacheVideos < 0:
+		return fmt.Errorf("%w: cacheVideos=%d", dist.ErrBadParameter, c.CacheVideos)
+	}
+	return nil
+}
+
+// NetTube implements the per-video-overlay baseline over a trace.
+type NetTube struct {
+	cfg NetTubeConfig
+	tr  *trace.Trace
+	g   *dist.RNG
+	// overlays holds one mesh per video; a node that watched the video
+	// stays in its overlay as a provider.
+	overlays map[trace.VideoID]*overlay.Mesh
+	// members tracks the online members of each per-video overlay — the
+	// per-video state the central server must keep (contrast §IV-A).
+	members map[trace.VideoID]*overlay.Members
+	nodes   map[int]*ntNode
+}
+
+var _ vod.Protocol = (*NetTube)(nil)
+
+type ntNode struct {
+	online bool
+	cache  *vod.Cache
+	// joined is the set of per-video overlays the node currently has
+	// links in.
+	joined map[trace.VideoID]bool
+}
+
+// NewNetTube builds a NetTube system over the trace.
+func NewNetTube(cfg NetTubeConfig, tr *trace.Trace) (*NetTube, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("nettube config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: nettube needs a non-empty trace", dist.ErrBadParameter)
+	}
+	n := &NetTube{
+		cfg:      cfg,
+		tr:       tr,
+		g:        dist.NewRNG(cfg.Seed),
+		overlays: make(map[trace.VideoID]*overlay.Mesh),
+		members:  make(map[trace.VideoID]*overlay.Members),
+		nodes:    make(map[int]*ntNode, len(tr.Users)),
+	}
+	for _, u := range tr.Users {
+		n.nodes[int(u.ID)] = &ntNode{
+			cache:  vod.NewCache(cfg.CacheVideos),
+			joined: make(map[trace.VideoID]bool),
+		}
+	}
+	return n, nil
+}
+
+// Name implements vod.Protocol.
+func (n *NetTube) Name() string { return "NetTube" }
+
+func (n *NetTube) mesh(v trace.VideoID) *overlay.Mesh {
+	m, ok := n.overlays[v]
+	if !ok {
+		m = overlay.NewMesh(n.cfg.LinksPerOverlay)
+		n.overlays[v] = m
+	}
+	return m
+}
+
+func (n *NetTube) memberSet(v trace.VideoID) *overlay.Members {
+	m, ok := n.members[v]
+	if !ok {
+		m = overlay.NewMembers()
+		n.members[v] = m
+	}
+	return m
+}
+
+func (n *NetTube) online(node int) bool {
+	st, ok := n.nodes[node]
+	return ok && st.online
+}
+
+// Join implements vod.Protocol. A returning NetTube node starts with no
+// overlay links and accumulates them as it watches videos — the behaviour
+// behind the growing curve of Fig. 18.
+func (n *NetTube) Join(node int) {
+	st := n.nodes[node]
+	if st == nil || st.online {
+		return
+	}
+	st.online = true
+}
+
+// Leave implements vod.Protocol: graceful departure from every overlay.
+func (n *NetTube) Leave(node int) {
+	st := n.nodes[node]
+	if st == nil || !st.online {
+		return
+	}
+	for v := range st.joined {
+		n.mesh(v).RemoveNode(node)
+		n.memberSet(v).Remove(node)
+		delete(st.joined, v)
+	}
+	st.online = false
+}
+
+// Fail implements vod.Protocol: the node vanishes from member sets but its
+// mesh links linger until neighbours probe.
+func (n *NetTube) Fail(node int) {
+	st := n.nodes[node]
+	if st == nil || !st.online {
+		return
+	}
+	for v := range st.joined {
+		n.memberSet(v).Remove(node)
+	}
+	st.online = false
+}
+
+// unionNeighbors returns the node's neighbours across every overlay it has
+// joined — NetTube nodes forward queries over all their links.
+func (n *NetTube) unionNeighbors(node int) []int {
+	st := n.nodes[node]
+	if st == nil || !st.online {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for v := range st.joined {
+		for _, nb := range n.mesh(v).Neighbors(node) {
+			if !seen[nb] {
+				seen[nb] = true
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// Request implements vod.Protocol: query neighbours within TTL hops across
+// the node's overlays; on a miss the server serves the video and directs
+// the node into the video's overlay.
+func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
+	st := n.nodes[node]
+	video := n.tr.Video(v)
+	if st == nil || !st.online || video == nil {
+		return vod.RequestResult{Source: vod.SourceServer}
+	}
+	res := vod.RequestResult{PrefixCached: st.cache.HasPrefix(v)}
+	if st.cache.HasFull(v) {
+		res.Source = vod.SourceCache
+		return res
+	}
+	match := func(m int) bool {
+		other := n.nodes[m]
+		return other != nil && other.online && other.cache.HasFull(v)
+	}
+	// A node with overlay links queries its neighbours within TTL hops;
+	// a fresh node (first request of a session) instead asks the server,
+	// which directs it to providers in the video's overlay. On a miss the
+	// server serves the video itself.
+	if len(st.joined) > 0 {
+		fr := overlay.Flood(node, n.cfg.TTL, n.unionNeighbors, match)
+		res.Messages += fr.Messages
+		if fr.OK {
+			res.Source = vod.SourcePeer
+			res.Provider = fr.Found
+			res.Hops = fr.Hops
+			n.joinOverlay(node, v, fr.Found)
+			return res
+		}
+	} else if provider := n.memberSet(v).Random(n.g, node); provider >= 0 && match(provider) {
+		res.Source = vod.SourcePeer
+		res.Provider = provider
+		res.Hops = 1
+		res.Messages++ // the server-directed contact
+		n.joinOverlay(node, v, provider)
+		return res
+	}
+	res.Source = vod.SourceServer
+	n.joinOverlay(node, v, -1)
+	return res
+}
+
+// joinOverlay places the node in the video's overlay, linking it to the
+// provider (when given) and to random overlay members up to the bound.
+func (n *NetTube) joinOverlay(node int, v trace.VideoID, provider int) {
+	st := n.nodes[node]
+	mesh := n.mesh(v)
+	members := n.memberSet(v)
+	st.joined[v] = true
+	members.Add(node)
+	if provider >= 0 {
+		mesh.Connect(node, provider)
+	}
+	for attempts := 0; !mesh.Full(node) && attempts < 2*n.cfg.LinksPerOverlay; attempts++ {
+		cand := members.Random(n.g, node)
+		if cand < 0 {
+			break
+		}
+		if n.online(cand) {
+			mesh.Connect(node, cand)
+		}
+	}
+}
+
+// Finish implements vod.Protocol: cache the video, stay in its overlay as a
+// provider, and prefetch the first chunks of randomly chosen videos from
+// neighbours' caches (NetTube's related-video prefetching).
+func (n *NetTube) Finish(node int, v trace.VideoID) {
+	st := n.nodes[node]
+	if st == nil || n.tr.Video(v) == nil {
+		return
+	}
+	st.cache.AddFull(v)
+	if n.cfg.PrefetchCount <= 0 {
+		return
+	}
+	neighbors := n.unionNeighbors(node)
+	if len(neighbors) == 0 {
+		return
+	}
+	prefetched := 0
+	for attempts := 0; prefetched < n.cfg.PrefetchCount && attempts < 4*n.cfg.PrefetchCount; attempts++ {
+		nb := neighbors[n.g.Intn(len(neighbors))]
+		other := n.nodes[nb]
+		if other == nil {
+			continue
+		}
+		vids := other.cache.FullVideos()
+		if len(vids) == 0 {
+			continue
+		}
+		pick := vids[n.g.Intn(len(vids))]
+		if pick == v || st.cache.HasPrefix(pick) {
+			continue
+		}
+		st.cache.AddPrefix(pick)
+		prefetched++
+	}
+}
+
+// Links implements vod.Protocol: total links across all per-video overlays,
+// counting redundant links to the same neighbour in different overlays
+// separately — exactly the overhead §IV-C criticizes.
+func (n *NetTube) Links(node int) int {
+	st := n.nodes[node]
+	if st == nil {
+		return 0
+	}
+	total := 0
+	for v := range st.joined {
+		total += n.mesh(v).Degree(node)
+	}
+	return total
+}
+
+// Probe drops dead links in every joined overlay and returns the number of
+// probe messages sent.
+func (n *NetTube) Probe(node int) int {
+	st := n.nodes[node]
+	if st == nil || !st.online {
+		return 0
+	}
+	msgs := 0
+	for v := range st.joined {
+		mesh := n.mesh(v)
+		for _, nb := range mesh.Neighbors(node) {
+			msgs++
+			if !n.online(nb) {
+				mesh.Disconnect(node, nb)
+			}
+		}
+	}
+	return msgs
+}
+
+// Cache exposes the node's cache for accounting.
+func (n *NetTube) Cache(node int) *vod.Cache {
+	st := n.nodes[node]
+	if st == nil {
+		return nil
+	}
+	return st.cache
+}
+
+// Overlays returns how many per-video overlays the node currently belongs
+// to (tests and ablations).
+func (n *NetTube) Overlays(node int) int {
+	st := n.nodes[node]
+	if st == nil {
+		return 0
+	}
+	return len(st.joined)
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/overlay"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// PAVoDConfig holds PA-VoD's parameters.
+type PAVoDConfig struct {
+	// Seed drives the server's random watcher selection.
+	Seed int64
+	// ReadyDelay is how long after starting a video a watcher can serve
+	// it to others: it must first download the leading chunk itself
+	// (≈ chunk size / peer uplink). Zero disables the constraint.
+	ReadyDelay time.Duration
+	// MaxUploads bounds a watcher's concurrent uploads (a 1 Mbps uplink
+	// sustains about three 320 kbps streams). Zero means unlimited.
+	MaxUploads int
+	// ISPs partitions peers into that many ISPs; PA-VoD (Huang et al.)
+	// "localizes P2P traffic within an ISP", so a requester is only
+	// directed to concurrent watchers in its own ISP. Values below 2
+	// disable locality.
+	ISPs int
+}
+
+// DefaultPAVoDConfig returns the defaults: a 320 kbps × 4 min video has
+// ≈4.8 MB chunks, which a 1 Mbps peer uplink downloads in ≈38 s.
+func DefaultPAVoDConfig() PAVoDConfig {
+	return PAVoDConfig{
+		Seed:       1,
+		ReadyDelay: 38 * time.Second,
+		MaxUploads: 3,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c PAVoDConfig) Validate() error {
+	if c.ReadyDelay < 0 || c.MaxUploads < 0 || c.ISPs < 0 {
+		return fmt.Errorf("%w: pa-vod config %+v", dist.ErrBadParameter, c)
+	}
+	return nil
+}
+
+// PAVoD implements the peer-assisted VoD baseline: when a user requests a
+// video, the server directs the request to users *currently watching* it;
+// when a user finishes watching, it stops being a provider. There is no
+// cache and no prefetching, which is why videos without concurrent watchers
+// always fall back to the server.
+type PAVoD struct {
+	cfg PAVoDConfig
+	tr  *trace.Trace
+	g   *dist.RNG
+	now time.Duration
+	// watchers tracks who is currently watching each video — the
+	// server-side state PA-VoD needs.
+	watchers map[trace.VideoID]*overlay.Members
+	// startedAt records when each node began its current watch, for the
+	// readiness constraint.
+	startedAt map[int]time.Duration
+	// uploads counts each node's concurrent uploads.
+	uploads map[int]int
+	nodes   map[int]*paNode
+}
+
+var (
+	_ vod.Protocol = (*PAVoD)(nil)
+)
+
+type paNode struct {
+	online   bool
+	watching trace.VideoID
+	// provider is the peer currently streaming to this node (-1 when the
+	// server serves it); it is the node's only "link".
+	provider int
+}
+
+// NewPAVoD builds a PA-VoD system over the trace.
+func NewPAVoD(cfg PAVoDConfig, tr *trace.Trace) (*PAVoD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("pa-vod config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: pa-vod needs a non-empty trace", dist.ErrBadParameter)
+	}
+	p := &PAVoD{
+		cfg:       cfg,
+		tr:        tr,
+		g:         dist.NewRNG(cfg.Seed),
+		watchers:  make(map[trace.VideoID]*overlay.Members),
+		startedAt: make(map[int]time.Duration),
+		uploads:   make(map[int]int),
+		nodes:     make(map[int]*paNode, len(tr.Users)),
+	}
+	for _, u := range tr.Users {
+		p.nodes[int(u.ID)] = &paNode{watching: -1, provider: -1}
+	}
+	return p, nil
+}
+
+// Name implements vod.Protocol.
+func (p *PAVoD) Name() string { return "PA-VoD" }
+
+// SetNow implements the experiment engine's optional clock hook so the
+// readiness constraint can reason about elapsed watch time.
+func (p *PAVoD) SetNow(now time.Duration) { p.now = now }
+
+func (p *PAVoD) watcherSet(v trace.VideoID) *overlay.Members {
+	m, ok := p.watchers[v]
+	if !ok {
+		m = overlay.NewMembers()
+		p.watchers[v] = m
+	}
+	return m
+}
+
+// Join implements vod.Protocol.
+func (p *PAVoD) Join(node int) {
+	st := p.nodes[node]
+	if st == nil || st.online {
+		return
+	}
+	st.online = true
+	st.watching = -1
+	st.provider = -1
+}
+
+// Leave implements vod.Protocol.
+func (p *PAVoD) Leave(node int) {
+	st := p.nodes[node]
+	if st == nil || !st.online {
+		return
+	}
+	p.stopWatching(node)
+	st.online = false
+}
+
+// Fail implements vod.Protocol. PA-VoD keeps no overlay links, so an abrupt
+// failure behaves like a departure from the server's perspective.
+func (p *PAVoD) Fail(node int) { p.Leave(node) }
+
+func (p *PAVoD) stopWatching(node int) {
+	st := p.nodes[node]
+	if st.watching >= 0 {
+		p.watcherSet(st.watching).Remove(node)
+		delete(p.startedAt, node)
+		st.watching = -1
+	}
+	if st.provider >= 0 {
+		if p.uploads[st.provider] > 0 {
+			p.uploads[st.provider]--
+		}
+		st.provider = -1
+	}
+}
+
+// eligibleProvider picks a current watcher that (a) has watched long enough
+// to hold the leading chunk and (b) has upload capacity left.
+func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
+	candidates := p.watcherSet(v).List()
+	var eligible []int
+	for _, id := range candidates {
+		if id == exclude {
+			continue
+		}
+		other := p.nodes[id]
+		if other == nil || !other.online {
+			continue
+		}
+		if p.cfg.ISPs > 1 && id%p.cfg.ISPs != exclude%p.cfg.ISPs {
+			continue // ISP-localized peer assistance
+		}
+		if p.cfg.ReadyDelay > 0 && p.now-p.startedAt[id] < p.cfg.ReadyDelay {
+			continue
+		}
+		if p.cfg.MaxUploads > 0 && p.uploads[id] >= p.cfg.MaxUploads {
+			continue
+		}
+		eligible = append(eligible, id)
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	return eligible[p.g.Intn(len(eligible))]
+}
+
+// Request implements vod.Protocol: the server directs the request to a
+// current watcher of the video, if any; otherwise it serves the video
+// itself. The node becomes a watcher (and thus a prospective provider)
+// until Finish.
+func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
+	st := p.nodes[node]
+	video := p.tr.Video(v)
+	if st == nil || !st.online || video == nil {
+		return vod.RequestResult{Source: vod.SourceServer}
+	}
+	// Moving to a new video ends the previous watch.
+	p.stopWatching(node)
+	res := vod.RequestResult{Messages: 1} // the request to the server
+	provider := p.eligibleProvider(v, node)
+	if provider >= 0 {
+		res.Source = vod.SourcePeer
+		res.Provider = provider
+		res.Hops = 1
+		st.provider = provider
+		p.uploads[provider]++
+	} else {
+		res.Source = vod.SourceServer
+	}
+	st.watching = v
+	p.startedAt[node] = p.now
+	p.watcherSet(v).Add(node)
+	return res
+}
+
+// Finish implements vod.Protocol: the node stops being a provider for the
+// video; nothing is cached.
+func (p *PAVoD) Finish(node int, v trace.VideoID) {
+	st := p.nodes[node]
+	if st == nil || st.watching != v {
+		return
+	}
+	p.stopWatching(node)
+}
+
+// Links implements vod.Protocol: a PA-VoD node maintains at most one active
+// peer connection (to its current provider).
+func (p *PAVoD) Links(node int) int {
+	st := p.nodes[node]
+	if st == nil || st.provider < 0 {
+		return 0
+	}
+	return 1
+}
+
+// Watchers returns how many nodes currently watch the video (tests).
+func (p *PAVoD) Watchers(v trace.VideoID) int {
+	return p.watcherSet(v).Len()
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"github.com/socialtube/socialtube/internal/overlay"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Request implements vod.Protocol. It follows Algorithm 1 of the paper: the
+// node queries its channel overlay with the TTL, then its category cluster
+// (each inter-neighbour forwards within its own channel overlay with the
+// TTL), and finally resorts to the server.
+func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
+	st := s.state(node)
+	video := s.tr.Video(v)
+	if st == nil || !st.online || video == nil {
+		return vod.RequestResult{Source: vod.SourceServer}
+	}
+	res := vod.RequestResult{PrefixCached: st.cache.HasPrefix(v)}
+	if st.cache.HasFull(v) {
+		res.Source = vod.SourceCache
+		return res
+	}
+	s.ensureAttached(node, video.Channel)
+
+	match := func(n int) bool {
+		other := s.nodes[n]
+		return other != nil && other.online && other.cache.HasFull(v)
+	}
+
+	// Phase 1: flood the node's channel overlay along inner-links.
+	if st.home >= 0 {
+		mesh := s.innerMesh(st.home)
+		neighbors := func(n int) []int {
+			if !s.online(n) {
+				return nil // a failed node cannot forward
+			}
+			return mesh.Neighbors(n)
+		}
+		fr := overlay.Flood(node, s.cfg.TTL, neighbors, match)
+		res.Messages += fr.Messages
+		if fr.OK {
+			res.Source = vod.SourcePeer
+			res.Provider = fr.Found
+			res.Hops = fr.Hops
+			// The requester connects to the provider it found
+			// (§IV-A), building inner-links up to N_l.
+			mesh.Connect(node, fr.Found)
+			return res
+		}
+	}
+
+	// Phase 2: query inter-neighbours; each forwards within its own
+	// channel overlay for TTL hops.
+	for _, j := range s.inter.Neighbors(node) {
+		res.Messages++
+		if !s.online(j) {
+			continue
+		}
+		if match(j) {
+			res.Source = vod.SourcePeer
+			res.Provider = j
+			res.Hops = 1
+			return res
+		}
+		jHome := s.nodes[j].home
+		if jHome < 0 {
+			continue
+		}
+		jMesh := s.innerMesh(jHome)
+		neighbors := func(n int) []int {
+			if !s.online(n) {
+				return nil
+			}
+			return jMesh.Neighbors(n)
+		}
+		fr := overlay.Flood(j, s.cfg.TTL, neighbors, match)
+		res.Messages += fr.Messages
+		if fr.OK {
+			res.Source = vod.SourcePeer
+			res.Provider = fr.Found
+			res.Hops = 1 + fr.Hops
+			// Connect to the provider if inter-link budget remains.
+			s.inter.Connect(node, fr.Found)
+			return res
+		}
+	}
+
+	// Phase 2.5: before serving the video itself, the server recommends
+	// a node in the video's own channel overlay ("including a node with
+	// the video", §IV-A) — the path that rescues non-subscribers and
+	// cross-channel views.
+	if st.home != video.Channel {
+		if provider, hops, msgs, ok := s.searchChannelOverlay(node, video.Channel, match); ok {
+			res.Messages += msgs
+			res.Source = vod.SourcePeer
+			res.Provider = provider
+			res.Hops = hops
+			s.inter.Connect(node, provider)
+			return res
+		} else {
+			res.Messages += msgs
+		}
+	}
+
+	// Phase 3: the server serves the video.
+	res.Source = vod.SourceServer
+	return res
+}
+
+// searchChannelOverlay queries a server-recommended member of the channel's
+// overlay and lets the query flood that overlay with the TTL.
+func (s *System) searchChannelOverlay(node int, ch trace.ChannelID, match func(int) bool) (provider, hops, msgs int, ok bool) {
+	entry := s.memberSetOf(ch).Random(s.g, node)
+	if entry < 0 || !s.online(entry) {
+		return 0, 0, 0, false
+	}
+	msgs = 1 // the contact with the recommended entry node
+	if match(entry) {
+		return entry, 1, msgs, true
+	}
+	mesh := s.innerMesh(ch)
+	neighbors := func(n int) []int {
+		if !s.online(n) {
+			return nil
+		}
+		return mesh.Neighbors(n)
+	}
+	fr := overlay.Flood(entry, s.cfg.TTL, neighbors, match)
+	msgs += fr.Messages
+	if fr.OK {
+		return fr.Found, 1 + fr.Hops, msgs, true
+	}
+	return 0, 0, msgs, false
+}
+
+// ensureAttached places the node in the overlays relevant to the requested
+// channel. Subscribers join (or switch to) the channel's lower-level
+// overlay; non-subscribers are instead given inter-links into the channel's
+// category by the server, per §IV-A.
+func (s *System) ensureAttached(node int, ch trace.ChannelID) {
+	st := s.state(node)
+	cat := s.channelCategory(ch)
+	if !s.subscribed(node, ch) {
+		// Non-subscriber: keep the current home overlay; the server
+		// recommends common-interest peers (one per channel in the
+		// category) for inter-links.
+		s.seedInterLinks(node, cat)
+		return
+	}
+	if st.home == ch {
+		s.memberSetOf(ch).Add(node)
+		s.replenish(node)
+		return
+	}
+	// Switching channel overlays: leave the old one; drop inter-links
+	// too when the interest category changes, since the node maintains
+	// links only within its channel and category (§IV-A).
+	oldCat := trace.CategoryID(-1)
+	if st.home >= 0 {
+		oldCat = s.channelCategory(st.home)
+	}
+	s.detach(node)
+	if oldCat != cat {
+		for _, nb := range s.inter.Neighbors(node) {
+			s.inter.Disconnect(node, nb)
+		}
+	}
+	st.home = ch
+	s.memberSetOf(ch).Add(node)
+	// The server assists the join with inner neighbours from the channel
+	// overlay and inter neighbours across the category's channels; links
+	// reach the steady-state N_l + N_h Fig. 18 observes ("15 links at
+	// all times through their sessions after the initial phase").
+	s.replenish(node)
+}
+
+// seedInterLinks asks the server for one random online node per channel in
+// the category until the node's inter-link budget N_h is filled.
+func (s *System) seedInterLinks(node int, cat trace.CategoryID) {
+	if s.cfg.InterLinks == 0 || cat < 0 {
+		return
+	}
+	if s.inter.Full(node) {
+		return
+	}
+	chans := s.byCat[cat]
+	if len(chans) == 0 {
+		return
+	}
+	st := s.state(node)
+	// Random channel order, bounded attempts: the server recommends one
+	// node per sibling channel.
+	perm := s.g.Perm(len(chans))
+	for _, idx := range perm {
+		if s.inter.Full(node) {
+			return
+		}
+		ch := chans[idx]
+		if st.home == ch {
+			continue // inner overlay already covers the home channel
+		}
+		cand := s.memberSetOf(ch).Random(s.g, node)
+		if cand < 0 || !s.online(cand) {
+			continue
+		}
+		s.inter.Connect(node, cand)
+	}
+}
+
+// subscribed reports whether the node's user subscribes to the channel.
+func (s *System) subscribed(node int, ch trace.ChannelID) bool {
+	return s.subs[node][ch]
+}
+
+// Finish implements vod.Protocol: the node caches the watched video and
+// prefetches the first chunks of the M most popular videos of the channel
+// it is watching (§IV-B's channel-facilitated prefetching).
+func (s *System) Finish(node int, v trace.VideoID) {
+	st := s.state(node)
+	video := s.tr.Video(v)
+	if st == nil || video == nil {
+		return
+	}
+	st.cache.AddFull(v)
+	if s.cfg.PrefetchCount <= 0 {
+		return
+	}
+	ch := s.tr.Channel(video.Channel)
+	if ch == nil {
+		return
+	}
+	// Channel videos are ordered by popularity rank, so the top-M list
+	// the server publishes is simply the prefix.
+	for i := 0; i < len(ch.Videos) && i < s.cfg.PrefetchCount; i++ {
+		if ch.Videos[i] == v {
+			continue
+		}
+		st.cache.AddPrefix(ch.Videos[i])
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/overlay"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// System is the SocialTube protocol over a trace. Node ids are user ids
+// from the trace. System implements vod.Protocol; it is single-threaded,
+// driven by the experiment engine.
+type System struct {
+	cfg Config
+	tr  *trace.Trace
+	g   *dist.RNG
+
+	// inner holds one lower-level mesh per channel overlay, each node
+	// bounded to N_l inner-links.
+	inner map[trace.ChannelID]*overlay.Mesh
+	// inter is the higher-level mesh; links connect nodes across channels
+	// of the same category, bounded to N_h per node.
+	inter *overlay.Mesh
+	// members tracks online nodes per channel overlay — the state the
+	// server keeps so it can assist joins (much less than NetTube's
+	// per-video tracking, as §IV-A notes).
+	members map[trace.ChannelID]*overlay.Members
+	nodes   map[int]*nodeState
+	// byCat indexes channels by primary category for inter-link seeding.
+	byCat map[trace.CategoryID][]trace.ChannelID
+	// subs is each node's subscription set.
+	subs map[int]map[trace.ChannelID]bool
+}
+
+var _ vod.Protocol = (*System)(nil)
+
+// nodeState is one peer's protocol state. The cache survives offline
+// periods ("nodes store their cached videos for their next session").
+type nodeState struct {
+	user   *trace.User
+	online bool
+	cache  *vod.Cache
+	// home is the channel overlay the node currently belongs to (the
+	// channel it is watching); -1 when unattached.
+	home trace.ChannelID
+	// prevInner/prevInter remember neighbours across sessions so a
+	// returning node can reconnect without the server.
+	prevInner []int
+	prevInter []int
+}
+
+// New builds a SocialTube system over the trace.
+func New(cfg Config, tr *trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("socialtube config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: socialtube needs a non-empty trace", dist.ErrBadParameter)
+	}
+	s := &System{
+		cfg:     cfg,
+		tr:      tr,
+		g:       dist.NewRNG(cfg.Seed),
+		inner:   make(map[trace.ChannelID]*overlay.Mesh),
+		inter:   overlay.NewMesh(cfg.InterLinks),
+		members: make(map[trace.ChannelID]*overlay.Members),
+		nodes:   make(map[int]*nodeState, len(tr.Users)),
+		byCat:   make(map[trace.CategoryID][]trace.ChannelID),
+		subs:    make(map[int]map[trace.ChannelID]bool, len(tr.Users)),
+	}
+	for _, ch := range tr.Channels {
+		s.byCat[ch.Primary] = append(s.byCat[ch.Primary], ch.ID)
+	}
+	for _, u := range tr.Users {
+		node := int(u.ID)
+		s.nodes[node] = &nodeState{
+			user:  u,
+			cache: vod.NewCache(cfg.CacheVideos),
+			home:  -1,
+		}
+		set := make(map[trace.ChannelID]bool, len(u.Subscriptions))
+		for _, ch := range u.Subscriptions {
+			set[ch] = true
+		}
+		s.subs[node] = set
+	}
+	return s, nil
+}
+
+// Name implements vod.Protocol.
+func (s *System) Name() string { return "SocialTube" }
+
+func (s *System) state(node int) *nodeState {
+	return s.nodes[node]
+}
+
+func (s *System) innerMesh(ch trace.ChannelID) *overlay.Mesh {
+	m, ok := s.inner[ch]
+	if !ok {
+		m = overlay.NewMesh(s.cfg.InnerLinks)
+		s.inner[ch] = m
+	}
+	return m
+}
+
+func (s *System) memberSetOf(ch trace.ChannelID) *overlay.Members {
+	m, ok := s.members[ch]
+	if !ok {
+		m = overlay.NewMembers()
+		s.members[ch] = m
+	}
+	return m
+}
+
+// online reports whether a node is currently in the system.
+func (s *System) online(node int) bool {
+	st, ok := s.nodes[node]
+	return ok && st.online
+}
+
+// Join implements vod.Protocol: the node comes online and first tries to
+// reconnect to its previous neighbours; if none remain, it stays unattached
+// until its first request, which contacts the server as an initial join.
+func (s *System) Join(node int) {
+	st := s.state(node)
+	if st == nil || st.online {
+		return
+	}
+	st.online = true
+	if st.home >= 0 {
+		// Drop stale mesh edges left by an earlier abrupt failure.
+		s.dropDeadLinks(node)
+		reconnected := false
+		mesh := s.innerMesh(st.home)
+		for _, nb := range st.prevInner {
+			if s.online(nb) && s.sameHome(nb, st.home) {
+				if mesh.Connected(node, nb) || mesh.Connect(node, nb) {
+					reconnected = true
+				}
+			}
+		}
+		for _, nb := range st.prevInter {
+			if s.online(nb) {
+				if s.inter.Connected(node, nb) || s.inter.Connect(node, nb) {
+					reconnected = true
+				}
+			}
+		}
+		if reconnected {
+			s.memberSetOf(st.home).Add(node)
+			return
+		}
+		// No previous neighbour survived: rejoin from scratch via the
+		// server on the next request.
+		s.detach(node)
+	}
+}
+
+func (s *System) sameHome(node int, ch trace.ChannelID) bool {
+	st := s.state(node)
+	return st != nil && st.home == ch
+}
+
+// Leave implements vod.Protocol: a graceful departure notifies neighbours,
+// which update their links immediately.
+func (s *System) Leave(node int) {
+	st := s.state(node)
+	if st == nil || !st.online {
+		return
+	}
+	s.rememberNeighbors(node)
+	if st.home >= 0 {
+		s.innerMesh(st.home).RemoveNode(node)
+		s.memberSetOf(st.home).Remove(node)
+	}
+	s.inter.RemoveNode(node)
+	st.online = false
+}
+
+// Fail implements vod.Protocol: an abrupt departure. The node disappears
+// from the member sets (it no longer answers), but neighbours keep their
+// dead links until a maintenance probe notices.
+func (s *System) Fail(node int) {
+	st := s.state(node)
+	if st == nil || !st.online {
+		return
+	}
+	s.rememberNeighbors(node)
+	if st.home >= 0 {
+		s.memberSetOf(st.home).Remove(node)
+	}
+	st.online = false
+}
+
+func (s *System) rememberNeighbors(node int) {
+	st := s.state(node)
+	st.prevInner = nil
+	if st.home >= 0 {
+		st.prevInner = s.innerMesh(st.home).Neighbors(node)
+	}
+	st.prevInter = s.inter.Neighbors(node)
+}
+
+// detach removes a node from its overlays entirely (used when switching
+// channels or when a rejoin falls back to the server path).
+func (s *System) detach(node int) {
+	st := s.state(node)
+	if st.home >= 0 {
+		s.innerMesh(st.home).RemoveNode(node)
+		s.memberSetOf(st.home).Remove(node)
+	}
+	st.home = -1
+}
+
+// dropDeadLinks removes the node's mesh edges to offline neighbours — what
+// a probe round or a fresh session's reconnection attempt discovers.
+func (s *System) dropDeadLinks(node int) {
+	st := s.state(node)
+	if st.home >= 0 {
+		mesh := s.innerMesh(st.home)
+		for _, nb := range mesh.Neighbors(node) {
+			if !s.online(nb) {
+				mesh.Disconnect(node, nb)
+			}
+		}
+	}
+	for _, nb := range s.inter.Neighbors(node) {
+		if !s.online(nb) {
+			s.inter.Disconnect(node, nb)
+		}
+	}
+}
+
+// Probe implements the periodic structure maintenance of §IV-A: the node
+// checks its neighbours, drops the dead ones and replenishes links. It
+// returns the number of probe messages sent.
+func (s *System) Probe(node int) int {
+	st := s.state(node)
+	if st == nil || !st.online {
+		return 0
+	}
+	msgs := 0
+	if st.home >= 0 {
+		mesh := s.innerMesh(st.home)
+		for _, nb := range mesh.Neighbors(node) {
+			msgs++
+			if !s.online(nb) {
+				mesh.Disconnect(node, nb)
+			}
+		}
+	}
+	for _, nb := range s.inter.Neighbors(node) {
+		msgs++
+		if !s.online(nb) {
+			s.inter.Disconnect(node, nb)
+		}
+	}
+	s.replenish(node)
+	return msgs
+}
+
+// replenish tops up inner links from the home channel's online members and
+// inter links from sibling channels of the home category.
+func (s *System) replenish(node int) {
+	st := s.state(node)
+	if st.home < 0 {
+		return
+	}
+	mesh := s.innerMesh(st.home)
+	members := s.memberSetOf(st.home)
+	for attempts := 0; !mesh.Full(node) && attempts < 2*s.cfg.InnerLinks; attempts++ {
+		cand := members.Random(s.g, node)
+		if cand < 0 {
+			break
+		}
+		mesh.Connect(node, cand)
+	}
+	s.seedInterLinks(node, s.channelCategory(st.home))
+}
+
+// Links implements vod.Protocol: the node's maintenance overhead is the
+// total number of overlay links it holds (inner + inter).
+func (s *System) Links(node int) int {
+	st := s.state(node)
+	if st == nil {
+		return 0
+	}
+	n := s.inter.Degree(node)
+	if st.home >= 0 {
+		n += s.innerMesh(st.home).Degree(node)
+	}
+	return n
+}
+
+// InnerLinks returns the node's lower-level link count (tests/ablations).
+func (s *System) InnerLinks(node int) int {
+	st := s.state(node)
+	if st == nil || st.home < 0 {
+		return 0
+	}
+	return s.innerMesh(st.home).Degree(node)
+}
+
+// InterLinks returns the node's higher-level link count (tests/ablations).
+func (s *System) InterLinks(node int) int { return s.inter.Degree(node) }
+
+// Home returns the channel overlay the node currently belongs to (-1 when
+// unattached).
+func (s *System) Home(node int) trace.ChannelID {
+	st := s.state(node)
+	if st == nil {
+		return -1
+	}
+	return st.home
+}
+
+// Cache exposes the node's cache (read-mostly; used by tests and the
+// experiment engine for accounting).
+func (s *System) Cache(node int) *vod.Cache {
+	st := s.state(node)
+	if st == nil {
+		return nil
+	}
+	return st.cache
+}
+
+func (s *System) channelCategory(ch trace.ChannelID) trace.CategoryID {
+	c := s.tr.Channel(ch)
+	if c == nil {
+		return -1
+	}
+	return c.Primary
+}
+
+// Subscribe adds a channel subscription at runtime. The paper requires
+// users to "report their changes of subscribed channels" so the server can
+// assist joins accurately; the server-side view updates immediately.
+func (s *System) Subscribe(node int, ch trace.ChannelID) bool {
+	st := s.state(node)
+	if st == nil || s.tr.Channel(ch) == nil {
+		return false
+	}
+	set := s.subs[node]
+	if set == nil {
+		set = make(map[trace.ChannelID]bool, 1)
+		s.subs[node] = set
+	}
+	if set[ch] {
+		return false
+	}
+	set[ch] = true
+	return true
+}
+
+// Unsubscribe removes a channel subscription at runtime. A node
+// unsubscribed from its home channel leaves that overlay: it no longer
+// tends to watch the channel's videos, so keeping inner-links there would
+// waste the link budget.
+func (s *System) Unsubscribe(node int, ch trace.ChannelID) bool {
+	st := s.state(node)
+	if st == nil || !s.subs[node][ch] {
+		return false
+	}
+	delete(s.subs[node], ch)
+	if st.home == ch {
+		s.detach(node)
+	}
+	return true
+}
+
+// Subscriptions returns the node's current subscription set in ascending
+// order (a copy).
+func (s *System) Subscriptions(node int) []trace.ChannelID {
+	set := s.subs[node]
+	out := make([]trace.ChannelID, 0, len(set))
+	for ch := range set {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

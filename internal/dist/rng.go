@@ -1,0 +1,52 @@
+// Package dist provides the deterministic random samplers that back the
+// synthetic YouTube trace generator, the discrete-event simulator and the
+// emulator's latency model. Every sampler is seeded explicitly so experiments
+// are reproducible bit-for-bit.
+package dist
+
+import (
+	"math/rand"
+)
+
+// RNG is a seeded source of randomness shared by samplers. It wraps
+// math/rand.Rand so that every component of an experiment draws from a
+// single, explicitly seeded stream.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork returns a new RNG derived from this one. Forked streams are
+// independent: consuming from the child does not perturb the parent beyond
+// the single draw used to derive the child's seed.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential sample with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

@@ -1,0 +1,546 @@
+package emu
+
+import (
+	"time"
+
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Record is the outcome of one emulated video request.
+type Record struct {
+	// Source says who served the video.
+	Source vod.Source
+	// Startup is the measured wall-clock delay before playback could
+	// start (first chunk available).
+	Startup time.Duration
+	// Messages counts query messages the request consumed.
+	Messages int
+	// PrefixCached reports a prefetch hit.
+	PrefixCached bool
+	// Links is the peer's link count right after the request.
+	Links int
+}
+
+// RequestVideo locates and downloads the video, returning delivery metrics.
+// It blocks until the first chunk is available (the startup delay) and
+// fetches remaining chunks before returning.
+func (p *Peer) RequestVideo(v trace.VideoID) Record {
+	video := p.tr.Video(v)
+	if video == nil {
+		return Record{Source: vod.SourceServer}
+	}
+	start := time.Now()
+	p.mu.Lock()
+	full := p.cache.HasFull(v)
+	prefix := p.cache.HasPrefix(v)
+	p.mu.Unlock()
+	rec := Record{PrefixCached: prefix}
+	if full {
+		rec.Source = vod.SourceCache
+		rec.Links = p.Links()
+		return rec
+	}
+
+	switch p.cfg.Mode {
+	case ModeSocialTube:
+		p.socialTubeRequest(v, video, &rec)
+	case ModeNetTube:
+		p.netTubeRequest(v, &rec)
+	default:
+		p.paVoDRequest(v, &rec)
+	}
+	if rec.PrefixCached {
+		rec.Startup = 0
+	} else {
+		rec.Startup = time.Since(start)
+	}
+	rec.Links = p.Links()
+	return rec
+}
+
+// socialTubeRequest runs Algorithm 1 over real sockets: join/attach to the
+// channel overlay, flood inner-links, then inter-neighbours, then the
+// server.
+func (p *Peer) socialTubeRequest(v trace.VideoID, video *trace.Video, rec *Record) {
+	recommended := p.attachChannel(video.Channel)
+	// Phase 1: flood the channel overlay.
+	p.mu.Lock()
+	innerNbs := make([]PeerInfo, 0, len(p.inner))
+	for _, info := range p.inner {
+		innerNbs = append(innerNbs, info)
+	}
+	interNbs := make([]PeerInfo, 0, len(p.inter))
+	for _, info := range p.inter {
+		interNbs = append(interNbs, info)
+	}
+	p.mu.Unlock()
+
+	if provider, ok := p.flood(v, innerNbs, rec); ok {
+		if !p.fetchFromPeer(v, provider, rec) {
+			// The provider vanished between query and fetch; the
+			// server completes the request.
+			p.fetchFromServer(v, rec)
+		}
+		p.connectTo(provider, "inner", int(video.Channel), 0)
+		return
+	}
+	// Phase 2: each inter-neighbour floods its own channel overlay.
+	if provider, ok := p.flood(v, interNbs, rec); ok {
+		if !p.fetchFromPeer(v, provider, rec) {
+			p.fetchFromServer(v, rec)
+		}
+		p.connectTo(provider, "inter", 0, 0)
+		return
+	}
+	// Phase 2.5: the server recommended a member of the video's own
+	// channel overlay ("including a node with the video", §IV-A); query
+	// it even when the inter-link budget had no room to keep it.
+	queried := make(map[int]bool, len(innerNbs)+len(interNbs))
+	for _, nb := range innerNbs {
+		queried[nb.ID] = true
+	}
+	for _, nb := range interNbs {
+		queried[nb.ID] = true
+	}
+	var entries []PeerInfo
+	for _, info := range recommended {
+		if trace.ChannelID(info.Channel) == video.Channel && !queried[info.ID] && info.ID != p.cfg.ID {
+			entries = append(entries, info)
+		}
+	}
+	if provider, ok := p.flood(v, entries, rec); ok {
+		if !p.fetchFromPeer(v, provider, rec) {
+			p.fetchFromServer(v, rec)
+		}
+		p.connectTo(provider, "inter", 0, 0)
+		return
+	}
+	// Phase 3: the server.
+	p.fetchFromServer(v, rec)
+}
+
+// netTubeRequest queries neighbours across all joined per-video overlays;
+// fresh nodes ask the server to direct them at overlay providers; misses
+// are served by the server. Either way the node joins the video's overlay.
+func (p *Peer) netTubeRequest(v trace.VideoID, rec *Record) {
+	p.mu.Lock()
+	seen := make(map[int]bool)
+	var nbs []PeerInfo
+	for _, m := range p.perVideo {
+		for id, info := range m {
+			if !seen[id] {
+				seen[id] = true
+				nbs = append(nbs, info)
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	if len(nbs) > 0 {
+		if provider, ok := p.flood(v, nbs, rec); ok {
+			if !p.fetchFromPeer(v, provider, rec) {
+				p.fetchFromServer(v, rec)
+			}
+			p.joinVideoOverlay(v, &provider)
+			return
+		}
+		p.fetchFromServer(v, rec)
+		p.joinVideoOverlay(v, nil)
+		return
+	}
+	// First request: the server directs the node into the overlay.
+	peers := p.joinVideoOverlay(v, nil)
+	rec.Messages++
+	for _, info := range peers {
+		if p.fetchFromPeer(v, info, rec) {
+			return
+		}
+	}
+	p.fetchFromServer(v, rec)
+}
+
+// paVoDRequest registers as a watcher and downloads from a concurrent
+// watcher when one exists.
+func (p *Peer) paVoDRequest(v trace.VideoID, rec *Record) {
+	p.mu.Lock()
+	p.watching = v
+	p.mu.Unlock()
+	rec.Messages++
+	resp, err := rpc(p.trackerAddr, &Message{
+		Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
+	}, p.cfg.RPCTimeout)
+	if err == nil && resp.Type == MsgOK && resp.Provider >= 0 {
+		info := PeerInfo{ID: resp.Provider, Addr: resp.ProviderAddr}
+		if p.fetchFromPeer(v, info, rec) {
+			return
+		}
+	}
+	p.fetchFromServer(v, rec)
+}
+
+// flood sends the query to each neighbour in turn; neighbours forward with
+// the configured TTL. It returns the first provider found.
+func (p *Peer) flood(v trace.VideoID, nbs []PeerInfo, rec *Record) (PeerInfo, bool) {
+	for _, nb := range nbs {
+		rec.Messages++
+		resp, err := rpc(nb.Addr, &Message{
+			Type: MsgQuery, From: p.cfg.ID,
+			Video: int(v), TTL: p.cfg.TTL, Visited: []int{p.cfg.ID},
+		}, p.cfg.RPCTimeout)
+		if err != nil {
+			continue
+		}
+		rec.Messages += resp.Messages
+		if resp.Type == MsgOK {
+			return PeerInfo{ID: resp.Provider, Addr: resp.ProviderAddr}, true
+		}
+	}
+	return PeerInfo{}, false
+}
+
+// fetchFromPeer downloads all chunks from the provider. It reports whether
+// the first chunk arrived (on failure the caller falls back to the server).
+func (p *Peer) fetchFromPeer(v trace.VideoID, provider PeerInfo, rec *Record) bool {
+	for c := 0; c < vod.DefaultChunksPerVideo; c++ {
+		resp, err := rpc(provider.Addr, &Message{
+			Type: MsgChunkReq, From: p.cfg.ID, Video: int(v), Chunk: c,
+		}, p.cfg.RPCTimeout)
+		if err != nil || resp.Type != MsgOK {
+			if c == 0 {
+				return false
+			}
+			// Mid-stream failure: the server completes the video.
+			p.fetchFromServer(v, rec)
+			return true
+		}
+	}
+	rec.Source = vod.SourcePeer
+	return true
+}
+
+// fetchFromServer downloads all chunks from the tracker.
+func (p *Peer) fetchFromServer(v trace.VideoID, rec *Record) {
+	for c := 0; c < vod.DefaultChunksPerVideo; c++ {
+		rpc(p.trackerAddr, &Message{
+			Type: MsgServe, From: p.cfg.ID, Video: int(v), Chunk: c,
+		}, p.cfg.RPCTimeout)
+	}
+	if rec.Source != vod.SourcePeer {
+		rec.Source = vod.SourceServer
+	}
+}
+
+// attachChannel joins (or switches to) the channel's overlay when the peer
+// subscribes to it, refreshes inter-links either way, and returns the
+// server's peer recommendations (used as channel-overlay entry points).
+func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
+	p.mu.Lock()
+	subscribed := p.subs[ch]
+	home := p.home
+	innerCount := len(p.inner)
+	interCount := len(p.inter)
+	p.mu.Unlock()
+
+	needJoin := subscribed && (home != ch || innerCount == 0)
+	needInter := interCount < p.cfg.InterLinks
+	needEntry := home != ch // a foreign channel needs an entry point
+	if !needJoin && !needInter && !needEntry {
+		return nil
+	}
+	member := 0
+	if subscribed {
+		member = 1 // ride the membership flag in TTL
+	}
+	resp, err := rpc(p.trackerAddr, &Message{
+		Type: MsgJoin, From: p.cfg.ID, Addr: p.Addr(), Channel: int(ch), TTL: member,
+	}, p.cfg.RPCTimeout)
+	if err != nil || resp.Type != MsgJoinOK {
+		return nil
+	}
+	if needJoin {
+		p.mu.Lock()
+		if p.home != ch {
+			p.home = ch
+			p.inner = make(map[int]PeerInfo)
+			// Inter-links persist only within the same category; a
+			// category switch rebuilds them lazily below.
+		}
+		p.mu.Unlock()
+	}
+	for _, info := range resp.Peers {
+		if trace.ChannelID(info.Channel) == ch && subscribed {
+			p.connectTo(info, "inner", int(ch), 0)
+		} else {
+			p.connectTo(info, "inter", info.Channel, 0)
+		}
+	}
+	return resp.Peers
+}
+
+// connectTo performs the symmetric link handshake: ask the target to accept
+// the link, and record it locally only when accepted.
+func (p *Peer) connectTo(info PeerInfo, link string, channel, video int) bool {
+	if info.ID == p.cfg.ID || info.Addr == "" {
+		return false
+	}
+	p.mu.Lock()
+	switch link {
+	case "inner":
+		if _, dup := p.inner[info.ID]; dup || len(p.inner) >= p.cfg.InnerLinks {
+			p.mu.Unlock()
+			return false
+		}
+	case "inter":
+		if _, dup := p.inter[info.ID]; dup || len(p.inter) >= p.cfg.InterLinks {
+			p.mu.Unlock()
+			return false
+		}
+	case "video":
+		m := p.perVideo[trace.VideoID(video)]
+		if m != nil {
+			if _, dup := m[info.ID]; dup || len(m) >= p.cfg.LinksPerOverlay {
+				p.mu.Unlock()
+				return false
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	resp, err := rpc(info.Addr, &Message{
+		Type: MsgConnect, From: p.cfg.ID, Addr: p.Addr(),
+		Link: link, Channel: channel, Video: video,
+	}, p.cfg.RPCTimeout)
+	if err != nil || resp.Type != MsgOK || !resp.Accepted {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch link {
+	case "inner":
+		p.inner[info.ID] = info
+	case "inter":
+		p.inter[info.ID] = info
+	case "video":
+		v := trace.VideoID(video)
+		m := p.perVideo[v]
+		if m == nil {
+			m = make(map[int]PeerInfo)
+			p.perVideo[v] = m
+		}
+		m[info.ID] = info
+	}
+	return true
+}
+
+// joinVideoOverlay registers in the tracker's per-video overlay and links
+// to up to LinksPerOverlay members (NetTube). It returns the members the
+// tracker recommended.
+func (p *Peer) joinVideoOverlay(v trace.VideoID, provider *PeerInfo) []PeerInfo {
+	resp, err := rpc(p.trackerAddr, &Message{
+		Type: MsgJoinVideo, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
+	}, p.cfg.RPCTimeout)
+	p.mu.Lock()
+	if p.perVideo[v] == nil {
+		p.perVideo[v] = make(map[int]PeerInfo)
+	}
+	p.mu.Unlock()
+	if provider != nil {
+		p.connectTo(*provider, "video", 0, int(v))
+	}
+	if err != nil || resp.Type != MsgJoinOK {
+		return nil
+	}
+	for _, info := range resp.Peers {
+		p.connectTo(info, "video", 0, int(v))
+	}
+	return resp.Peers
+}
+
+// FinishVideo records a completed watch: cache the video, advertise it
+// (NetTube), release the watcher slot (PA-VoD) and prefetch.
+func (p *Peer) FinishVideo(v trace.VideoID) {
+	video := p.tr.Video(v)
+	if video == nil {
+		return
+	}
+	switch p.cfg.Mode {
+	case ModePAVoD:
+		p.mu.Lock()
+		if p.watching == v {
+			p.watching = -1
+		}
+		p.mu.Unlock()
+		rpc(p.trackerAddr, &Message{Type: MsgWatchDone, From: p.cfg.ID, Video: int(v)}, p.cfg.RPCTimeout)
+		return // no cache, no prefetch
+	case ModeNetTube:
+		p.mu.Lock()
+		p.cache.AddFull(v)
+		p.mu.Unlock()
+		rpc(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)}, p.cfg.RPCTimeout)
+		p.netTubePrefetch(v)
+	case ModeSocialTube:
+		p.mu.Lock()
+		p.cache.AddFull(v)
+		p.mu.Unlock()
+		p.socialTubePrefetch(video.Channel, v)
+	}
+}
+
+// socialTubePrefetch pulls the channel's popularity list from the server
+// and caches the first chunks of the top-M videos (§IV-B).
+func (p *Peer) socialTubePrefetch(ch trace.ChannelID, watched trace.VideoID) {
+	if p.cfg.PrefetchCount <= 0 {
+		return
+	}
+	resp, err := rpc(p.trackerAddr, &Message{
+		Type: MsgTopList, From: p.cfg.ID, Channel: int(ch), TTL: p.cfg.PrefetchCount + 1,
+	}, p.cfg.RPCTimeout)
+	if err != nil || resp.Type != MsgOK {
+		return
+	}
+	added := 0
+	for _, raw := range resp.Videos {
+		if added >= p.cfg.PrefetchCount {
+			break
+		}
+		v := trace.VideoID(raw)
+		if v == watched {
+			continue
+		}
+		p.mu.Lock()
+		have := p.cache.HasPrefix(v)
+		if !have {
+			p.cache.AddPrefix(v)
+		}
+		p.mu.Unlock()
+		added++
+	}
+}
+
+// netTubePrefetch prefetches the first chunks of videos sampled at random
+// from neighbours' caches — NetTube's related-video prefetching ("a node
+// randomly chooses the videos its neighbors have watched to prefetch").
+func (p *Peer) netTubePrefetch(watched trace.VideoID) {
+	if p.cfg.PrefetchCount <= 0 {
+		return
+	}
+	p.mu.Lock()
+	var nbs []PeerInfo
+	seen := make(map[int]bool)
+	for _, m := range p.perVideo {
+		for id, info := range m {
+			if !seen[id] {
+				seen[id] = true
+				nbs = append(nbs, info)
+			}
+		}
+	}
+	p.mu.Unlock()
+	if len(nbs) == 0 {
+		return
+	}
+	added := 0
+	for attempts := 0; added < p.cfg.PrefetchCount && attempts < 2*len(nbs); attempts++ {
+		p.mu.Lock()
+		nb := nbs[p.g.Intn(len(nbs))]
+		p.mu.Unlock()
+		resp, err := rpc(nb.Addr, &Message{
+			Type: MsgCacheSample, From: p.cfg.ID, TTL: p.cfg.PrefetchCount,
+		}, p.cfg.RPCTimeout)
+		if err != nil || resp.Type != MsgOK {
+			continue
+		}
+		for _, raw := range resp.Videos {
+			if added >= p.cfg.PrefetchCount {
+				break
+			}
+			vid := trace.VideoID(raw)
+			if vid == watched {
+				continue
+			}
+			p.mu.Lock()
+			have := p.cache.HasPrefix(vid)
+			if !have {
+				p.cache.AddPrefix(vid)
+				added++
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Probe checks every neighbour and drops dead links. It returns the number
+// of probe messages sent.
+func (p *Peer) Probe() int {
+	type link struct {
+		info  PeerInfo
+		kind  string
+		video trace.VideoID
+	}
+	p.mu.Lock()
+	var links []link
+	for _, info := range p.inner {
+		links = append(links, link{info: info, kind: "inner"})
+	}
+	for _, info := range p.inter {
+		links = append(links, link{info: info, kind: "inter"})
+	}
+	for v, m := range p.perVideo {
+		for _, info := range m {
+			links = append(links, link{info: info, kind: "video", video: v})
+		}
+	}
+	p.mu.Unlock()
+	msgs := 0
+	for _, l := range links {
+		msgs++
+		_, err := rpc(l.info.Addr, &Message{Type: MsgProbe, From: p.cfg.ID}, p.cfg.RPCTimeout)
+		if err == nil {
+			continue
+		}
+		p.mu.Lock()
+		switch l.kind {
+		case "inner":
+			delete(p.inner, l.info.ID)
+		case "inter":
+			delete(p.inter, l.info.ID)
+		case "video":
+			if m := p.perVideo[l.video]; m != nil {
+				delete(m, l.info.ID)
+			}
+		}
+		p.mu.Unlock()
+	}
+	return msgs
+}
+
+// LeaveOverlays gracefully departs: notify every neighbour (which drops its
+// link immediately, §IV-A), deregister from the tracker and clear local
+// link state. The cache survives for the next session, as in the paper.
+func (p *Peer) LeaveOverlays() {
+	p.mu.Lock()
+	nbs := make(map[int]PeerInfo)
+	for id, info := range p.inner {
+		nbs[id] = info
+	}
+	for id, info := range p.inter {
+		nbs[id] = info
+	}
+	for _, m := range p.perVideo {
+		for id, info := range m {
+			nbs[id] = info
+		}
+	}
+	p.mu.Unlock()
+	for _, info := range nbs {
+		rpc(info.Addr, &Message{Type: MsgBye, From: p.cfg.ID}, p.cfg.RPCTimeout)
+	}
+	rpc(p.trackerAddr, &Message{Type: MsgLeave, From: p.cfg.ID}, p.cfg.RPCTimeout)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inner = make(map[int]PeerInfo)
+	p.inter = make(map[int]PeerInfo)
+	p.perVideo = make(map[trace.VideoID]map[int]PeerInfo)
+	p.home = -1
+}

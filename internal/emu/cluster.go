@@ -1,0 +1,259 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// ClusterConfig drives one emulated experiment: a tracker plus Peers TCP
+// nodes on loopback running Sessions sessions each — the PlanetLab workload
+// of §V scaled to one machine.
+type ClusterConfig struct {
+	// Mode selects the protocol all peers run.
+	Mode Mode
+	// Peers is the number of TCP nodes (the paper uses 250 PlanetLab
+	// nodes; loopback runs scale this down).
+	Peers int
+	// Sessions per peer (paper: 50 on PlanetLab).
+	Sessions int
+	// VideosPerSession watched per session (paper: 10).
+	VideosPerSession int
+	// WatchTime is the emulated playback duration per video.
+	WatchTime time.Duration
+	// MeanOffTime is the mean off period between sessions.
+	MeanOffTime time.Duration
+	// ProbeInterval is the neighbour probe period (0 disables probing).
+	ProbeInterval time.Duration
+	// PrefetchCount is how many first chunks each peer prefetches
+	// (0 disables prefetching).
+	PrefetchCount int
+	// Seed drives workload randomness.
+	Seed int64
+	// Behavior is the 75/15/10 video-selection model.
+	Behavior vod.Behavior
+	// Tracker configures the central server.
+	Tracker TrackerConfig
+	// Conditions injects latency and loss (nil = pristine loopback).
+	Conditions *Conditions
+}
+
+// DefaultClusterConfig returns a loopback-scaled PlanetLab workload.
+func DefaultClusterConfig(mode Mode) ClusterConfig {
+	return ClusterConfig{
+		Mode:             mode,
+		Peers:            24,
+		Sessions:         2,
+		VideosPerSession: 6,
+		WatchTime:        40 * time.Millisecond,
+		MeanOffTime:      60 * time.Millisecond,
+		ProbeInterval:    300 * time.Millisecond,
+		PrefetchCount:    3,
+		Seed:             1,
+		Behavior:         vod.DefaultBehavior(),
+		Tracker:          DefaultTrackerConfig(),
+		Conditions:       DefaultConditions(),
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c ClusterConfig) Validate() error {
+	switch {
+	case c.Mode < ModeSocialTube || c.Mode > ModePAVoD:
+		return fmt.Errorf("%w: mode=%d", dist.ErrBadParameter, c.Mode)
+	case c.Peers <= 0:
+		return fmt.Errorf("%w: peers=%d", dist.ErrBadParameter, c.Peers)
+	case c.Sessions <= 0:
+		return fmt.Errorf("%w: sessions=%d", dist.ErrBadParameter, c.Sessions)
+	case c.VideosPerSession <= 0:
+		return fmt.Errorf("%w: videosPerSession=%d", dist.ErrBadParameter, c.VideosPerSession)
+	case c.WatchTime < 0 || c.MeanOffTime < 0 || c.ProbeInterval < 0:
+		return fmt.Errorf("%w: negative durations", dist.ErrBadParameter)
+	case c.PrefetchCount < 0:
+		return fmt.Errorf("%w: prefetchCount=%d", dist.ErrBadParameter, c.PrefetchCount)
+	}
+	return c.Behavior.Validate()
+}
+
+// ClusterResult aggregates one emulated run; its fields mirror exp.Result
+// so the bench harness prints Fig. 16(b)/17(b)/18(b) rows the same way.
+type ClusterResult struct {
+	Protocol string
+	// StartupDelay in milliseconds per request (cache hits excluded).
+	StartupDelay metrics.Sample
+	// PeerBandwidth: per node, fraction of videos served by peers.
+	PeerBandwidth metrics.Sample
+	// LinksByVideoIndex[k]: link counts right after the (k+1)-th video of
+	// a session.
+	LinksByVideoIndex []metrics.Sample
+	// Hit counts.
+	CacheHits  int64
+	PrefixHits int64
+	PeerHits   int64
+	ServerHits int64
+	// Messages counts query messages.
+	Messages int64
+	// ServerBytes / PeerBytes shipped.
+	ServerBytes int64
+	PeerBytes   int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// NormalizedPeerBandwidthPercentiles returns the Fig. 16 percentile triplet.
+func (r *ClusterResult) NormalizedPeerBandwidthPercentiles() (p1, p50, p99 float64) {
+	return r.PeerBandwidth.Percentile(1), r.PeerBandwidth.Percentile(50), r.PeerBandwidth.Percentile(99)
+}
+
+// RunCluster starts a tracker and peers, drives the session workload to
+// completion, shuts everything down and returns aggregated metrics.
+func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: cluster needs a non-empty trace", dist.ErrBadParameter)
+	}
+	if cfg.Peers > len(tr.Users) {
+		return nil, fmt.Errorf("%w: %d peers but only %d users in trace", dist.ErrBadParameter, cfg.Peers, len(tr.Users))
+	}
+	picker, err := vod.NewPicker(tr, cfg.Behavior)
+	if err != nil {
+		return nil, err
+	}
+
+	tracker, err := NewTracker(cfg.Tracker, tr, cfg.Conditions)
+	if err != nil {
+		return nil, err
+	}
+	if err := tracker.Start(); err != nil {
+		return nil, err
+	}
+	defer tracker.Stop()
+
+	peers := make([]*Peer, 0, cfg.Peers)
+	defer func() {
+		for _, p := range peers {
+			p.Stop()
+		}
+	}()
+	for i := 0; i < cfg.Peers; i++ {
+		pc := DefaultPeerConfig(i, cfg.Mode)
+		pc.PrefetchCount = cfg.PrefetchCount
+		pc.Seed = cfg.Seed + int64(i)*7919
+		p, err := NewPeer(pc, tr, tracker.Addr(), cfg.Conditions)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Start(); err != nil {
+			return nil, err
+		}
+		peers = append(peers, p)
+	}
+
+	res := &ClusterResult{
+		Protocol:          cfg.Mode.String(),
+		LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
+	}
+	var resMu sync.Mutex
+	begin := time.Now()
+
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(idx int, p *Peer) {
+			defer wg.Done()
+			runPeerSessions(cfg, tr, picker, p, idx, res, &resMu)
+		}(i, p)
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(begin)
+	res.ServerBytes = tracker.ServedBytes()
+	for _, p := range peers {
+		res.PeerBytes += p.ServedBytes()
+	}
+	return res, nil
+}
+
+// runPeerSessions drives one peer through its sessions, mirroring the
+// simulator's workload loop over real time.
+func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *Peer, idx int, res *ClusterResult, resMu *sync.Mutex) {
+	g := dist.NewRNG(cfg.Seed*1_000_003 + int64(idx))
+	user := tr.Users[idx]
+
+	// Optional probe loop for the peer's whole lifetime.
+	probeStop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	if cfg.ProbeInterval > 0 {
+		probeWG.Add(1)
+		go func() {
+			defer probeWG.Done()
+			ticker := time.NewTicker(cfg.ProbeInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					p.Probe()
+				case <-probeStop:
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(probeStop)
+		probeWG.Wait()
+	}()
+
+	peerVideos, totalVideos := 0, 0
+	for s := 0; s < cfg.Sessions; s++ {
+		p.SetOnline(true)
+		plan := picker.PlanSession(g, user, cfg.VideosPerSession, cfg.MeanOffTime)
+		for i, v := range plan.Videos {
+			rec := p.RequestVideo(v)
+			resMu.Lock()
+			res.Messages += int64(rec.Messages)
+			switch rec.Source {
+			case vod.SourceCache:
+				res.CacheHits++
+			case vod.SourcePeer:
+				res.PeerHits++
+				peerVideos++
+				totalVideos++
+			case vod.SourceServer:
+				res.ServerHits++
+				totalVideos++
+			}
+			if rec.Source != vod.SourceCache {
+				res.StartupDelay.AddDuration(rec.Startup)
+				if rec.PrefixCached {
+					res.PrefixHits++
+				}
+			}
+			resMu.Unlock()
+			time.Sleep(cfg.WatchTime)
+			p.FinishVideo(v)
+			resMu.Lock()
+			if i < len(res.LinksByVideoIndex) {
+				res.LinksByVideoIndex[i].Add(float64(p.Links()))
+			}
+			resMu.Unlock()
+		}
+		p.SetOnline(false)
+		p.LeaveOverlays()
+		if s+1 < cfg.Sessions {
+			time.Sleep(time.Duration(dist.Exponential(g, float64(cfg.MeanOffTime))))
+		}
+	}
+	if totalVideos > 0 {
+		resMu.Lock()
+		res.PeerBandwidth.Add(float64(peerVideos) / float64(totalVideos))
+		resMu.Unlock()
+	}
+}

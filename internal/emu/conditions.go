@@ -1,0 +1,86 @@
+package emu
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// Conditions injects WAN behaviour into loopback TCP: deterministic per-pair
+// one-way latency (as between PlanetLab sites) and random message loss (the
+// paper attributes PlanetLab's zero 1st-percentile bandwidth partly to
+// connection failures).
+type Conditions struct {
+	// Seed drives the deterministic latency assignment.
+	Seed int64
+	// MinLatency/MaxLatency bound one-way delay between two nodes.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// LossP is the probability an incoming request is dropped.
+	LossP float64
+	// Regions clusters nodes geographically, as PlanetLab sites are:
+	// same-region pairs get latencies near MinLatency, cross-region
+	// pairs near MaxLatency. Zero or one disables clustering (uniform
+	// per-pair latency).
+	Regions int
+
+	lossCounter atomic.Uint64
+}
+
+// DefaultConditions returns WAN-like conditions scaled for fast local runs.
+func DefaultConditions() *Conditions {
+	return &Conditions{
+		Seed:       1,
+		MinLatency: 2 * time.Millisecond,
+		MaxLatency: 25 * time.Millisecond,
+		LossP:      0.01,
+	}
+}
+
+// Latency returns the deterministic one-way delay between nodes a and b
+// (tracker = -1). It is symmetric. With Regions configured, same-region
+// pairs draw from the lower quarter of the latency range and cross-region
+// pairs from the upper three quarters.
+func (c *Conditions) Latency(a, b int) time.Duration {
+	if c == nil || a == b || c.MaxLatency <= 0 {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	h := int64(a)*1_000_003 + int64(b)*7919 + c.Seed*104_729
+	g := dist.NewRNG(h)
+	span := c.MaxLatency - c.MinLatency
+	if span < 0 {
+		span = 0
+	}
+	if c.Regions > 1 {
+		quarter := span / 4
+		if c.region(a) == c.region(b) {
+			return c.MinLatency + time.Duration(g.Float64()*float64(quarter))
+		}
+		return c.MinLatency + quarter + time.Duration(g.Float64()*float64(span-quarter))
+	}
+	return c.MinLatency + time.Duration(g.Float64()*float64(span))
+}
+
+// region assigns a node (tracker included) to a geographic cluster.
+func (c *Conditions) region(n int) int {
+	if n < 0 {
+		n = -n
+	}
+	return n % c.Regions
+}
+
+// Drop reports whether to drop the next message. It is safe for concurrent
+// use; the decision sequence is deterministic under the seed, though its
+// interleaving across goroutines is not.
+func (c *Conditions) Drop() bool {
+	if c == nil || c.LossP <= 0 {
+		return false
+	}
+	n := c.lossCounter.Add(1)
+	g := dist.NewRNG(int64(n) + c.Seed*15_485_863)
+	return g.Float64() < c.LossP
+}

@@ -1,0 +1,508 @@
+package emu
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+func emuTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	// Paper's PlanetLab scale, shrunk: 6 categories, 10 channels each.
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 51
+	cfg.Channels = 60
+	cfg.Users = 64
+	cfg.Categories = 6
+	cfg.MaxInterestsPerUser = 6
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func fastConditions() *Conditions {
+	return &Conditions{Seed: 1, MinLatency: 100 * time.Microsecond, MaxLatency: time.Millisecond, LossP: 0}
+}
+
+func startTracker(t *testing.T, tr *trace.Trace, cond *Conditions) *Tracker {
+	t.Helper()
+	tk, err := NewTracker(DefaultTrackerConfig(), tr, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tk.Stop)
+	return tk
+}
+
+func startPeer(t *testing.T, tr *trace.Trace, tk *Tracker, id int, mode Mode, cond *Conditions) *Peer {
+	t.Helper()
+	cfg := DefaultPeerConfig(id, mode)
+	p, err := NewPeer(cfg, tr, tk.Addr(), cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type: MsgQuery, From: 7, Addr: "127.0.0.1:9", Video: 3, TTL: 2,
+		Visited: []int{1, 2}, Payload: []byte{1, 2, 3},
+	}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.From != in.From || out.Video != in.Video || out.TTL != in.TTL {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Visited) != 2 || len(out.Payload) != 3 {
+		t.Fatal("slices lost in round trip")
+	}
+}
+
+func TestReadMessageRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2})
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("expected error for truncated frame")
+	}
+}
+
+func TestConditionsLatencyDeterministicSymmetricBounded(t *testing.T) {
+	c := DefaultConditions()
+	for a := -1; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			l := c.Latency(a, b)
+			if l != c.Latency(b, a) {
+				t.Fatal("latency not symmetric")
+			}
+			if l < c.MinLatency || l > c.MaxLatency {
+				t.Fatalf("latency %v out of bounds", l)
+			}
+		}
+	}
+	if c.Latency(3, 3) != 0 {
+		t.Fatal("self latency should be zero")
+	}
+	var nilCond *Conditions
+	if nilCond.Latency(1, 2) != 0 || nilCond.Drop() {
+		t.Fatal("nil conditions should be a no-op")
+	}
+}
+
+func TestConditionsDropRate(t *testing.T) {
+	c := &Conditions{Seed: 3, LossP: 0.5}
+	drops := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if c.Drop() {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("drop rate %v, want ≈0.5", frac)
+	}
+	zero := &Conditions{LossP: 0}
+	if zero.Drop() {
+		t.Fatal("zero loss should never drop")
+	}
+}
+
+func TestTrackerServesChunk(t *testing.T) {
+	tr := emuTrace(t)
+	tk := startTracker(t, tr, fastConditions())
+	resp, err := rpc(tk.Addr(), &Message{Type: MsgServe, From: 0, Video: 0, Chunk: 0}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgOK || len(resp.Payload) != DefaultTrackerConfig().ChunkPayload {
+		t.Fatalf("bad serve response: type=%v payload=%d", resp.Type, len(resp.Payload))
+	}
+	if tk.ServedBytes() != int64(DefaultTrackerConfig().ChunkPayload) {
+		t.Fatalf("served bytes %d", tk.ServedBytes())
+	}
+}
+
+func TestTrackerRejectsUnknownVideo(t *testing.T) {
+	tr := emuTrace(t)
+	tk := startTracker(t, tr, fastConditions())
+	resp, err := rpc(tk.Addr(), &Message{Type: MsgServe, From: 0, Video: 1 << 30}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgMiss {
+		t.Fatalf("type = %v, want miss", resp.Type)
+	}
+}
+
+func TestTrackerTopList(t *testing.T) {
+	tr := emuTrace(t)
+	tk := startTracker(t, tr, fastConditions())
+	var ch *trace.Channel
+	for _, c := range tr.Channels {
+		if len(c.Videos) >= 5 {
+			ch = c
+			break
+		}
+	}
+	if ch == nil {
+		t.Skip("no channel with 5+ videos")
+	}
+	resp, err := rpc(tk.Addr(), &Message{Type: MsgTopList, From: 0, Channel: int(ch.ID), TTL: 3}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgOK || len(resp.Videos) != 3 {
+		t.Fatalf("top list response: %+v", resp)
+	}
+	for i, v := range resp.Videos {
+		if trace.VideoID(v) != ch.Videos[i] {
+			t.Fatalf("top list not rank ordered: %v", resp.Videos)
+		}
+	}
+}
+
+func TestPeerChunkFetchAndCache(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	p := startPeer(t, tr, tk, 0, ModeSocialTube, cond)
+	v := tr.Videos[0].ID
+	rec := p.RequestVideo(v)
+	if rec.Source != vod.SourceServer {
+		t.Fatalf("first fetch source = %v, want server", rec.Source)
+	}
+	if rec.Startup <= 0 {
+		t.Fatal("startup delay not measured")
+	}
+	p.FinishVideo(v)
+	rec = p.RequestVideo(v)
+	if rec.Source != vod.SourceCache {
+		t.Fatalf("cached fetch source = %v", rec.Source)
+	}
+}
+
+func TestSocialTubePeerToPeerDelivery(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	// Pick a subscribed user and a video from that channel, plus another
+	// subscriber of the same channel.
+	var a, b int = -1, -1
+	var v trace.VideoID = -1
+	for _, ch := range tr.Channels {
+		if len(ch.Subscribers) >= 2 && len(ch.Videos) > 0 && int(ch.Subscribers[0]) < 64 && int(ch.Subscribers[1]) < 64 {
+			a, b = int(ch.Subscribers[0]), int(ch.Subscribers[1])
+			v = ch.Videos[0]
+			break
+		}
+	}
+	if a < 0 {
+		t.Skip("no channel with two subscribers among peer ids")
+	}
+	pa := startPeer(t, tr, tk, a, ModeSocialTube, cond)
+	pb := startPeer(t, tr, tk, b, ModeSocialTube, cond)
+	// a fetches from the server and caches; both attach to the channel
+	// overlay.
+	if rec := pa.RequestVideo(v); rec.Source != vod.SourceServer {
+		t.Fatalf("seed fetch source = %v", rec.Source)
+	}
+	pa.FinishVideo(v)
+	rec := pb.RequestVideo(v)
+	if rec.Source != vod.SourcePeer {
+		t.Fatalf("source = %v, want peer (a cached it and shares the channel overlay)", rec.Source)
+	}
+	if pb.Links() == 0 {
+		t.Fatal("b holds no links after a successful peer fetch")
+	}
+}
+
+func TestSocialTubePrefetchOverTCP(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	var node int = -1
+	var ch *trace.Channel
+	for _, u := range tr.Users {
+		if int(u.ID) >= 64 {
+			continue
+		}
+		for _, cid := range u.Subscriptions {
+			if c := tr.Channel(cid); len(c.Videos) >= 5 {
+				node, ch = int(u.ID), c
+				break
+			}
+		}
+		if ch != nil {
+			break
+		}
+	}
+	if ch == nil {
+		t.Skip("no subscribed channel with enough videos")
+	}
+	p := startPeer(t, tr, tk, node, ModeSocialTube, cond)
+	watched := ch.Videos[4]
+	p.RequestVideo(watched)
+	p.FinishVideo(watched)
+	// After finishing, a request for the channel's top video must be a
+	// prefix hit with zero startup delay.
+	rec := p.RequestVideo(ch.Videos[0])
+	if !rec.PrefixCached {
+		t.Fatal("top channel video was not prefetched")
+	}
+	if rec.Startup != 0 {
+		t.Fatalf("prefix hit startup = %v, want 0", rec.Startup)
+	}
+}
+
+func TestOfflinePeerDoesNotServe(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	p := startPeer(t, tr, tk, 0, ModeSocialTube, cond)
+	v := tr.Videos[0].ID
+	p.RequestVideo(v)
+	p.FinishVideo(v)
+	p.SetOnline(false)
+	if _, err := rpc(p.Addr(), &Message{Type: MsgChunkReq, From: 1, Video: int(v)}, time.Second); err == nil {
+		t.Fatal("offline peer answered a chunk request")
+	}
+}
+
+func TestPAVoDOverTCP(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	pa := startPeer(t, tr, tk, 0, ModePAVoD, cond)
+	pb := startPeer(t, tr, tk, 1, ModePAVoD, cond)
+	v := tr.Videos[0].ID
+	if rec := pa.RequestVideo(v); rec.Source != vod.SourceServer {
+		t.Fatalf("first watcher source = %v", rec.Source)
+	}
+	// While a still watches, b is directed to a.
+	rec := pb.RequestVideo(v)
+	if rec.Source != vod.SourcePeer {
+		t.Fatalf("concurrent watcher not used: %v", rec.Source)
+	}
+	pa.FinishVideo(v)
+	pb.FinishVideo(v)
+	// After both finish, there is no provider and no cache.
+	pc := startPeer(t, tr, tk, 2, ModePAVoD, cond)
+	if rec := pc.RequestVideo(v); rec.Source != vod.SourceServer {
+		t.Fatalf("PA-VoD should have no provider after finish: %v", rec.Source)
+	}
+}
+
+func TestNetTubeOverTCP(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	pa := startPeer(t, tr, tk, 0, ModeNetTube, cond)
+	pb := startPeer(t, tr, tk, 1, ModeNetTube, cond)
+	v := tr.Videos[0].ID
+	pa.RequestVideo(v)
+	pa.FinishVideo(v)
+	rec := pb.RequestVideo(v)
+	if rec.Source != vod.SourcePeer {
+		t.Fatalf("server should direct first request to overlay provider: %v", rec.Source)
+	}
+	if pb.Links() == 0 {
+		t.Fatal("b did not join the per-video overlay")
+	}
+}
+
+func TestProbeDropsDeadLinks(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	pa := startPeer(t, tr, tk, 0, ModeNetTube, cond)
+	v := tr.Videos[0].ID
+
+	cfgB := DefaultPeerConfig(1, ModeNetTube)
+	pb, err := NewPeer(cfgB, tr, tk.Addr(), cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pb.RequestVideo(v)
+	pb.FinishVideo(v)
+	pa.RequestVideo(v)
+	pa.FinishVideo(v)
+	if pa.Links() == 0 {
+		pb.Stop()
+		t.Skip("peers did not link")
+	}
+	pb.Stop() // hard kill: listener gone
+	if msgs := pa.Probe(); msgs == 0 {
+		t.Fatal("probe sent no messages")
+	}
+	if pa.Links() != 0 {
+		t.Fatalf("dead link survived probe: %d links", pa.Links())
+	}
+}
+
+func TestClusterRunAllModes(t *testing.T) {
+	tr := emuTrace(t)
+	for _, mode := range []Mode{ModeSocialTube, ModeNetTube, ModePAVoD} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultClusterConfig(mode)
+			cfg.Peers = 12
+			cfg.Sessions = 2
+			cfg.VideosPerSession = 4
+			cfg.WatchTime = 5 * time.Millisecond
+			cfg.MeanOffTime = 5 * time.Millisecond
+			cfg.ProbeInterval = 50 * time.Millisecond
+			cfg.Conditions = fastConditions()
+			res, err := RunCluster(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := res.CacheHits + res.PeerHits + res.ServerHits
+			want := int64(cfg.Peers * cfg.Sessions * cfg.VideosPerSession)
+			if total != want {
+				t.Fatalf("requests accounted %d, want %d", total, want)
+			}
+			if res.StartupDelay.Len() == 0 {
+				t.Fatal("no startup samples")
+			}
+			if res.PeerBandwidth.Len() == 0 {
+				t.Fatal("no bandwidth samples")
+			}
+			if mode != ModePAVoD && res.ServerBytes == 0 {
+				t.Fatal("server shipped nothing")
+			}
+		})
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := DefaultClusterConfig(ModeSocialTube)
+	cfg.Peers = 0
+	if _, err := RunCluster(cfg, tr); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	cfg = DefaultClusterConfig(ModeSocialTube)
+	cfg.Peers = len(tr.Users) + 1
+	if _, err := RunCluster(cfg, tr); err == nil {
+		t.Fatal("more peers than users accepted")
+	}
+	if _, err := RunCluster(DefaultClusterConfig(ModeSocialTube), nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+// TestNoGoroutineLeaks ensures Stop releases everything a cluster started.
+func TestNoGoroutineLeaks(t *testing.T) {
+	tr := emuTrace(t)
+	before := runtime.NumGoroutine()
+	cfg := DefaultClusterConfig(ModeSocialTube)
+	cfg.Peers = 8
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.WatchTime = 2 * time.Millisecond
+	cfg.Conditions = fastConditions()
+	if _, err := RunCluster(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Allow lingering handler goroutines to wind down.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestConditionsRegionsClusterLatency(t *testing.T) {
+	c := &Conditions{
+		Seed:       5,
+		MinLatency: 5 * time.Millisecond,
+		MaxLatency: 105 * time.Millisecond,
+		Regions:    4,
+	}
+	var intra, inter time.Duration
+	var nIntra, nInter int
+	for a := 0; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			l := c.Latency(a, b)
+			if l < c.MinLatency || l > c.MaxLatency {
+				t.Fatalf("latency %v out of bounds", l)
+			}
+			if a%4 == b%4 {
+				intra += l
+				nIntra++
+			} else {
+				inter += l
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("degenerate sample")
+	}
+	meanIntra := intra / time.Duration(nIntra)
+	meanInter := inter / time.Duration(nInter)
+	if meanIntra >= meanInter {
+		t.Fatalf("intra-region latency %v not below inter-region %v", meanIntra, meanInter)
+	}
+	// Symmetry is preserved under clustering.
+	if c.Latency(3, 17) != c.Latency(17, 3) {
+		t.Fatal("clustered latency not symmetric")
+	}
+}
+
+func TestClusterWithRegions(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := DefaultClusterConfig(ModeSocialTube)
+	cfg.Peers = 8
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.WatchTime = 3 * time.Millisecond
+	cfg.Conditions = &Conditions{
+		Seed:       9,
+		MinLatency: 200 * time.Microsecond,
+		MaxLatency: 3 * time.Millisecond,
+		Regions:    3,
+	}
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits+res.PeerHits+res.ServerHits == 0 {
+		t.Fatal("regional cluster served nothing")
+	}
+}

@@ -1,0 +1,483 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Mode selects which protocol a peer speaks.
+type Mode int
+
+// Protocol modes.
+const (
+	// ModeSocialTube runs the paper's hierarchical per-community
+	// protocol.
+	ModeSocialTube Mode = iota + 1
+	// ModeNetTube runs per-video overlays with a session cache.
+	ModeNetTube
+	// ModePAVoD runs server-directed peer assistance without caching.
+	ModePAVoD
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSocialTube:
+		return "SocialTube"
+	case ModeNetTube:
+		return "NetTube"
+	case ModePAVoD:
+		return "PA-VoD"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerConfig sets one peer's parameters.
+type PeerConfig struct {
+	// ID is the node's id (its user id in the trace).
+	ID int
+	// Mode selects the protocol.
+	Mode Mode
+	// Addr is the listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// InnerLinks (N_l), InterLinks (N_h) bound SocialTube link budgets.
+	InnerLinks int
+	InterLinks int
+	// LinksPerOverlay bounds NetTube per-video overlay links.
+	LinksPerOverlay int
+	// TTL bounds query forwarding.
+	TTL int
+	// PrefetchCount is the number of first chunks to prefetch.
+	PrefetchCount int
+	// UplinkBps is the peer's upload capacity.
+	UplinkBps int64
+	// ChunkPayload is the bytes shipped per chunk.
+	ChunkPayload int
+	// RPCTimeout bounds each peer-to-peer RPC.
+	RPCTimeout time.Duration
+	// Seed drives the peer's random choices.
+	Seed int64
+}
+
+// DefaultPeerConfig returns Table I parameters scaled for loopback runs.
+func DefaultPeerConfig(id int, mode Mode) PeerConfig {
+	return PeerConfig{
+		ID:              id,
+		Mode:            mode,
+		Addr:            "127.0.0.1:0",
+		InnerLinks:      5,
+		InterLinks:      10,
+		LinksPerOverlay: 4,
+		TTL:             2,
+		PrefetchCount:   3,
+		UplinkBps:       4_000_000,
+		ChunkPayload:    8 << 10,
+		RPCTimeout:      3 * time.Second,
+		Seed:            int64(id) + 1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c PeerConfig) Validate() error {
+	switch {
+	case c.Mode < ModeSocialTube || c.Mode > ModePAVoD:
+		return fmt.Errorf("%w: mode=%d", dist.ErrBadParameter, c.Mode)
+	case c.InnerLinks <= 0 || c.InterLinks < 0 || c.LinksPerOverlay <= 0:
+		return fmt.Errorf("%w: link budgets", dist.ErrBadParameter)
+	case c.TTL <= 0:
+		return fmt.Errorf("%w: ttl=%d", dist.ErrBadParameter, c.TTL)
+	case c.PrefetchCount < 0:
+		return fmt.Errorf("%w: prefetchCount=%d", dist.ErrBadParameter, c.PrefetchCount)
+	case c.UplinkBps <= 0 || c.ChunkPayload <= 0:
+		return fmt.Errorf("%w: uplink/payload", dist.ErrBadParameter)
+	case c.RPCTimeout <= 0:
+		return fmt.Errorf("%w: rpcTimeout=%v", dist.ErrBadParameter, c.RPCTimeout)
+	}
+	return nil
+}
+
+// Peer is one TCP node. Start it, drive it with RequestVideo/FinishVideo,
+// and Stop it to release all goroutines.
+type Peer struct {
+	cfg         PeerConfig
+	tr          *trace.Trace
+	cond        *Conditions
+	trackerAddr string
+	ln          net.Listener
+	wg          sync.WaitGroup
+	closeCh     chan struct{}
+
+	mu     sync.Mutex
+	g      *dist.RNG
+	cache  *vod.Cache
+	subs   map[trace.ChannelID]bool
+	online bool
+	// watching is the video currently being watched (-1 when idle);
+	// PA-VoD peers serve the video they are watching even though they
+	// keep no cache.
+	watching trace.VideoID
+	// SocialTube state.
+	home  trace.ChannelID
+	inner map[int]PeerInfo
+	inter map[int]PeerInfo
+	// NetTube state: links per joined per-video overlay.
+	perVideo map[trace.VideoID]map[int]PeerInfo
+	// Uplink queue + accounting.
+	busyUntil   time.Time
+	servedBytes int64
+}
+
+// NewPeer builds a peer over the trace. Call Start before use.
+func NewPeer(cfg PeerConfig, tr *trace.Trace, trackerAddr string, cond *Conditions) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("peer config: %w", err)
+	}
+	if tr == nil || len(tr.Videos) == 0 {
+		return nil, fmt.Errorf("%w: peer needs a non-empty trace", dist.ErrBadParameter)
+	}
+	p := &Peer{
+		cfg:         cfg,
+		tr:          tr,
+		cond:        cond,
+		trackerAddr: trackerAddr,
+		closeCh:     make(chan struct{}),
+		g:           dist.NewRNG(cfg.Seed),
+		online:      true,
+		watching:    -1,
+		cache:       vod.NewCache(0),
+		subs:        make(map[trace.ChannelID]bool),
+		home:        -1,
+		inner:       make(map[int]PeerInfo),
+		inter:       make(map[int]PeerInfo),
+		perVideo:    make(map[trace.VideoID]map[int]PeerInfo),
+	}
+	if u := tr.User(trace.UserID(cfg.ID)); u != nil {
+		for _, ch := range u.Subscriptions {
+			p.subs[ch] = true
+		}
+	}
+	return p, nil
+}
+
+// Start begins listening and registers with the tracker.
+func (p *Peer) Start() error {
+	ln, err := net.Listen("tcp", p.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("peer %d listen: %w", p.cfg.ID, err)
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	_, err = rpc(p.trackerAddr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}, p.cfg.RPCTimeout)
+	if err != nil {
+		// Registration is retried implicitly by later joins; losing
+		// this RPC mirrors a lossy network, not a fatal error.
+		return nil
+	}
+	return nil
+}
+
+// Addr returns the peer's listen address (valid after Start).
+func (p *Peer) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stop closes the listener and waits for all handler goroutines.
+func (p *Peer) Stop() {
+	select {
+	case <-p.closeCh:
+		return
+	default:
+	}
+	close(p.closeCh)
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	p.wg.Wait()
+}
+
+// ServedBytes returns the bytes this peer uploaded to others.
+func (p *Peer) ServedBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.servedBytes
+}
+
+// Links returns the node's total link count (its maintenance overhead).
+func (p *Peer) Links() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.inner) + len(p.inter)
+	for _, m := range p.perVideo {
+		n += len(m)
+	}
+	return n
+}
+
+// CacheLen returns the number of fully cached videos.
+func (p *Peer) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cache.FullLen()
+}
+
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closeCh:
+				return
+			default:
+				continue
+			}
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+func (p *Peer) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req, err := ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if p.cond.Drop() {
+		return // simulated loss
+	}
+	time.Sleep(p.cond.Latency(p.cfg.ID, req.From))
+	resp := p.dispatch(req)
+	if resp != nil {
+		WriteMessage(conn, resp)
+	}
+}
+
+// SetOnline flips the peer's availability: an offline peer's listener stays
+// bound (the process is alive) but it answers every protocol request
+// negatively, as a logged-off user would.
+func (p *Peer) SetOnline(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.online = v
+}
+
+func (p *Peer) dispatch(req *Message) *Message {
+	p.mu.Lock()
+	up := p.online
+	p.mu.Unlock()
+	if !up {
+		return nil // an offline peer does not answer
+	}
+	switch req.Type {
+	case MsgQuery:
+		return p.handleQuery(req)
+	case MsgChunkReq:
+		return p.handleChunkReq(req)
+	case MsgConnect:
+		return p.handleConnect(req)
+	case MsgProbe:
+		return &Message{Type: MsgOK, From: p.cfg.ID}
+	case MsgBye:
+		p.dropLinksTo(req.From)
+		return &Message{Type: MsgOK, From: p.cfg.ID}
+	case MsgCacheSample:
+		return p.handleCacheSample(req)
+	default:
+		return &Message{Type: MsgMiss, From: p.cfg.ID}
+	}
+}
+
+// dropLinksTo removes every link to the departed peer ("for graceful
+// departures, before a node leaves the system, it notifies all of its
+// neighbors, which will update the links", §IV-A).
+func (p *Peer) dropLinksTo(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.inner, id)
+	delete(p.inter, id)
+	for _, m := range p.perVideo {
+		delete(m, id)
+	}
+}
+
+// handleQuery implements the receiver side of the TTL flood: answer from
+// the local cache or forward to neighbours with a decremented TTL.
+func (p *Peer) handleQuery(req *Message) *Message {
+	v := trace.VideoID(req.Video)
+	p.mu.Lock()
+	hasIt := p.cache.HasFull(v)
+	neighbors := p.forwardSet(req)
+	p.mu.Unlock()
+
+	if hasIt {
+		return &Message{
+			Type: MsgOK, From: p.cfg.ID,
+			Video: req.Video, Provider: p.cfg.ID, ProviderAddr: p.Addr(), Hops: 1,
+		}
+	}
+	if req.TTL <= 1 {
+		return &Message{Type: MsgMiss, From: p.cfg.ID, Messages: 0}
+	}
+	visited := append(append([]int{}, req.Visited...), p.cfg.ID)
+	seen := make(map[int]bool, len(visited))
+	for _, id := range visited {
+		seen[id] = true
+	}
+	msgs := 0
+	for _, nb := range neighbors {
+		if seen[nb.ID] {
+			continue
+		}
+		msgs++
+		resp, err := rpc(nb.Addr, &Message{
+			Type: MsgQuery, From: p.cfg.ID,
+			Video: req.Video, TTL: req.TTL - 1, Visited: visited,
+		}, p.cfg.RPCTimeout)
+		if err != nil || resp.Type != MsgOK {
+			if resp != nil {
+				msgs += resp.Messages
+			}
+			continue
+		}
+		resp.Hops++
+		resp.Messages += msgs
+		return resp
+	}
+	return &Message{Type: MsgMiss, From: p.cfg.ID, Messages: msgs}
+}
+
+// forwardSet returns the neighbours a query is forwarded to. The caller
+// must hold p.mu.
+func (p *Peer) forwardSet(req *Message) []PeerInfo {
+	switch p.cfg.Mode {
+	case ModeSocialTube:
+		// Queries are forwarded along inner-links within the channel
+		// overlay only (inter-neighbours start their own channel
+		// floods at the origin).
+		out := make([]PeerInfo, 0, len(p.inner))
+		for _, info := range p.inner {
+			out = append(out, info)
+		}
+		return out
+	case ModeNetTube:
+		seen := make(map[int]bool)
+		var out []PeerInfo
+		for _, m := range p.perVideo {
+			for id, info := range m {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, info)
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// handleChunkReq serves one cached chunk from the peer's finite uplink.
+func (p *Peer) handleChunkReq(req *Message) *Message {
+	v := trace.VideoID(req.Video)
+	p.mu.Lock()
+	ok := p.cache.HasFull(v) || p.watching == v || (req.Chunk == 0 && p.cache.HasPrefix(v))
+	if !ok {
+		p.mu.Unlock()
+		return &Message{Type: MsgMiss, From: p.cfg.ID}
+	}
+	tx := time.Duration(float64(p.cfg.ChunkPayload*8) / float64(p.cfg.UplinkBps) * float64(time.Second))
+	now := time.Now()
+	start := now
+	if p.busyUntil.After(start) {
+		start = p.busyUntil
+	}
+	done := start.Add(tx)
+	p.busyUntil = done
+	p.servedBytes += int64(p.cfg.ChunkPayload)
+	p.mu.Unlock()
+	time.Sleep(done.Sub(now))
+	return &Message{
+		Type: MsgOK, From: p.cfg.ID,
+		Video: req.Video, Chunk: req.Chunk,
+		Payload: make([]byte, p.cfg.ChunkPayload),
+	}
+}
+
+// handleCacheSample returns up to TTL random cached video ids, the source
+// material for NetTube's random neighbour prefetching.
+func (p *Peer) handleCacheSample(req *Message) *Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	vids := p.cache.FullVideos()
+	n := req.TTL
+	if n <= 0 || n > len(vids) {
+		n = len(vids)
+	}
+	p.g.Shuffle(len(vids), func(i, j int) { vids[i], vids[j] = vids[j], vids[i] })
+	out := make([]int, 0, n)
+	for _, v := range vids[:n] {
+		out = append(out, int(v))
+	}
+	return &Message{Type: MsgOK, From: p.cfg.ID, Videos: out}
+}
+
+// handleConnect accepts or rejects an overlay link request depending on the
+// relevant budget, keeping links symmetric (the requester adds the link
+// only on acceptance).
+func (p *Peer) handleConnect(req *Message) *Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info := PeerInfo{ID: req.From, Addr: req.Addr, Channel: req.Channel}
+	accepted := false
+	switch req.Link {
+	case "inner":
+		if trace.ChannelID(req.Channel) == p.home && len(p.inner) < p.cfg.InnerLinks {
+			if _, dup := p.inner[req.From]; !dup {
+				p.inner[req.From] = info
+				accepted = true
+			}
+		}
+	case "inter":
+		if len(p.inter) < p.cfg.InterLinks {
+			if _, dup := p.inter[req.From]; !dup {
+				p.inter[req.From] = info
+				accepted = true
+			}
+		}
+	case "video":
+		v := trace.VideoID(req.Video)
+		m := p.perVideo[v]
+		if m == nil {
+			// Only accept overlay links for videos this peer is in
+			// the overlay of (it has watched/cached it).
+			if !p.cache.HasFull(v) {
+				break
+			}
+			m = make(map[int]PeerInfo)
+			p.perVideo[v] = m
+		}
+		if len(m) < p.cfg.LinksPerOverlay {
+			if _, dup := m[req.From]; !dup {
+				m[req.From] = info
+				accepted = true
+			}
+		}
+	}
+	return &Message{Type: MsgOK, From: p.cfg.ID, Accepted: accepted}
+}

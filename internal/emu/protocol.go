@@ -1,0 +1,167 @@
+// Package emu is the real-network substrate standing in for the paper's
+// PlanetLab testbed: a TCP tracker and TCP peer nodes speaking a
+// length-prefixed JSON wire protocol over loopback, with injected per-pair
+// WAN latency and message loss. It runs the same SocialTube protocol logic
+// as the simulator, but over real sockets, real serialization and real
+// concurrency.
+package emu
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType discriminates wire messages.
+type MsgType string
+
+// Wire message types.
+const (
+	// Peer -> tracker RPCs.
+	MsgRegister   MsgType = "register"    // announce address
+	MsgJoin       MsgType = "join"        // SocialTube: join a channel overlay
+	MsgJoinVideo  MsgType = "join_video"  // NetTube: join a per-video overlay
+	MsgLeave      MsgType = "leave"       // graceful departure
+	MsgServe      MsgType = "serve"       // fetch a chunk from the server
+	MsgTopList    MsgType = "top_list"    // top-M videos of a channel
+	MsgWatchStart MsgType = "watch_start" // PA-VoD: register watcher, get provider
+	MsgWatchDone  MsgType = "watch_done"  // PA-VoD: unregister watcher
+	MsgHave       MsgType = "have"        // NetTube: report a cached video
+
+	// Peer -> peer RPCs.
+	MsgQuery    MsgType = "query"     // TTL-scoped video search
+	MsgChunkReq MsgType = "chunk_req" // fetch a cached chunk
+	MsgConnect  MsgType = "connect"   // establish an overlay link
+	MsgProbe    MsgType = "probe"     // liveness probe
+	MsgBye      MsgType = "bye"       // graceful departure notification
+	// MsgCacheSample asks a peer for a random sample of its cached video
+	// ids (NetTube prefetches randomly from neighbours' watched videos).
+	MsgCacheSample MsgType = "cache_sample"
+
+	// Responses.
+	MsgJoinOK MsgType = "join_ok" // recommended neighbours
+	MsgOK     MsgType = "ok"      // generic success
+	MsgMiss   MsgType = "miss"    // generic negative
+)
+
+// Message is the single wire envelope; unused fields stay empty. JSON keeps
+// the protocol debuggable; the 4-byte length prefix frames each message.
+type Message struct {
+	Type MsgType `json:"type"`
+	// From is the sender's node id (-1 for the tracker).
+	From int `json:"from"`
+	// Addr is the sender's listen address (for callbacks/links).
+	Addr string `json:"addr,omitempty"`
+	// Video and Chunk identify content (zero values are valid ids, so no
+	// omitempty).
+	Video int `json:"video"`
+	Chunk int `json:"chunk"`
+	// Channel identifies a channel (join, top-list).
+	Channel int `json:"channel"`
+	// TTL bounds query forwarding.
+	TTL int `json:"ttl"`
+	// Visited carries the ids of peers that already saw the query so
+	// floods never revisit a node.
+	Visited []int `json:"visited,omitempty"`
+	// Hops reports at which depth a query hit was found.
+	Hops int `json:"hops"`
+	// Provider identifies the peer that can serve the video.
+	Provider int `json:"provider"`
+	// ProviderAddr is the provider's listen address.
+	ProviderAddr string `json:"providerAddr,omitempty"`
+	// Messages counts query transmissions consumed by a flood.
+	Messages int `json:"messages,omitempty"`
+	// Peers lists recommended neighbours (join responses).
+	Peers []PeerInfo `json:"peers,omitempty"`
+	// Videos lists video ids (top-list responses).
+	Videos []int `json:"videos,omitempty"`
+	// Payload carries chunk bytes (base64 via encoding/json).
+	Payload []byte `json:"payload,omitempty"`
+	// Link tags a connect request as "inner" or "inter".
+	Link string `json:"link,omitempty"`
+	// Accepted reports connect success.
+	Accepted bool `json:"accepted,omitempty"`
+}
+
+// PeerInfo is a node id/address pair with the channel it currently serves.
+type PeerInfo struct {
+	ID      int    `json:"id"`
+	Addr    string `json:"addr"`
+	Channel int    `json:"channel"`
+}
+
+// Framing errors.
+var (
+	// ErrMessageTooLarge guards the frame decoder against corrupt
+	// lengths.
+	ErrMessageTooLarge = errors.New("emu: message exceeds frame limit")
+)
+
+// maxFrame bounds one frame: a chunk payload plus JSON overhead.
+const maxFrame = 16 << 20
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", m.Type, err)
+	}
+	if len(body) > maxFrame {
+		return ErrMessageTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrMessageTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("unmarshal frame: %w", err)
+	}
+	return &m, nil
+}
+
+// rpc dials addr, sends req and waits for a single response, bounded by
+// timeout. The connection is closed afterwards (one-shot RPC style).
+func rpc(addr string, req *Message, timeout time.Duration) (*Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("set deadline: %w", err)
+	}
+	if err := WriteMessage(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc %s to %s: %w", req.Type, addr, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,454 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// TrackerConfig sets the central server's parameters.
+type TrackerConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// UplinkBps is the server's upload capacity; concurrent chunk serves
+	// queue behind each other, reproducing server-overload delays.
+	UplinkBps int64
+	// ChunkPayload is the number of bytes actually shipped per chunk
+	// (scaled down from the real chunk size to keep runs fast; delivery
+	// timing uses UplinkBps against this payload).
+	ChunkPayload int
+	// Seed drives the tracker's random peer recommendations.
+	Seed int64
+	// JoinPeers bounds how many neighbours one join response recommends.
+	JoinPeers int
+	// ISPs partitions peers into that many ISPs for PA-VoD's
+	// ISP-localized peer assistance (Huang et al.): watch-start
+	// redirects only point at watchers in the requester's ISP. Values
+	// below 2 disable locality.
+	ISPs int
+}
+
+// DefaultTrackerConfig returns settings scaled for loopback experiments.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{
+		Addr:         "127.0.0.1:0",
+		UplinkBps:    8_000_000,
+		ChunkPayload: 8 << 10,
+		Seed:         1,
+		JoinPeers:    12,
+	}
+}
+
+// Tracker is the central VoD server: it tracks overlay membership (channel
+// overlays for SocialTube, per-video overlays for NetTube, current watchers
+// for PA-VoD), recommends neighbours on join, publishes channel popularity
+// lists and serves chunks from a finite uplink.
+type Tracker struct {
+	cfg   TrackerConfig
+	tr    *trace.Trace
+	cond  *Conditions
+	ln    net.Listener
+	wg    sync.WaitGroup
+	close chan struct{}
+
+	mu    sync.Mutex
+	g     *dist.RNG
+	addrs map[int]string
+	// channelMembers: online SocialTube members per channel overlay.
+	channelMembers map[trace.ChannelID]map[int]string
+	// videoMembers: online NetTube members per per-video overlay.
+	videoMembers map[trace.VideoID]map[int]string
+	// watchers: PA-VoD current watchers per video.
+	watchers map[trace.VideoID]map[int]string
+	// busyUntil models the FIFO uplink queue.
+	busyUntil time.Time
+	// servedBytes counts bytes the server shipped.
+	servedBytes int64
+	// requests counts handled messages by type (observability).
+	requests map[MsgType]int64
+	// byCat indexes channels by primary category.
+	byCat map[trace.CategoryID][]trace.ChannelID
+}
+
+// NewTracker builds a tracker over the trace. Call Start to begin serving.
+func NewTracker(cfg TrackerConfig, tr *trace.Trace, cond *Conditions) (*Tracker, error) {
+	if tr == nil || len(tr.Videos) == 0 {
+		return nil, fmt.Errorf("%w: tracker needs a non-empty trace", dist.ErrBadParameter)
+	}
+	if cfg.UplinkBps <= 0 || cfg.ChunkPayload <= 0 || cfg.JoinPeers <= 0 {
+		return nil, fmt.Errorf("%w: tracker config %+v", dist.ErrBadParameter, cfg)
+	}
+	t := &Tracker{
+		cfg:            cfg,
+		tr:             tr,
+		cond:           cond,
+		close:          make(chan struct{}),
+		g:              dist.NewRNG(cfg.Seed),
+		addrs:          make(map[int]string),
+		channelMembers: make(map[trace.ChannelID]map[int]string),
+		videoMembers:   make(map[trace.VideoID]map[int]string),
+		watchers:       make(map[trace.VideoID]map[int]string),
+		requests:       make(map[MsgType]int64),
+		byCat:          make(map[trace.CategoryID][]trace.ChannelID),
+	}
+	for _, ch := range tr.Channels {
+		t.byCat[ch.Primary] = append(t.byCat[ch.Primary], ch.ID)
+	}
+	return t, nil
+}
+
+// Start begins listening and serving requests.
+func (t *Tracker) Start() error {
+	ln, err := net.Listen("tcp", t.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("tracker listen: %w", err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+// Addr returns the tracker's listen address (valid after Start).
+func (t *Tracker) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Stop shuts the tracker down and waits for its goroutines.
+func (t *Tracker) Stop() {
+	select {
+	case <-t.close:
+		return
+	default:
+	}
+	close(t.close)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.wg.Wait()
+}
+
+// ServedBytes returns the bytes shipped by the server so far.
+func (t *Tracker) ServedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.servedBytes
+}
+
+func (t *Tracker) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.close:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handle(conn)
+		}()
+	}
+}
+
+func (t *Tracker) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req, err := ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if t.cond.Drop() {
+		return // simulated loss: no response
+	}
+	time.Sleep(t.cond.Latency(-1, req.From))
+	resp := t.dispatch(req)
+	if resp != nil {
+		WriteMessage(conn, resp)
+	}
+}
+
+// Stats returns how many requests the tracker handled, by message type.
+func (t *Tracker) Stats() map[MsgType]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[MsgType]int64, len(t.requests))
+	for k, v := range t.requests {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *Tracker) dispatch(req *Message) *Message {
+	t.mu.Lock()
+	t.requests[req.Type]++
+	t.mu.Unlock()
+	switch req.Type {
+	case MsgRegister:
+		return t.handleRegister(req)
+	case MsgJoin:
+		return t.handleJoin(req)
+	case MsgJoinVideo:
+		return t.handleJoinVideo(req)
+	case MsgLeave:
+		return t.handleLeave(req)
+	case MsgServe:
+		return t.handleServe(req)
+	case MsgTopList:
+		return t.handleTopList(req)
+	case MsgWatchStart:
+		return t.handleWatchStart(req)
+	case MsgWatchDone:
+		return t.handleWatchDone(req)
+	case MsgHave:
+		return t.handleHave(req)
+	default:
+		return &Message{Type: MsgMiss, From: -1}
+	}
+}
+
+func (t *Tracker) handleRegister(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[req.From] = req.Addr
+	return &Message{Type: MsgOK, From: -1}
+}
+
+// handleJoin registers a SocialTube peer in a channel overlay and
+// recommends a random member of that overlay plus a random member per
+// sibling channel in the category (§IV-A's join assist).
+func (t *Tracker) handleJoin(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[req.From] = req.Addr
+	ch := trace.ChannelID(req.Channel)
+	chn := t.tr.Channel(ch)
+	if chn == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	resp := &Message{Type: MsgJoinOK, From: -1}
+	// One random member of the channel overlay itself.
+	if info, ok := t.randomMemberLocked(t.channelMembers[ch], req.From, int(ch)); ok {
+		resp.Peers = append(resp.Peers, info)
+	}
+	// Subscribers become members; non-subscribers only get category
+	// recommendations (the Visited field doubles as a "member" flag: the
+	// peer sets TTL=1 when it wants membership).
+	if req.TTL > 0 {
+		m := t.channelMembers[ch]
+		if m == nil {
+			m = make(map[int]string)
+			t.channelMembers[ch] = m
+		}
+		m[req.From] = req.Addr
+	}
+	// One random member per sibling channel of the category.
+	cat := chn.Primary
+	chans := t.byCat[cat]
+	perm := t.g.Perm(len(chans))
+	for _, idx := range perm {
+		if len(resp.Peers) >= t.cfg.JoinPeers {
+			break
+		}
+		sib := chans[idx]
+		if sib == ch {
+			continue
+		}
+		if info, ok := t.randomMemberLocked(t.channelMembers[sib], req.From, int(sib)); ok {
+			resp.Peers = append(resp.Peers, info)
+		}
+	}
+	return resp
+}
+
+// handleJoinVideo registers a NetTube peer in a per-video overlay and
+// returns current members to connect to.
+func (t *Tracker) handleJoinVideo(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[req.From] = req.Addr
+	v := trace.VideoID(req.Video)
+	if t.tr.Video(v) == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	resp := &Message{Type: MsgJoinOK, From: -1}
+	members := t.videoMembers[v]
+	for id, addr := range members {
+		if id == req.From {
+			continue
+		}
+		resp.Peers = append(resp.Peers, PeerInfo{ID: id, Addr: addr, Channel: req.Video})
+		if len(resp.Peers) >= t.cfg.JoinPeers {
+			break
+		}
+	}
+	if members == nil {
+		members = make(map[int]string)
+		t.videoMembers[v] = members
+	}
+	members[req.From] = req.Addr
+	return resp
+}
+
+func (t *Tracker) handleLeave(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.addrs, req.From)
+	for _, m := range t.channelMembers {
+		delete(m, req.From)
+	}
+	for _, m := range t.videoMembers {
+		delete(m, req.From)
+	}
+	for _, m := range t.watchers {
+		delete(m, req.From)
+	}
+	return &Message{Type: MsgOK, From: -1}
+}
+
+// handleServe ships one chunk from the server's finite uplink. The response
+// is delayed by the FIFO queue occupancy plus transmission time, so an
+// overloaded server exhibits the growing startup delays of Fig. 17.
+func (t *Tracker) handleServe(req *Message) *Message {
+	if t.tr.Video(trace.VideoID(req.Video)) == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	tx := time.Duration(float64(t.cfg.ChunkPayload*8) / float64(t.cfg.UplinkBps) * float64(time.Second))
+	t.mu.Lock()
+	now := time.Now()
+	start := now
+	if t.busyUntil.After(start) {
+		start = t.busyUntil
+	}
+	done := start.Add(tx)
+	t.busyUntil = done
+	t.servedBytes += int64(t.cfg.ChunkPayload)
+	t.mu.Unlock()
+	time.Sleep(done.Sub(now))
+	return &Message{
+		Type:    MsgOK,
+		From:    -1,
+		Video:   req.Video,
+		Chunk:   req.Chunk,
+		Payload: make([]byte, t.cfg.ChunkPayload),
+	}
+}
+
+// handleTopList returns the ids of the channel's most popular videos — the
+// popularity list the server publishes for prefetching (§IV-B).
+func (t *Tracker) handleTopList(req *Message) *Message {
+	ch := t.tr.Channel(trace.ChannelID(req.Channel))
+	if ch == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	n := req.TTL // the requested list length rides in TTL
+	if n <= 0 || n > len(ch.Videos) {
+		n = len(ch.Videos)
+	}
+	vids := make([]int, 0, n)
+	for _, v := range ch.Videos[:n] {
+		vids = append(vids, int(v))
+	}
+	return &Message{Type: MsgOK, From: -1, Videos: vids}
+}
+
+// handleWatchStart registers a PA-VoD watcher and points it at another
+// current watcher if one exists.
+func (t *Tracker) handleWatchStart(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[req.From] = req.Addr
+	v := trace.VideoID(req.Video)
+	if t.tr.Video(v) == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	resp := &Message{Type: MsgOK, From: -1, Provider: -1}
+	candidates := t.watchers[v]
+	if t.cfg.ISPs > 1 {
+		// ISP-localized assistance: only same-ISP watchers qualify.
+		local := make(map[int]string)
+		for id, addr := range candidates {
+			if id%t.cfg.ISPs == req.From%t.cfg.ISPs {
+				local[id] = addr
+			}
+		}
+		candidates = local
+	}
+	if info, ok := t.randomMemberLocked(candidates, req.From, req.Video); ok {
+		resp.Provider = info.ID
+		resp.ProviderAddr = info.Addr
+	}
+	m := t.watchers[v]
+	if m == nil {
+		m = make(map[int]string)
+		t.watchers[v] = m
+	}
+	m[req.From] = req.Addr
+	return resp
+}
+
+func (t *Tracker) handleWatchDone(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok := t.watchers[trace.VideoID(req.Video)]; ok {
+		delete(m, req.From)
+	}
+	return &Message{Type: MsgOK, From: -1}
+}
+
+// handleHave records that a NetTube peer caches a video (so the server can
+// direct first requests at it).
+func (t *Tracker) handleHave(req *Message) *Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := trace.VideoID(req.Video)
+	if t.tr.Video(v) == nil {
+		return &Message{Type: MsgMiss, From: -1}
+	}
+	m := t.videoMembers[v]
+	if m == nil {
+		m = make(map[int]string)
+		t.videoMembers[v] = m
+	}
+	m[req.From] = req.Addr
+	return &Message{Type: MsgOK, From: -1}
+}
+
+// randomMemberLocked picks a pseudo-random member other than exclude. The
+// caller must hold t.mu.
+func (t *Tracker) randomMemberLocked(m map[int]string, exclude, channel int) (PeerInfo, bool) {
+	if len(m) == 0 {
+		return PeerInfo{}, false
+	}
+	// Map iteration order is already randomized; take the first eligible
+	// entry after a random number of skips for better spread.
+	skip := t.g.Intn(len(m))
+	var fallback *PeerInfo
+	i := 0
+	for id, addr := range m {
+		if id == exclude {
+			continue
+		}
+		info := PeerInfo{ID: id, Addr: addr, Channel: channel}
+		if i >= skip {
+			return info, true
+		}
+		fallback = &info
+		i++
+	}
+	if fallback != nil {
+		return *fallback, true
+	}
+	return PeerInfo{}, false
+}

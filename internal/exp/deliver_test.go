@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/core"
+	"github.com/socialtube/socialtube/internal/simnet"
+)
+
+// TestStartupIsBufferNotChunkBound: with the streaming model, a peer-served
+// video's startup delay is bounded by the playout buffer transfer, far
+// below a half-video chunk download.
+func TestStartupIsBufferNotChunkBound(t *testing.T) {
+	tr := expTrace(t)
+	cfg := quickConfig()
+	res, err := Run(cfg, tr, socialTube(t, tr), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scaled chunk is length/2 * bitrate * WatchScale bytes; at 1 Mbps
+	// a median 4-minute video's chunk takes ≈1.9 s to ship. The median
+	// startup must sit well below that because only the buffer gates
+	// playback.
+	if p50 := res.StartupDelay.Percentile(50); p50 > 1500 {
+		t.Fatalf("median startup %.0f ms — buffer-gated playback should be far below a chunk transfer", p50)
+	}
+}
+
+// TestMessagesGrowWithTTL: the search overhead knob works end to end.
+func TestMessagesGrowWithTTL(t *testing.T) {
+	tr := expTrace(t)
+	perRequest := func(ttl int) float64 {
+		cfg := core.DefaultConfig()
+		cfg.TTL = ttl
+		sys, err := core.New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(quickConfig(), tr, sys, simnet.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests == 0 {
+			t.Fatal("no requests")
+		}
+		return float64(res.Messages.Value()) / float64(res.Requests)
+	}
+	low, high := perRequest(1), perRequest(3)
+	if high <= low {
+		t.Fatalf("messages per request did not grow with TTL: ttl1=%.2f ttl3=%.2f", low, high)
+	}
+}
+
+// TestPrefixHitsHaveZeroStartup: prefetch hits must contribute zero startup
+// observations, dragging the with-prefetch median down.
+func TestPrefixHitsHaveZeroStartup(t *testing.T) {
+	tr := expTrace(t)
+	res, err := Run(quickConfig(), tr, socialTube(t, tr), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefixHits.Value() == 0 {
+		t.Skip("no prefetch hits in this workload")
+	}
+	if res.StartupDelay.Min() != 0 {
+		t.Fatalf("min startup %.3f ms, want 0 from prefix hits", res.StartupDelay.Min())
+	}
+}
+
+// TestWatchScaleCompressesSimulatedTime: the same workload at a smaller
+// WatchScale finishes in less virtual time.
+func TestWatchScaleCompressesSimulatedTime(t *testing.T) {
+	tr := expTrace(t)
+	runAt := func(scale float64) time.Duration {
+		cfg := quickConfig()
+		cfg.Sessions = 1
+		cfg.WatchScale = scale
+		res, err := Run(cfg, tr, socialTube(t, tr), simnet.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimulatedTime
+	}
+	fast, slow := runAt(0.05), runAt(0.5)
+	if fast >= slow {
+		t.Fatalf("WatchScale did not compress time: %v vs %v", fast, slow)
+	}
+}
+
+// TestResultMarshalsToJSON: results export cleanly for analysis tooling.
+func TestResultMarshalsToJSON(t *testing.T) {
+	tr := expTrace(t)
+	cfg := quickConfig()
+	cfg.Sessions = 1
+	res, err := Run(cfg, tr, socialTube(t, tr), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"protocol", "startupDelayMs", "peerBandwidth", "requests"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("json missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	tr := expTrace(t)
+	cfg := quickConfig()
+	cfg.Sessions = 1
+	res, err := Run(cfg, tr, socialTube(t, tr), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"SocialTube", "requests", "peer-bw p50"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %s", want, s)
+		}
+	}
+}

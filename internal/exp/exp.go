@@ -1,0 +1,386 @@
+// Package exp is the trace-driven experiment engine: it drives any
+// vod.Protocol (SocialTube or a baseline) over the discrete-event simulator
+// with session churn and the simnet bandwidth/latency model, and collects
+// the paper's three evaluation metrics — startup delay, normalized peer
+// bandwidth and overlay maintenance overhead (Figs. 16–18).
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/sim"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Maintainer is implemented by protocols with periodic neighbour probing.
+type Maintainer interface {
+	// Probe runs one maintenance round for the node and returns the
+	// number of probe messages sent.
+	Probe(node int) int
+}
+
+// Timed is implemented by protocols whose behaviour depends on elapsed
+// virtual time (e.g. PA-VoD's watcher-readiness constraint). The engine
+// calls SetNow before every protocol callback.
+type Timed interface {
+	SetNow(now time.Duration)
+}
+
+// Config sets the workload parameters. Defaults follow Table I of the
+// paper, scaled by the caller through the trace size.
+type Config struct {
+	// Seed drives session scheduling and churn decisions.
+	Seed int64
+	// Sessions is how many sessions each user runs (paper: 25).
+	Sessions int
+	// VideosPerSession is how many videos a node watches per session
+	// (paper: 10).
+	VideosPerSession int
+	// MeanOffTime is the mean of the exponential off-period between a
+	// user's sessions (paper: 500 s).
+	MeanOffTime time.Duration
+	// ProbeInterval is the neighbour-probing period (paper: 10 min).
+	ProbeInterval time.Duration
+	// Horizon bounds simulated time (paper: 3 days). 0 disables.
+	Horizon time.Duration
+	// ChunksPerVideo splits each video into chunks (paper: 2).
+	ChunksPerVideo int
+	// BitrateBps is the video bitrate (paper: 320 kbps).
+	BitrateBps int64
+	// AbruptLeaveP is the probability a session ends with an abrupt
+	// failure instead of a graceful departure, exercising the
+	// probe-based repair path.
+	AbruptLeaveP float64
+	// PlayoutBuffer is how much content must arrive before playback
+	// starts. Peers' uplinks exceed the bitrate (§IV-B: "most Internet
+	// users have typical download bandwidths of at least twice that
+	// bitrate"), so startup is buffering plus query time, not a full
+	// chunk download.
+	PlayoutBuffer time.Duration
+	// Behavior is the video-selection model (paper: 75/15/10).
+	Behavior vod.Behavior
+	// WatchScale compresses playback time: a video of length L occupies
+	// L*WatchScale of virtual time. 1.0 reproduces real playback; small
+	// values shorten experiments without changing request ordering.
+	WatchScale float64
+}
+
+// DefaultConfig returns Table I's workload parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Sessions:         25,
+		VideosPerSession: 10,
+		MeanOffTime:      500 * time.Second,
+		ProbeInterval:    10 * time.Minute,
+		Horizon:          3 * 24 * time.Hour,
+		ChunksPerVideo:   vod.DefaultChunksPerVideo,
+		BitrateBps:       vod.DefaultBitrateBps,
+		AbruptLeaveP:     0.3,
+		PlayoutBuffer:    2 * time.Second,
+		Behavior:         vod.DefaultBehavior(),
+		WatchScale:       1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Sessions <= 0:
+		return fmt.Errorf("%w: sessions=%d", dist.ErrBadParameter, c.Sessions)
+	case c.VideosPerSession <= 0:
+		return fmt.Errorf("%w: videosPerSession=%d", dist.ErrBadParameter, c.VideosPerSession)
+	case c.MeanOffTime <= 0:
+		return fmt.Errorf("%w: meanOffTime=%v", dist.ErrBadParameter, c.MeanOffTime)
+	case c.ProbeInterval <= 0:
+		return fmt.Errorf("%w: probeInterval=%v", dist.ErrBadParameter, c.ProbeInterval)
+	case c.Horizon < 0:
+		return fmt.Errorf("%w: horizon=%v", dist.ErrBadParameter, c.Horizon)
+	case c.ChunksPerVideo <= 0:
+		return fmt.Errorf("%w: chunksPerVideo=%d", dist.ErrBadParameter, c.ChunksPerVideo)
+	case c.BitrateBps <= 0:
+		return fmt.Errorf("%w: bitrateBps=%d", dist.ErrBadParameter, c.BitrateBps)
+	case c.AbruptLeaveP < 0 || c.AbruptLeaveP > 1:
+		return fmt.Errorf("%w: abruptLeaveP=%v", dist.ErrBadParameter, c.AbruptLeaveP)
+	case c.PlayoutBuffer < 0:
+		return fmt.Errorf("%w: playoutBuffer=%v", dist.ErrBadParameter, c.PlayoutBuffer)
+	case c.WatchScale <= 0:
+		return fmt.Errorf("%w: watchScale=%v", dist.ErrBadParameter, c.WatchScale)
+	}
+	return c.Behavior.Validate()
+}
+
+// Result aggregates one experiment run. It marshals to JSON with samples
+// rendered as percentile summaries, for downstream analysis tooling.
+type Result struct {
+	Protocol string `json:"protocol"`
+	// StartupDelay has one observation (in milliseconds) per video
+	// request, excluding local cache hits.
+	StartupDelay metrics.Sample `json:"startupDelayMs"`
+	// PeerBandwidth has one observation per node: the fraction of that
+	// node's downloaded chunks served by peers.
+	PeerBandwidth metrics.Sample `json:"peerBandwidth"`
+	// LinksByVideoIndex[k] samples a node's link count right after it
+	// watched its (k+1)-th video of a session — the Fig. 18 series.
+	LinksByVideoIndex []metrics.Sample `json:"linksByVideoIndex"`
+	// Hit counters by source.
+	CacheHits  metrics.Counter `json:"cacheHits"`
+	PrefixHits metrics.Counter `json:"prefixHits"`
+	PeerHits   metrics.Counter `json:"peerHits"`
+	ServerHits metrics.Counter `json:"serverHits"`
+	// Messages counts query messages sent by the protocol.
+	Messages metrics.Counter `json:"messages"`
+	// ProbeMessages counts maintenance probe messages.
+	ProbeMessages metrics.Counter `json:"probeMessages"`
+	// ServerBytes / PeerBytes are total bytes served.
+	ServerBytes int64 `json:"serverBytes"`
+	PeerBytes   int64 `json:"peerBytes"`
+	// Requests is the total number of video requests issued.
+	Requests int64 `json:"requests"`
+	// SimulatedTime is the virtual time the run covered.
+	SimulatedTime time.Duration `json:"simulatedTimeNanos"`
+}
+
+// NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
+// the 1st, 50th and 99th percentile of per-node normalized peer bandwidth.
+func (r *Result) NormalizedPeerBandwidthPercentiles() (p1, p50, p99 float64) {
+	return r.PeerBandwidth.Percentile(1), r.PeerBandwidth.Percentile(50), r.PeerBandwidth.Percentile(99)
+}
+
+// String summarizes the run in one human-readable line.
+func (r *Result) String() string {
+	_, p50, _ := r.NormalizedPeerBandwidthPercentiles()
+	return fmt.Sprintf(
+		"%s: %d requests (cache %d / peer %d / server %d), peer-bw p50 %.2f, startup p50 %.0f ms over %v",
+		r.Protocol, r.Requests, r.CacheHits.Value(), r.PeerHits.Value(), r.ServerHits.Value(),
+		p50, r.StartupDelay.Percentile(50), r.SimulatedTime.Round(time.Second))
+}
+
+// runner carries one experiment's mutable state.
+type runner struct {
+	cfg    Config
+	tr     *trace.Trace
+	proto  vod.Protocol
+	net    *simnet.Network
+	engine *sim.Engine
+	g      *dist.RNG
+	picker *vod.Picker
+	timed  Timed // non-nil when the protocol wants clock callbacks
+	res    *Result
+	// Per-node chunk accounting for normalized peer bandwidth.
+	peerChunks   []int64
+	serverChunks []int64
+	sessionsLeft []int
+	online       []bool
+}
+
+// Run drives the protocol over the trace and returns aggregated metrics.
+// The protocol must be driven by at most one Run at a time.
+func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("exp config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: experiment needs a non-empty trace", dist.ErrBadParameter)
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("%w: nil protocol", dist.ErrBadParameter)
+	}
+	network, err := simnet.New(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	picker, err := vod.NewPicker(tr, cfg.Behavior)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:    cfg,
+		tr:     tr,
+		proto:  proto,
+		net:    network,
+		engine: sim.NewEngine(),
+		g:      dist.NewRNG(cfg.Seed),
+		picker: picker,
+		res: &Result{
+			Protocol:          proto.Name(),
+			LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
+		},
+		peerChunks:   make([]int64, len(tr.Users)),
+		serverChunks: make([]int64, len(tr.Users)),
+		sessionsLeft: make([]int, len(tr.Users)),
+		online:       make([]bool, len(tr.Users)),
+	}
+	if timed, ok := proto.(Timed); ok {
+		r.timed = timed
+	}
+	for i := range tr.Users {
+		r.sessionsLeft[i] = cfg.Sessions
+		// Stagger initial arrivals across one mean off-period.
+		delay := time.Duration(dist.Exponential(r.g, float64(cfg.MeanOffTime)))
+		node := i
+		r.engine.At(delay, func(now time.Duration) { r.startSession(node, now) })
+	}
+	if m, ok := proto.(Maintainer); ok {
+		r.engine.After(cfg.ProbeInterval, func(now time.Duration) { r.probeAll(m, now) })
+	}
+	if err := r.engine.Run(cfg.Horizon, 0); err != nil {
+		return nil, err
+	}
+	r.finalize()
+	return r.res, nil
+}
+
+// tick forwards the virtual clock to Timed protocols.
+func (r *runner) tick(now time.Duration) {
+	if r.timed != nil {
+		r.timed.SetNow(now)
+	}
+}
+
+func (r *runner) startSession(node int, now time.Duration) {
+	if r.sessionsLeft[node] <= 0 {
+		return
+	}
+	r.tick(now)
+	r.sessionsLeft[node]--
+	r.online[node] = true
+	r.proto.Join(node)
+	user := r.tr.Users[node]
+	plan := r.picker.PlanSession(r.g, user, r.cfg.VideosPerSession, r.cfg.MeanOffTime)
+	r.watch(node, plan, 0, now)
+}
+
+// watch requests plan.Videos[idx], accounts its delivery, and schedules the
+// next step after playback.
+func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duration) {
+	if idx >= len(plan.Videos) || !r.online[node] {
+		r.endSession(node, plan.OffTime)
+		return
+	}
+	v := plan.Videos[idx]
+	video := r.tr.Video(v)
+	r.tick(now)
+	res := r.proto.Request(node, v)
+	r.res.Requests++
+	r.res.Messages.Addn(int64(res.Messages))
+
+	// Chunk sizes scale with WatchScale so compressed timelines offer the
+	// server a proportionally compressed load; otherwise time compression
+	// would multiply the offered bitrate without scaling capacity.
+	chunkBytes := int64(float64(vod.ChunkBytes(video.Length, r.cfg.BitrateBps, r.cfg.ChunksPerVideo)) * r.cfg.WatchScale)
+	var ready time.Duration // when playback can start
+	switch res.Source {
+	case vod.SourceCache:
+		r.res.CacheHits.Inc()
+		ready = now
+	case vod.SourcePeer:
+		r.res.PeerHits.Inc()
+		ready = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
+		r.peerChunks[node] += int64(r.cfg.ChunksPerVideo)
+	case vod.SourceServer:
+		r.res.ServerHits.Inc()
+		ready = r.deliver(node, simnet.ServerID, res, chunkBytes, now)
+		r.serverChunks[node] += int64(r.cfg.ChunksPerVideo)
+	default:
+		ready = now
+	}
+	if res.Source != vod.SourceCache {
+		r.res.StartupDelay.AddDuration(ready - now)
+		if res.PrefixCached {
+			r.res.PrefixHits.Inc()
+		}
+	}
+
+	playback := time.Duration(float64(video.Length) * r.cfg.WatchScale)
+	finishAt := ready + playback
+	r.engine.At(finishAt, func(at time.Duration) {
+		if !r.online[node] {
+			return
+		}
+		r.tick(at)
+		r.proto.Finish(node, v)
+		if idx < len(r.res.LinksByVideoIndex) {
+			r.res.LinksByVideoIndex[idx].Add(float64(r.proto.Links(node)))
+		}
+		r.watch(node, plan, idx+1, at)
+	})
+}
+
+// deliver models the network path of one video: the query travels the
+// overlay hops, then the video streams from the provider. Playback starts
+// once the playout buffer has arrived; the rest of the video streams during
+// playback (it still occupies the provider's uplink, so overload shows up
+// as queueing delay). A prefetched first chunk starts playback immediately.
+func (r *runner) deliver(node int, from simnet.NodeID, res vod.RequestResult, chunkBytes int64, now time.Duration) time.Duration {
+	to := simnet.NodeID(node)
+	// Query path: one one-way latency per overlay hop (server requests
+	// pay one round trip to the server).
+	lat := r.net.Latency(from, to)
+	queryDelay := time.Duration(res.Hops+1) * lat
+	start := now + queryDelay
+
+	total := chunkBytes * int64(r.cfg.ChunksPerVideo)
+	buffer := int64(float64(r.cfg.BitrateBps) * r.cfg.PlayoutBuffer.Seconds() / 8 * r.cfg.WatchScale)
+	if buffer > total {
+		buffer = total
+	}
+	bufferDone := r.net.Transfer(from, to, buffer, start)
+	if rest := total - buffer; rest > 0 {
+		r.net.Transfer(from, to, rest, start)
+	}
+	if res.PrefixCached {
+		// The leading chunk is already local: playback starts now;
+		// the network fetch above covers the remainder.
+		return now
+	}
+	return bufferDone
+}
+
+func (r *runner) endSession(node int, offTime time.Duration) {
+	if !r.online[node] {
+		return
+	}
+	r.online[node] = false
+	if r.g.Bool(r.cfg.AbruptLeaveP) {
+		r.proto.Fail(node)
+	} else {
+		r.proto.Leave(node)
+	}
+	if r.sessionsLeft[node] > 0 {
+		r.engine.After(offTime, func(now time.Duration) { r.startSession(node, now) })
+	}
+}
+
+func (r *runner) probeAll(m Maintainer, now time.Duration) {
+	for node := range r.online {
+		if r.online[node] {
+			r.res.ProbeMessages.Addn(int64(m.Probe(node)))
+		}
+	}
+	// Keep probing while any session work remains.
+	for node := range r.sessionsLeft {
+		if r.sessionsLeft[node] > 0 || r.online[node] {
+			r.engine.After(r.cfg.ProbeInterval, func(at time.Duration) { r.probeAll(m, at) })
+			return
+		}
+	}
+}
+
+func (r *runner) finalize() {
+	for node := range r.tr.Users {
+		total := r.peerChunks[node] + r.serverChunks[node]
+		if total == 0 {
+			continue
+		}
+		r.res.PeerBandwidth.Add(float64(r.peerChunks[node]) / float64(total))
+	}
+	r.res.ServerBytes = r.net.ServerBytes()
+	r.res.PeerBytes = r.net.PeerBytes()
+	r.res.SimulatedTime = r.engine.Now()
+}

@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/emu"
+)
+
+// TestSimAndEmuAgreeOnWinner is the cross-environment check the paper makes
+// implicitly by publishing both PeerSim and PlanetLab results: the
+// discrete-event simulator and the real TCP emulator must agree that
+// SocialTube's median normalized peer bandwidth beats PA-VoD's.
+func TestSimAndEmuAgreeOnWinner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both environments")
+	}
+	// Simulator side.
+	s := SmallScale()
+	tr, err := s.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simResults, err := RunAllProtocols(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, simST, _ := simResults["SocialTube"].NormalizedPeerBandwidthPercentiles()
+	_, simPV, _ := simResults["PA-VoD"].NormalizedPeerBandwidthPercentiles()
+	if simST <= simPV {
+		t.Fatalf("simulator: SocialTube %.3f not above PA-VoD %.3f", simST, simPV)
+	}
+
+	// Emulator side (scaled down to keep the test fast).
+	es := EmuScale{
+		Peers:            40,
+		Sessions:         2,
+		VideosPerSession: 6,
+		WatchTime:        8 * time.Millisecond,
+		Seed:             1,
+	}
+	etr, err := es.EmuTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRes, err := es.runMode(etr, emu.ModeSocialTube, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvRes, err := es.runMode(etr, emu.ModePAVoD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, emuST, _ := stRes.NormalizedPeerBandwidthPercentiles()
+	_, emuPV, _ := pvRes.NormalizedPeerBandwidthPercentiles()
+	// A small emulation is timing-noisy (real sockets under test load);
+	// require agreement in direction within a noise band rather than a
+	// strict ordering.
+	const noise = 0.1
+	if emuST < emuPV-noise {
+		t.Fatalf("emulator disagrees with simulator beyond noise: SocialTube %.3f vs PA-VoD %.3f", emuST, emuPV)
+	}
+}
+
+// TestScaleBuildTraceAppliesMultiplier guards the paper-scale catalog
+// dilution knob.
+func TestScaleBuildTraceAppliesMultiplier(t *testing.T) {
+	base := SmallScale()
+	tr1, err := base.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := base
+	scaled.VideoCountMultiplier = 3
+	tr3, err := scaled.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr3.Videos) < 2*len(tr1.Videos) {
+		t.Fatalf("multiplier 3 grew catalog only from %d to %d", len(tr1.Videos), len(tr3.Videos))
+	}
+}
+
+// TestPaperScaleCatalogNearTableOne pins the paper-scale catalog to Table
+// I's 101,121 videos within a tolerance.
+func TestPaperScaleCatalogNearTableOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a 100k-video trace")
+	}
+	tr, err := PaperScale().BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Videos); got < 70_000 || got > 140_000 {
+		t.Fatalf("paper-scale catalog %d videos, want near Table I's 101,121", got)
+	}
+}

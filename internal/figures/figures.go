@@ -1,0 +1,462 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation. Each FigNN function runs the relevant workload and returns a
+// plain-text table whose rows mirror what the paper plots; the bench
+// harness and the CLIs both call into this package so the numbers are
+// produced by exactly one code path.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/baseline"
+	"github.com/socialtube/socialtube/internal/core"
+	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Scale sizes a run. Small finishes in seconds (unit tests, quick benches);
+// Paper approaches the paper's Table I scale.
+type Scale struct {
+	// TraceChannels / TraceUsers size the synthetic trace.
+	TraceChannels int
+	TraceUsers    int
+	Categories    int
+	// Sessions / VideosPerSession size the workload.
+	Sessions         int
+	VideosPerSession int
+	// WatchScale compresses playback in the simulator.
+	WatchScale float64
+	// MeanOffTime overrides the between-session off period (0 keeps the
+	// Table I default of 500 s).
+	MeanOffTime time.Duration
+	// VideoCountMultiplier scales the catalog toward the paper's 101k
+	// videos (see trace.Config.VideoCountMultiplier).
+	VideoCountMultiplier float64
+	// Seed drives everything.
+	Seed int64
+}
+
+// SmallScale returns a seconds-long configuration.
+func SmallScale() Scale {
+	return Scale{
+		TraceChannels:    100,
+		TraceUsers:       300,
+		Categories:       10,
+		Sessions:         4,
+		VideosPerSession: 8,
+		WatchScale:       0.05,
+		Seed:             1,
+	}
+}
+
+// PaperScale returns the paper's Table I proportions (545 channels, 10,000
+// nodes, 25 sessions of 10 videos). Running all three protocols at this
+// scale takes minutes.
+func PaperScale() Scale {
+	return Scale{
+		TraceChannels:    545,
+		TraceUsers:       10_000,
+		Categories:       18,
+		Sessions:         25,
+		VideosPerSession: 10,
+		WatchScale:       1,
+		// Table I's 101,121 videos over 545 channels: the simulated
+		// channels hold ≈6× the crawl-wide Fig. 6 distribution.
+		VideoCountMultiplier: 4.4,
+		Seed:                 1,
+	}
+}
+
+// BuildTrace generates the scale's synthetic trace.
+func (s Scale) BuildTrace() (*trace.Trace, error) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Channels = s.TraceChannels
+	cfg.Users = s.TraceUsers
+	cfg.Categories = s.Categories
+	if cfg.MaxInterestsPerUser > s.Categories {
+		cfg.MaxInterestsPerUser = s.Categories
+	}
+	if s.VideoCountMultiplier > 0 {
+		cfg.VideoCountMultiplier = s.VideoCountMultiplier
+		// Keep the per-channel cap above the scaled tail.
+		cfg.MaxVideosPerChannel = int(float64(cfg.MaxVideosPerChannel) * s.VideoCountMultiplier)
+	}
+	return trace.Generate(cfg)
+}
+
+func (s Scale) expConfig() exp.Config {
+	cfg := exp.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Sessions = s.Sessions
+	cfg.VideosPerSession = s.VideosPerSession
+	cfg.WatchScale = s.WatchScale
+	if s.WatchScale < 1 {
+		// Compressed playback shrinks sessions; shrink off-times to
+		// keep the on/off duty cycle comparable.
+		cfg.MeanOffTime = 60 * time.Second
+		cfg.Horizon = 24 * time.Hour
+	}
+	if s.MeanOffTime > 0 {
+		cfg.MeanOffTime = s.MeanOffTime
+	}
+	return cfg
+}
+
+// cdfFractions are the quantiles the CDF figures report.
+var cdfFractions = []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+
+func cdfTable(title, valueName string, values []float64) *metrics.Table {
+	t := metrics.NewTable(title, "fraction", valueName)
+	for _, pt := range trace.CDF(values, cdfFractions) {
+		t.AddRow(pt.Fraction, pt.Value)
+	}
+	return t
+}
+
+// Fig02 prints cumulative video uploads over time (scalability, O1).
+func Fig02(tr *trace.Trace) *metrics.Table {
+	t := metrics.NewTable("Fig. 2 — videos added over time (cumulative)", "bucket", "date", "cumulativeVideos")
+	growth := tr.VideoGrowth(12)
+	span := tr.End.Sub(tr.Start)
+	for i, n := range growth {
+		at := tr.Start.Add(span * time.Duration(i+1) / 12)
+		t.AddRow(i+1, at.Format("2006-01"), n)
+	}
+	return t
+}
+
+// Fig03 prints the CDF of per-channel view frequency.
+func Fig03(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 3 — CDF of channel view frequency (views/day)", "viewsPerDay", tr.ChannelViewFrequencies())
+}
+
+// Fig04 prints the CDF of subscribers per channel.
+func Fig04(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 4 — CDF of subscribers per channel", "subscribers", tr.SubscriberCounts())
+}
+
+// Fig05 prints the channel views vs subscriptions correlation.
+func Fig05(tr *trace.Trace) *metrics.Table {
+	subs, views := tr.ViewsVsSubscriptions()
+	t := metrics.NewTable("Fig. 5 — channel views vs subscriptions", "metric", "value")
+	t.AddRow("channels", len(subs))
+	t.AddRow("pearson", trace.Pearson(subs, views))
+	t.AddRow("logPearson", trace.LogPearson(subs, views))
+	// A few representative scatter points, ordered by subscribers.
+	type pt struct{ s, v float64 }
+	pts := make([]pt, len(subs))
+	for i := range subs {
+		pts[i] = pt{subs[i], views[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].s < pts[j].s })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		idx := int(q * float64(len(pts)-1))
+		t.AddRow(fmt.Sprintf("subs@p%.0f", q*100), pts[idx].s)
+		t.AddRow(fmt.Sprintf("views@p%.0f", q*100), pts[idx].v)
+	}
+	return t
+}
+
+// Fig06 prints the CDF of videos per channel.
+func Fig06(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 6 — CDF of videos per channel", "videos", tr.VideosPerChannel())
+}
+
+// Fig07 prints the CDF of views per video.
+func Fig07(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 7 — CDF of views per video", "views", tr.ViewsPerVideo())
+}
+
+// Fig08 prints the CDF of favourites per video plus the views correlation.
+func Fig08(tr *trace.Trace) *metrics.Table {
+	t := cdfTable("Fig. 8 — CDF of favourites per video", "favorites", tr.FavoritesPerVideo())
+	t.AddRow(0, trace.Pearson(tr.ViewsPerVideo(), tr.FavoritesPerVideo()))
+	return t
+}
+
+// Fig09 prints within-channel view counts for a high-, medium- and
+// low-popularity channel together with Zipf fits.
+func Fig09(tr *trace.Trace) *metrics.Table {
+	t := metrics.NewTable("Fig. 9 — video popularity within channels (Zipf)", "channel", "rank", "views")
+	classes := []struct {
+		name     string
+		quantile float64
+	}{
+		{"high", 1.0}, {"medium", 0.5}, {"low", 0.1},
+	}
+	for _, c := range classes {
+		ch := tr.ChannelPopularityClass(c.quantile)
+		if ch == nil {
+			continue
+		}
+		views := tr.WithinChannelViews(ch.ID)
+		for i, v := range views {
+			if i >= 10 {
+				break
+			}
+			t.AddRow(c.name, i+1, v)
+		}
+		s, r2 := trace.ZipfFit(views)
+		t.AddRow(c.name+"-zipf-s", 0, s)
+		t.AddRow(c.name+"-zipf-r2", 0, r2)
+	}
+	return t
+}
+
+// Fig10 prints the shared-subscriber channel graph's clustering statistics.
+func Fig10(tr *trace.Trace, minShared int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Fig. 10 — channel graph via ≥%d shared subscribers", minShared),
+		"metric", "value")
+	edges := tr.SharedSubscriberGraph(minShared)
+	t.AddRow("edges", len(edges))
+	t.AddRow("intraCategoryFraction", tr.IntraCategoryEdgeFraction(minShared))
+	same, pairs := 0, 0
+	for i := 0; i < len(tr.Channels); i++ {
+		for j := i + 1; j < len(tr.Channels); j++ {
+			pairs++
+			if tr.Channels[i].Primary == tr.Channels[j].Primary {
+				same++
+			}
+		}
+	}
+	if pairs > 0 {
+		t.AddRow("chanceBaseline", float64(same)/float64(pairs))
+	}
+	return t
+}
+
+// Fig11 prints the CDF of interest categories per channel.
+func Fig11(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 11 — CDF of categories per channel", "categories", tr.InterestsPerChannel())
+}
+
+// Fig12 prints the CDF of user-interest / subscription similarity.
+func Fig12(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 12 — CDF of interest similarity |Cu∩Cc|/|Cu|", "similarity", tr.InterestSimilarities())
+}
+
+// Fig13 prints the CDF of interests per user.
+func Fig13(tr *trace.Trace) *metrics.Table {
+	return cdfTable("Fig. 13 — CDF of interests per user", "interests", tr.InterestsPerUser())
+}
+
+// Fig15 prints the analytical maintenance-overhead model.
+func Fig15() *metrics.Table {
+	m := core.DefaultMaintenanceModel()
+	t := metrics.NewTable(
+		"Fig. 15 — modelled overlay maintenance overhead (u=500, u_c=5000, u_t=25000)",
+		"videosWatched", "SocialTube", "NetTube")
+	for _, videos := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		t.AddRow(videos, m.SocialTube(videos), m.NetTube(videos))
+	}
+	return t
+}
+
+// pavodConfig scales PA-VoD's readiness delay with the compressed playback
+// so its physics stay consistent under time compression.
+func (s Scale) pavodConfig() baseline.PAVoDConfig {
+	cfg := baseline.DefaultPAVoDConfig()
+	cfg.Seed = s.Seed
+	cfg.ReadyDelay = time.Duration(float64(cfg.ReadyDelay) * s.WatchScale)
+	// PA-VoD localizes peer assistance within an ISP (Huang et al.); an
+	// ISP serves on the order of 500 of the experiment's users, so the
+	// ISP count grows with the population. Below ~1000 users locality is
+	// left off: a small sample effectively shares one access network.
+	if s.TraceUsers >= 1000 {
+		cfg.ISPs = s.TraceUsers / 500
+	}
+	return cfg
+}
+
+// Protocols builds the three comparison systems over a trace at this scale.
+func (s Scale) Protocols(tr *trace.Trace) (map[string]vod.Protocol, error) {
+	stCfg := core.DefaultConfig()
+	stCfg.Seed = s.Seed
+	st, err := core.New(stCfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	ntCfg := baseline.DefaultNetTubeConfig()
+	ntCfg.Seed = s.Seed
+	nt, err := baseline.NewNetTube(ntCfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := baseline.NewPAVoD(s.pavodConfig(), tr)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]vod.Protocol{
+		"SocialTube": st,
+		"NetTube":    nt,
+		"PA-VoD":     pv,
+	}, nil
+}
+
+// RunSocialTube runs one SocialTube variant through the standard workload —
+// the entry point of the ablation benches (TTL sweep, link-budget sweep,
+// channel-only overlay).
+func RunSocialTube(s Scale, tr *trace.Trace, cfg core.Config) (*exp.Result, error) {
+	sys, err := core.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(s.expConfig(), tr, sys, simnet.DefaultConfig())
+}
+
+// RunAllProtocols executes the standard workload for each of the three
+// protocols and returns the raw results keyed by protocol name (the
+// socialtube-sim -json path).
+func RunAllProtocols(s Scale, tr *trace.Trace) (map[string]*exp.Result, error) {
+	protos, err := s.Protocols(tr)
+	if err != nil {
+		return nil, err
+	}
+	return runAll(s, tr, protos)
+}
+
+// runAll executes the standard workload for each named protocol.
+func runAll(s Scale, tr *trace.Trace, protos map[string]vod.Protocol) (map[string]*exp.Result, error) {
+	out := make(map[string]*exp.Result, len(protos))
+	for name, p := range protos {
+		res, err := exp.Run(s.expConfig(), tr, p, simnet.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w", name, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+var protoOrder = []string{"PA-VoD", "SocialTube", "NetTube"}
+
+// Fig16a prints the normalized peer bandwidth percentiles per protocol on
+// the simulator.
+func Fig16a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+	protos, err := s.Protocols(tr)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runAll(s, tr, protos)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Fig. 16(a) — normalized peer bandwidth (simulator)",
+		"protocol", "p1", "p50", "p99")
+	for _, name := range protoOrder {
+		p1, p50, p99 := results[name].NormalizedPeerBandwidthPercentiles()
+		t.AddRow(name, p1, p50, p99)
+	}
+	return t, nil
+}
+
+// Fig17a prints startup delay with and without prefetching per protocol on
+// the simulator.
+func Fig17a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 17(a) — startup delay (simulator)",
+		"variant", "meanMs", "p50Ms", "p99Ms")
+	variants := []struct {
+		name  string
+		build func() (vod.Protocol, error)
+	}{
+		{"PA-VoD", func() (vod.Protocol, error) {
+			return baseline.NewPAVoD(s.pavodConfig(), tr)
+		}},
+		{"SocialTube w/ PF", func() (vod.Protocol, error) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = s.Seed
+			return core.New(cfg, tr)
+		}},
+		{"SocialTube w/o PF", func() (vod.Protocol, error) {
+			cfg := core.DefaultConfig()
+			cfg.Seed = s.Seed
+			cfg.PrefetchCount = 0
+			return core.New(cfg, tr)
+		}},
+		{"NetTube w/ PF", func() (vod.Protocol, error) {
+			cfg := baseline.DefaultNetTubeConfig()
+			cfg.Seed = s.Seed
+			return baseline.NewNetTube(cfg, tr)
+		}},
+		{"NetTube w/o PF", func() (vod.Protocol, error) {
+			cfg := baseline.DefaultNetTubeConfig()
+			cfg.Seed = s.Seed
+			cfg.PrefetchCount = 0
+			return baseline.NewNetTube(cfg, tr)
+		}},
+	}
+	for _, variant := range variants {
+		p, err := variant.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := exp.Run(s.expConfig(), tr, p, simnet.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w", variant.name, err)
+		}
+		t.AddRow(variant.name, res.StartupDelay.Mean(), res.StartupDelay.Percentile(50), res.StartupDelay.Percentile(99))
+	}
+	return t, nil
+}
+
+// Fig18a prints maintenance overhead versus videos watched per protocol on
+// the simulator.
+func Fig18a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+	protos, err := s.Protocols(tr)
+	if err != nil {
+		return nil, err
+	}
+	delete(protos, "PA-VoD") // the paper plots SocialTube vs NetTube
+	results, err := runAll(s, tr, protos)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Fig. 18(a) — maintenance overhead vs videos watched (simulator)",
+		"videosWatched", "SocialTube", "NetTube")
+	for k := 0; k < s.VideosPerSession; k++ {
+		t.AddRow(k+1,
+			results["SocialTube"].LinksByVideoIndex[k].Mean(),
+			results["NetTube"].LinksByVideoIndex[k].Mean())
+	}
+	return t, nil
+}
+
+// Table1 prints the experiment's default parameters alongside the paper's.
+func Table1(s Scale, tr *trace.Trace) *metrics.Table {
+	cfg := s.expConfig()
+	net := simnet.DefaultConfig()
+	t := metrics.NewTable("Table I — experiment parameters (paper default / this run)",
+		"parameter", "paper", "thisRun")
+	t.AddRow("simulation duration", "3 days", cfg.Horizon.String())
+	t.AddRow("number of nodes", 10000, len(tr.Users))
+	t.AddRow("number of videos", 101121, len(tr.Videos))
+	t.AddRow("number of channels", 545, len(tr.Channels))
+	t.AddRow("chunks per video", 2, cfg.ChunksPerVideo)
+	t.AddRow("video bitrate (kbps)", 320, cfg.BitrateBps/1000)
+	t.AddRow("server bandwidth (mbps)", 50, net.ServerUplinkBps/1_000_000)
+	t.AddRow("inner links N_l", 5, core.DefaultConfig().InnerLinks)
+	t.AddRow("inter links N_h", 10, core.DefaultConfig().InterLinks)
+	t.AddRow("TTL", 2, core.DefaultConfig().TTL)
+	t.AddRow("videos per session", 10, cfg.VideosPerSession)
+	t.AddRow("sessions per user", 25, cfg.Sessions)
+	t.AddRow("mean off time (s)", 500, int(cfg.MeanOffTime.Seconds()))
+	t.AddRow("probe interval (min)", 10, int(cfg.ProbeInterval.Minutes()))
+	return t
+}
+
+// PrefetchAccuracyTable prints the §IV-B prefetch-accuracy analysis.
+func PrefetchAccuracyTable() *metrics.Table {
+	t := metrics.NewTable("§IV-B — prefetch accuracy (Zipf s=1, 25-video channel)",
+		"prefetchedVideos", "accuracy")
+	for m := 1; m <= 6; m++ {
+		t.AddRow(m, core.PrefetchAccuracy(25, m))
+	}
+	return t
+}

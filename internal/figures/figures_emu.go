@@ -1,0 +1,143 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// EmuScale sizes the TCP emulation (the PlanetLab substitute).
+type EmuScale struct {
+	// Peers is the number of TCP nodes (paper: 250 PlanetLab hosts).
+	Peers int
+	// Sessions per peer (paper: 50).
+	Sessions int
+	// VideosPerSession per session (paper: 10).
+	VideosPerSession int
+	// WatchTime is the emulated playback per video.
+	WatchTime time.Duration
+	// Seed drives the workload.
+	Seed int64
+}
+
+// SmallEmuScale returns a seconds-long emulation.
+func SmallEmuScale() EmuScale {
+	return EmuScale{
+		Peers:            64,
+		Sessions:         3,
+		VideosPerSession: 8,
+		WatchTime:        20 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+// EmuTrace generates the PlanetLab-style trace of §V: 6 categories of 10
+// channels with 40 videos each (2,400 videos), scaled to the peer count.
+func (s EmuScale) EmuTrace() (*trace.Trace, error) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.Categories = 6
+	cfg.Channels = 60
+	cfg.Users = s.Peers
+	cfg.MaxVideosPerChannel = 40
+	cfg.MaxInterestsPerUser = 6
+	return trace.Generate(cfg)
+}
+
+func (s EmuScale) clusterConfig(mode emu.Mode) emu.ClusterConfig {
+	cfg := emu.DefaultClusterConfig(mode)
+	cfg.Peers = s.Peers
+	cfg.Sessions = s.Sessions
+	cfg.VideosPerSession = s.VideosPerSession
+	cfg.WatchTime = s.WatchTime
+	cfg.MeanOffTime = s.WatchTime
+	cfg.Seed = s.Seed
+	// PA-VoD's ISP-localized assistance, as in the simulator baseline:
+	// one ISP per ≈50 emulated peers once the cluster is big enough.
+	if s.Peers >= 100 {
+		cfg.Tracker.ISPs = s.Peers / 50
+	}
+	return cfg
+}
+
+func (s EmuScale) runMode(tr *trace.Trace, mode emu.Mode, mutate func(*emu.ClusterConfig)) (*emu.ClusterResult, error) {
+	cfg := s.clusterConfig(mode)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := emu.RunCluster(cfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("emulate %s: %w", mode, err)
+	}
+	return res, nil
+}
+
+// Fig16b prints normalized peer bandwidth percentiles per protocol over the
+// TCP emulation.
+func Fig16b(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 16(b) — normalized peer bandwidth (TCP emulation)",
+		"protocol", "p1", "p50", "p99")
+	for _, mode := range []emu.Mode{emu.ModePAVoD, emu.ModeSocialTube, emu.ModeNetTube} {
+		res, err := s.runMode(tr, mode, nil)
+		if err != nil {
+			return nil, err
+		}
+		p1, p50, p99 := res.NormalizedPeerBandwidthPercentiles()
+		t.AddRow(res.Protocol, p1, p50, p99)
+	}
+	return t, nil
+}
+
+// Fig17b prints startup delay with and without prefetching per protocol
+// over the TCP emulation.
+func Fig17b(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 17(b) — startup delay (TCP emulation)",
+		"variant", "meanMs", "p50Ms", "p99Ms")
+	variants := []struct {
+		name     string
+		mode     emu.Mode
+		prefetch bool
+	}{
+		{"PA-VoD", emu.ModePAVoD, false},
+		{"SocialTube w/ PF", emu.ModeSocialTube, true},
+		{"SocialTube w/o PF", emu.ModeSocialTube, false},
+		{"NetTube w/ PF", emu.ModeNetTube, true},
+		{"NetTube w/o PF", emu.ModeNetTube, false},
+	}
+	for _, variant := range variants {
+		variant := variant
+		res, err := s.runMode(tr, variant.mode, func(c *emu.ClusterConfig) {
+			if !variant.prefetch {
+				c.PrefetchCount = 0
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(variant.name,
+			res.StartupDelay.Mean(), res.StartupDelay.Percentile(50), res.StartupDelay.Percentile(99))
+	}
+	return t, nil
+}
+
+// Fig18b prints maintenance overhead versus videos watched over the TCP
+// emulation.
+func Fig18b(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
+	st, err := s.runMode(tr, emu.ModeSocialTube, nil)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := s.runMode(tr, emu.ModeNetTube, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Fig. 18(b) — maintenance overhead vs videos watched (TCP emulation)",
+		"videosWatched", "SocialTube", "NetTube")
+	for k := 0; k < s.VideosPerSession; k++ {
+		t.AddRow(k+1, st.LinksByVideoIndex[k].Mean(), nt.LinksByVideoIndex[k].Mean())
+	}
+	return t, nil
+}

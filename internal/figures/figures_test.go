@@ -1,0 +1,127 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+func tinyScale() Scale {
+	return Scale{
+		TraceChannels:    60,
+		TraceUsers:       150,
+		Categories:       8,
+		Sessions:         2,
+		VideosPerSession: 5,
+		WatchScale:       0.05,
+		Seed:             1,
+	}
+}
+
+func tinyTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := tinyScale().BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func requireRows(t *testing.T, tb *metrics.Table, wantSubstring string) {
+	t.Helper()
+	out := tb.String()
+	if !strings.Contains(out, wantSubstring) {
+		t.Fatalf("table missing %q:\n%s", wantSubstring, out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+		t.Fatalf("table has no data rows:\n%s", out)
+	}
+}
+
+func TestTraceFigures(t *testing.T) {
+	tr := tinyTrace(t)
+	tests := []struct {
+		name string
+		tb   *metrics.Table
+		want string
+	}{
+		{"fig2", Fig02(tr), "Fig. 2"},
+		{"fig3", Fig03(tr), "Fig. 3"},
+		{"fig4", Fig04(tr), "Fig. 4"},
+		{"fig5", Fig05(tr), "pearson"},
+		{"fig6", Fig06(tr), "Fig. 6"},
+		{"fig7", Fig07(tr), "Fig. 7"},
+		{"fig8", Fig08(tr), "Fig. 8"},
+		{"fig9", Fig09(tr), "zipf"},
+		{"fig10", Fig10(tr, 2), "intraCategoryFraction"},
+		{"fig11", Fig11(tr), "Fig. 11"},
+		{"fig12", Fig12(tr), "similarity"},
+		{"fig13", Fig13(tr), "interests"},
+		{"fig15", Fig15(), "NetTube"},
+		{"prefetch", PrefetchAccuracyTable(), "accuracy"},
+		{"table1", Table1(tinyScale(), tr), "Table I"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			requireRows(t, tt.tb, tt.want)
+		})
+	}
+}
+
+func TestSimFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-protocol simulation")
+	}
+	s := tinyScale()
+	tr := tinyTrace(t)
+	f16, err := Fig16a(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, f16, "SocialTube")
+	f17, err := Fig17a(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, f17, "w/ PF")
+	f18, err := Fig18a(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, f18, "NetTube")
+}
+
+func TestEmuFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster runs")
+	}
+	s := SmallEmuScale()
+	s.Peers = 10
+	s.Sessions = 1
+	s.VideosPerSession = 4
+	s.WatchTime = 5 * time.Millisecond
+	tr, err := s.EmuTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := Fig16b(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, f16, "SocialTube")
+	f18, err := Fig18b(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, f18, "NetTube")
+}
+
+func TestPaperScaleParameters(t *testing.T) {
+	p := PaperScale()
+	if p.TraceUsers != 10_000 || p.TraceChannels != 545 || p.Sessions != 25 || p.VideosPerSession != 10 {
+		t.Fatalf("paper scale drifted from Table I: %+v", p)
+	}
+}

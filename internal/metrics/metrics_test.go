@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Percentile(50)) {
+		t.Fatal("empty sample should answer NaN")
+	}
+	if s.Len() != 0 {
+		t.Fatal("empty sample length")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 50.5}, {100, 100}, {-5, 1}, {200, 100},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 100 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestSampleMean(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(4)
+	if got := s.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+}
+
+func TestSampleAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if got := s.Min(); got != 1 {
+		t.Fatalf("Min after re-add = %v, want 1", got)
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1500 {
+		t.Fatalf("duration sample = %v ms, want 1500", got)
+	}
+}
+
+func TestSampleValuesCopy(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	v := s.Values()
+	v[0] = 1
+	if s.Mean() != 7 {
+		t.Fatal("mutating Values() affected the sample")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(5)
+	c.Addn(-3) // ignored
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", c.Value())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "protocol", "p50", "delay")
+	tb.AddRow("SocialTube", 0.85, 120*time.Millisecond)
+	tb.AddRow("NetTube", 0.53, time.Second)
+	out := tb.String()
+	for _, want := range []string{"Fig. X", "protocol", "SocialTube", "0.850", "NetTube", "120ms", "1s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(math.NaN())
+	if !strings.Contains(tb.String(), "-") {
+		t.Error("NaN should render as dash")
+	}
+}
+
+func TestFormatFloatRanges(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0.001, "1.00e-03"},
+		{0, "0.000"},
+		{2e7, "2.000e+07"},
+		{3.14159, "3.142"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [Min, Max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(values []float64) bool {
+		var s Sample
+		ok := false
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		prev := s.Min()
+		for p := 0.0; p <= 100; p += 5 {
+			cur := s.Percentile(p)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return s.Max() >= s.Min()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSummarizeAndJSON(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.Count != 100 || sum.P50 != 50.5 || sum.Min != 1 || sum.Max != 100 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	raw, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 100 || back.Mean != sum.Mean {
+		t.Fatalf("json round trip: %+v", back)
+	}
+	var empty Sample
+	if got := empty.Summarize(); got.Count != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestCounterJSON(t *testing.T) {
+	var c Counter
+	c.Addn(7)
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "7" {
+		t.Fatalf("counter json = %s", raw)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Fig. X", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow(`with,comma "quoted"`, 2)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma ""quoted"""`) {
+		t.Fatalf("quoting wrong: %q", lines[2])
+	}
+	if strings.Contains(csv, "Fig. X") {
+		t.Fatal("csv must not contain the title")
+	}
+	if tb.Title() != "Fig. X" {
+		t.Fatal("title accessor wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package overlay
+
+import (
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// Members tracks the online members of one overlay with O(1) insert, delete
+// and uniform random selection — the operations the tracking server performs
+// when it assists joins. The zero value is unusable; construct with
+// NewMembers.
+type Members struct {
+	items []int
+	index map[int]int
+}
+
+// NewMembers returns an empty member set.
+func NewMembers() *Members {
+	return &Members{index: make(map[int]int)}
+}
+
+// Add inserts n if absent.
+func (m *Members) Add(n int) {
+	if _, ok := m.index[n]; ok {
+		return
+	}
+	m.index[n] = len(m.items)
+	m.items = append(m.items, n)
+}
+
+// Remove deletes n if present.
+func (m *Members) Remove(n int) {
+	i, ok := m.index[n]
+	if !ok {
+		return
+	}
+	last := len(m.items) - 1
+	m.items[i] = m.items[last]
+	m.index[m.items[i]] = i
+	m.items = m.items[:last]
+	delete(m.index, n)
+}
+
+// Has reports membership of n.
+func (m *Members) Has(n int) bool {
+	_, ok := m.index[n]
+	return ok
+}
+
+// Len returns the member count.
+func (m *Members) Len() int { return len(m.items) }
+
+// List returns the members in insertion-compacted order (a copy).
+func (m *Members) List() []int {
+	out := make([]int, len(m.items))
+	copy(out, m.items)
+	return out
+}
+
+// Random returns a uniformly random member, excluding the given node. It
+// returns -1 when no eligible member exists.
+func (m *Members) Random(g *dist.RNG, exclude int) int {
+	switch len(m.items) {
+	case 0:
+		return -1
+	case 1:
+		if m.items[0] == exclude {
+			return -1
+		}
+		return m.items[0]
+	}
+	for attempts := 0; attempts < 8; attempts++ {
+		n := m.items[g.Intn(len(m.items))]
+		if n != exclude {
+			return n
+		}
+	}
+	// Deterministic fallback scan.
+	for _, n := range m.items {
+		if n != exclude {
+			return n
+		}
+	}
+	return -1
+}

@@ -1,0 +1,235 @@
+// Package overlay provides the unstructured-P2P building blocks shared by
+// SocialTube and the baseline protocols: bounded neighbour sets, symmetric
+// link meshes and TTL-scoped flood search.
+package overlay
+
+import (
+	"sort"
+)
+
+// Links is a bounded set of neighbour node ids. The zero value is unusable;
+// construct with NewLinks.
+type Links struct {
+	max int
+	set map[int]bool
+}
+
+// NewLinks returns a neighbour set bounded to max entries (max <= 0 means
+// unbounded).
+func NewLinks(max int) *Links {
+	return &Links{max: max, set: make(map[int]bool)}
+}
+
+// Add inserts a neighbour. It reports false when the set is full or the
+// neighbour is already present.
+func (l *Links) Add(n int) bool {
+	if l.set[n] {
+		return false
+	}
+	if l.max > 0 && len(l.set) >= l.max {
+		return false
+	}
+	l.set[n] = true
+	return true
+}
+
+// Remove deletes a neighbour if present.
+func (l *Links) Remove(n int) { delete(l.set, n) }
+
+// Has reports whether n is a neighbour.
+func (l *Links) Has(n int) bool { return l.set[n] }
+
+// Len returns the number of neighbours.
+func (l *Links) Len() int { return len(l.set) }
+
+// Full reports whether the set is at capacity.
+func (l *Links) Full() bool { return l.max > 0 && len(l.set) >= l.max }
+
+// Max returns the capacity (0 = unbounded).
+func (l *Links) Max() int { return l.max }
+
+// List returns the neighbours in ascending order (a copy).
+func (l *Links) List() []int {
+	out := make([]int, 0, len(l.set))
+	for n := range l.set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clear removes all neighbours.
+func (l *Links) Clear() {
+	l.set = make(map[int]bool)
+}
+
+// Mesh maintains symmetric bounded links between nodes: an edge exists on
+// both endpoints or not at all, which is the paper's structure-maintenance
+// invariant (neighbours probe each other and drop dead links on both sides).
+type Mesh struct {
+	max   int
+	nodes map[int]*Links
+}
+
+// NewMesh returns a mesh whose nodes each hold at most max links
+// (max <= 0 means unbounded).
+func NewMesh(max int) *Mesh {
+	return &Mesh{max: max, nodes: make(map[int]*Links)}
+}
+
+func (m *Mesh) links(n int) *Links {
+	l, ok := m.nodes[n]
+	if !ok {
+		l = NewLinks(m.max)
+		m.nodes[n] = l
+	}
+	return l
+}
+
+// Connect adds the symmetric edge (a, b). It reports false — and changes
+// nothing — when a == b, the edge exists, or either endpoint is full.
+func (m *Mesh) Connect(a, b int) bool {
+	if a == b {
+		return false
+	}
+	la, lb := m.links(a), m.links(b)
+	if la.Has(b) || la.Full() || lb.Full() {
+		return false
+	}
+	la.Add(b)
+	lb.Add(a)
+	return true
+}
+
+// Disconnect removes the symmetric edge (a, b) if present.
+func (m *Mesh) Disconnect(a, b int) {
+	if la, ok := m.nodes[a]; ok {
+		la.Remove(b)
+	}
+	if lb, ok := m.nodes[b]; ok {
+		lb.Remove(a)
+	}
+}
+
+// Connected reports whether the edge (a, b) exists.
+func (m *Mesh) Connected(a, b int) bool {
+	la, ok := m.nodes[a]
+	return ok && la.Has(b)
+}
+
+// Neighbors returns a's neighbours in ascending order.
+func (m *Mesh) Neighbors(a int) []int {
+	la, ok := m.nodes[a]
+	if !ok {
+		return nil
+	}
+	return la.List()
+}
+
+// Degree returns the number of links a holds.
+func (m *Mesh) Degree(a int) int {
+	la, ok := m.nodes[a]
+	if !ok {
+		return 0
+	}
+	return la.Len()
+}
+
+// Full reports whether a cannot take more links.
+func (m *Mesh) Full(a int) bool {
+	la, ok := m.nodes[a]
+	return ok && la.Full()
+}
+
+// RemoveNode drops a and all its edges (both directions).
+func (m *Mesh) RemoveNode(a int) {
+	la, ok := m.nodes[a]
+	if !ok {
+		return
+	}
+	for _, b := range la.List() {
+		if lb, ok := m.nodes[b]; ok {
+			lb.Remove(a)
+		}
+	}
+	delete(m.nodes, a)
+}
+
+// Nodes returns all node ids with at least one link record, ascending.
+func (m *Mesh) Nodes() []int {
+	out := make([]int, 0, len(m.nodes))
+	for n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Symmetric verifies the mesh invariant: every link is present on both
+// endpoints. It returns true for a consistent mesh.
+func (m *Mesh) Symmetric() bool {
+	for a, la := range m.nodes {
+		for _, b := range la.List() {
+			lb, ok := m.nodes[b]
+			if !ok || !lb.Has(a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FloodResult reports the outcome of a TTL-scoped flood search.
+type FloodResult struct {
+	// Found is the first node matching the predicate, in BFS order.
+	Found int
+	// OK reports whether any node matched.
+	OK bool
+	// Hops is the BFS depth at which the match was found (1 = direct
+	// neighbour). Zero when no match.
+	Hops int
+	// Messages counts query transmissions: every edge traversal from an
+	// expanded node, duplicates included — the cost the TTL exists to
+	// bound.
+	Messages int
+	// Visited counts distinct nodes that processed the query.
+	Visited int
+}
+
+// Flood performs the paper's query forwarding: origin sends the query to its
+// neighbours with the given TTL; each receiver that does not match forwards
+// to its own neighbours while TTL remains. neighbors supplies adjacency and
+// match is the "has the video" predicate. The origin itself is not matched.
+func Flood(origin int, ttl int, neighbors func(int) []int, match func(int) bool) FloodResult {
+	var res FloodResult
+	if ttl <= 0 || neighbors == nil || match == nil {
+		return res
+	}
+	visited := map[int]bool{origin: true}
+	frontier := []int{origin}
+	for depth := 1; depth <= ttl; depth++ {
+		var next []int
+		for _, sender := range frontier {
+			for _, nb := range neighbors(sender) {
+				res.Messages++
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				res.Visited++
+				if match(nb) {
+					res.Found = nb
+					res.OK = true
+					res.Hops = depth
+					return res
+				}
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return res
+}

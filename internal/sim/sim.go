@@ -1,0 +1,134 @@
+// Package sim is a discrete-event simulation engine — the PeerSim
+// substitute used by all trace-driven experiments. It provides a virtual
+// clock, a binary-heap event queue with deterministic tie-breaking and a
+// run loop bounded by either a horizon or an event budget.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Engine runs errors.
+var (
+	// ErrStopped is returned by Run when Stop was called.
+	ErrStopped = errors.New("sim: stopped")
+)
+
+// Event is a callback scheduled to fire at a virtual time.
+type Event func(now time.Duration)
+
+type scheduled struct {
+	at   time.Duration
+	seq  uint64 // insertion order breaks ties deterministically
+	fire Event
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*scheduled)
+	if !ok {
+		return
+	}
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// Engine is the simulation core. The zero value is not usable; construct
+// with NewEngine. Engine is not safe for concurrent use: a simulation runs
+// single-threaded, which is what makes it deterministic.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with an empty queue at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Events scheduled
+// in the past fire immediately at the current time (time never goes
+// backwards).
+func (e *Engine) At(at time.Duration, fn Event) {
+	if fn == nil {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run delay after the current virtual time.
+func (e *Engine) After(delay time.Duration, fn Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in non-decreasing time order until the queue drains,
+// the virtual clock passes horizon (0 means no horizon), or maxEvents have
+// fired (0 means unbounded). It returns ErrStopped if Stop was called.
+func (e *Engine) Run(horizon time.Duration, maxEvents uint64) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		popped, ok := heap.Pop(&e.queue).(*scheduled)
+		if !ok {
+			continue
+		}
+		e.now = popped.at
+		popped.fire(e.now)
+		e.fired++
+		if maxEvents > 0 && e.fired >= maxEvents {
+			return nil
+		}
+	}
+	return nil
+}

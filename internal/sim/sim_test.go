@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []time.Duration
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		e.At(d*time.Second, func(now time.Duration) {
+			order = append(order, now)
+		})
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("events out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v, want insertion order", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var firedAt time.Duration
+	e.At(10*time.Second, func(time.Duration) {
+		e.After(5*time.Second, func(now time.Duration) { firedAt = now })
+	})
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 15*time.Second {
+		t.Fatalf("fired at %v, want 15s", firedAt)
+	}
+}
+
+func TestPastEventsFireNow(t *testing.T) {
+	e := NewEngine()
+	var firedAt time.Duration
+	e.At(10*time.Second, func(time.Duration) {
+		e.At(2*time.Second, func(now time.Duration) { firedAt = now })
+	})
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamped to 10s", firedAt)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-5*time.Second, func(now time.Duration) {
+		if now != 0 {
+			t.Errorf("fired at %v, want 0", now)
+		}
+		fired = true
+	})
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(time.Second, func(time.Duration) { fired++ })
+	e.At(time.Hour, func(time.Duration) { fired++ })
+	if err := e.Run(time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events within horizon, want 1", fired)
+	}
+	if e.Now() != time.Minute {
+		t.Fatalf("clock = %v, want horizon", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 beyond-horizon event retained", e.Pending())
+	}
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.At(time.Duration(i)*time.Second, func(time.Duration) {})
+	}
+	if err := e.Run(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 10 {
+		t.Fatalf("fired %d, want 10", e.Fired())
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(time.Second, func(time.Duration) {
+		fired++
+		e.Stop()
+	})
+	e.At(2*time.Second, func(time.Duration) { fired++ })
+	err := e.Run(0, 0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+}
+
+func TestNilEventIgnored(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Second, nil)
+	if e.Pending() != 0 {
+		t.Fatal("nil event was queued")
+	}
+}
+
+func TestClockNeverGoesBackwards(t *testing.T) {
+	e := NewEngine()
+	var last time.Duration
+	for i := 0; i < 50; i++ {
+		d := time.Duration(50-i) * time.Second
+		e.At(d, func(now time.Duration) {
+			if now < last {
+				t.Fatalf("clock moved backwards: %v after %v", now, last)
+			}
+			last = now
+		})
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		count++
+		if count < 100 {
+			e.After(time.Second, tick)
+		}
+	}
+	e.After(time.Second, tick)
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("cascade fired %d, want 100", count)
+	}
+	if e.Now() != 100*time.Second {
+		t.Fatalf("clock = %v, want 100s", e.Now())
+	}
+}
+
+// Property: however events are scheduled, execution order is sorted by time
+// with insertion-order tie-break and the engine drains completely.
+func TestRunOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) > 200 {
+			delaysRaw = delaysRaw[:200]
+		}
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delaysRaw {
+			e.At(time.Duration(d)*time.Millisecond, func(now time.Duration) {
+				fired = append(fired, now)
+			})
+		}
+		if err := e.Run(0, 0); err != nil {
+			return false
+		}
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

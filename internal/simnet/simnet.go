@@ -1,0 +1,156 @@
+// Package simnet models the network underneath the discrete-event
+// simulator: per-pair propagation latency, finite peer upload capacity and a
+// finite server uplink with FIFO queueing. Server overload — the mechanism
+// behind PA-VoD's long startup delays in Fig. 17 — emerges naturally from
+// the queueing model.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// NodeID identifies an endpoint. ServerID is reserved for the central
+// server; peers use non-negative ids.
+type NodeID int
+
+// ServerID is the NodeID of the central VoD server.
+const ServerID NodeID = -1
+
+// Config sets the physical parameters of the modelled network. They default
+// to the paper's Table I: 320 kbps video bitrate, 50 Mbps server uplink and
+// residential peer uplinks of roughly twice the bitrate.
+type Config struct {
+	// Seed drives the deterministic latency model.
+	Seed int64
+	// ServerUplinkBps is the server's total upload capacity (Table I:
+	// 50 Mbps).
+	ServerUplinkBps int64
+	// PeerUplinkBps is a peer's upload capacity. The paper notes typical
+	// download bandwidth is at least twice the 320 kbps bitrate; uploads
+	// are modelled at 1 Mbps.
+	PeerUplinkBps int64
+	// MinLatency and MaxLatency bound one-way propagation delay between
+	// any two endpoints.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+}
+
+// DefaultConfig returns the Table I network parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		ServerUplinkBps: 50_000_000,
+		PeerUplinkBps:   1_000_000,
+		MinLatency:      10 * time.Millisecond,
+		MaxLatency:      150 * time.Millisecond,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ServerUplinkBps <= 0:
+		return fmt.Errorf("%w: serverUplinkBps=%d", dist.ErrBadParameter, c.ServerUplinkBps)
+	case c.PeerUplinkBps <= 0:
+		return fmt.Errorf("%w: peerUplinkBps=%d", dist.ErrBadParameter, c.PeerUplinkBps)
+	case c.MinLatency <= 0 || c.MaxLatency < c.MinLatency:
+		return fmt.Errorf("%w: latency range [%v, %v]", dist.ErrBadParameter, c.MinLatency, c.MaxLatency)
+	}
+	return nil
+}
+
+// Network tracks uplink occupancy and answers latency/transfer queries. It
+// is single-threaded, like the simulator that drives it.
+type Network struct {
+	cfg       Config
+	busyUntil map[NodeID]time.Duration
+	// Stats.
+	serverBytes int64
+	peerBytes   int64
+}
+
+// New builds a network model from cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("simnet config: %w", err)
+	}
+	return &Network{
+		cfg:       cfg,
+		busyUntil: make(map[NodeID]time.Duration),
+	}, nil
+}
+
+// Latency returns the one-way propagation delay between a and b. It is
+// symmetric and deterministic under the configured seed.
+func (n *Network) Latency(a, b NodeID) time.Duration {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// Hash the ordered pair with the seed into a per-pair RNG so latency
+	// is stable without storing an O(N²) matrix.
+	h := int64(a)*1_000_003 + int64(b)*7919 + n.cfg.Seed*104_729
+	g := dist.NewRNG(h)
+	span := n.cfg.MaxLatency - n.cfg.MinLatency
+	return n.cfg.MinLatency + time.Duration(g.Float64()*float64(span))
+}
+
+// uplinkBps returns the upload capacity of the given endpoint.
+func (n *Network) uplinkBps(id NodeID) int64 {
+	if id == ServerID {
+		return n.cfg.ServerUplinkBps
+	}
+	return n.cfg.PeerUplinkBps
+}
+
+// Transfer reserves from's uplink for a transfer of size bytes starting no
+// earlier than now and returns the absolute virtual time at which the last
+// byte arrives at to (queueing + transmission + propagation). Uplinks are
+// FIFO: concurrent transfers from the same endpoint queue behind each other,
+// so an overloaded server exhibits growing delays.
+func (n *Network) Transfer(from, to NodeID, bytes int64, now time.Duration) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	start := now
+	if busy := n.busyUntil[from]; busy > start {
+		start = busy
+	}
+	bps := n.uplinkBps(from)
+	tx := time.Duration(float64(bytes*8) / float64(bps) * float64(time.Second))
+	done := start + tx
+	n.busyUntil[from] = done
+	if from == ServerID {
+		n.serverBytes += bytes
+	} else {
+		n.peerBytes += bytes
+	}
+	return done + n.Latency(from, to)
+}
+
+// QueueDelay returns how long a transfer from the endpoint would wait before
+// starting at virtual time now.
+func (n *Network) QueueDelay(id NodeID, now time.Duration) time.Duration {
+	if busy := n.busyUntil[id]; busy > now {
+		return busy - now
+	}
+	return 0
+}
+
+// ServerBytes returns the total bytes served by the server so far.
+func (n *Network) ServerBytes() int64 { return n.serverBytes }
+
+// PeerBytes returns the total bytes served by peers so far.
+func (n *Network) PeerBytes() int64 { return n.peerBytes }
+
+// Reset clears occupancy and statistics, keeping the latency model.
+func (n *Network) Reset() {
+	n.busyUntil = make(map[NodeID]time.Duration)
+	n.serverBytes = 0
+	n.peerBytes = 0
+}

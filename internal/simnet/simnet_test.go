@@ -1,0 +1,188 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero server uplink", func(c *Config) { c.ServerUplinkBps = 0 }},
+		{"zero peer uplink", func(c *Config) { c.PeerUplinkBps = 0 }},
+		{"zero min latency", func(c *Config) { c.MinLatency = 0 }},
+		{"max below min", func(c *Config) { c.MaxLatency = c.MinLatency - 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestLatencySymmetricDeterministicBounded(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	for a := NodeID(-1); a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			l1 := n.Latency(a, b)
+			l2 := n.Latency(b, a)
+			if l1 != l2 {
+				t.Fatalf("latency not symmetric for (%d,%d)", a, b)
+			}
+			if l1 < n.cfg.MinLatency || l1 > n.cfg.MaxLatency {
+				t.Fatalf("latency %v outside bounds", l1)
+			}
+			if l1 != n.Latency(a, b) {
+				t.Fatal("latency not deterministic")
+			}
+		}
+	}
+}
+
+func TestLatencySelfIsZero(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	if got := n.Latency(3, 3); got != 0 {
+		t.Fatalf("self latency %v, want 0", got)
+	}
+}
+
+func TestTransferTimeMatchesBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PeerUplinkBps = 1_000_000 // 1 Mbps
+	n := mustNew(t, cfg)
+	// 125,000 bytes at 1 Mbps = exactly 1 s transmission.
+	done := n.Transfer(1, 2, 125_000, 0)
+	wantTx := time.Second
+	lat := n.Latency(1, 2)
+	if done != wantTx+lat {
+		t.Fatalf("transfer done at %v, want %v", done, wantTx+lat)
+	}
+}
+
+func TestFIFOQueueingDelaysSecondTransfer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PeerUplinkBps = 1_000_000
+	n := mustNew(t, cfg)
+	first := n.Transfer(1, 2, 125_000, 0)
+	second := n.Transfer(1, 3, 125_000, 0)
+	// Second transfer starts only after the first finishes transmitting.
+	wantStart := first - n.Latency(1, 2) // end of transmission
+	wantDone := wantStart + time.Second + n.Latency(1, 3)
+	if second != wantDone {
+		t.Fatalf("second transfer done at %v, want %v", second, wantDone)
+	}
+}
+
+func TestServerOverloadGrowsQueueDelay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServerUplinkBps = 1_000_000
+	n := mustNew(t, cfg)
+	for i := 0; i < 10; i++ {
+		n.Transfer(ServerID, NodeID(i), 125_000, 0)
+	}
+	// After 10 one-second transfers queued at t=0, the queue delay is 10s.
+	if got := n.QueueDelay(ServerID, 0); got != 10*time.Second {
+		t.Fatalf("queue delay %v, want 10s", got)
+	}
+	if got := n.QueueDelay(ServerID, 20*time.Second); got != 0 {
+		t.Fatalf("queue delay after drain %v, want 0", got)
+	}
+}
+
+func TestServerFasterThanPeers(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	serverDone := n.Transfer(ServerID, 5, 1_000_000, 0) - n.Latency(ServerID, 5)
+	n2 := mustNew(t, DefaultConfig())
+	peerDone := n2.Transfer(1, 5, 1_000_000, 0) - n2.Latency(1, 5)
+	if serverDone >= peerDone {
+		t.Fatalf("server transmission %v not faster than peer %v", serverDone, peerDone)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	n.Transfer(ServerID, 1, 1000, 0)
+	n.Transfer(2, 1, 500, 0)
+	n.Transfer(3, 1, 500, 0)
+	if n.ServerBytes() != 1000 {
+		t.Errorf("server bytes %d, want 1000", n.ServerBytes())
+	}
+	if n.PeerBytes() != 1000 {
+		t.Errorf("peer bytes %d, want 1000", n.PeerBytes())
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	done := n.Transfer(1, 2, -100, 0)
+	if done != n.Latency(1, 2) {
+		t.Fatalf("negative-size transfer took %v, want latency only", done)
+	}
+	if n.PeerBytes() != 0 {
+		t.Errorf("peer bytes %d, want 0", n.PeerBytes())
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := mustNew(t, DefaultConfig())
+	n.Transfer(ServerID, 1, 1_000_000, 0)
+	n.Reset()
+	if n.ServerBytes() != 0 || n.PeerBytes() != 0 {
+		t.Error("reset did not clear byte counters")
+	}
+	if n.QueueDelay(ServerID, 0) != 0 {
+		t.Error("reset did not clear occupancy")
+	}
+}
+
+// Property: a transfer never completes before its transmission time plus
+// propagation latency, and uplink occupancy is monotone.
+func TestTransferNeverTooFastProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		if len(sizes) > 100 {
+			sizes = sizes[:100]
+		}
+		now := time.Duration(0)
+		var lastDone time.Duration
+		for i, s := range sizes {
+			bytes := int64(s)
+			to := NodeID(i%7 + 1)
+			done := n.Transfer(ServerID, to, bytes, now)
+			minTx := time.Duration(float64(bytes*8) / float64(cfg.ServerUplinkBps) * float64(time.Second))
+			if done < now+minTx+n.Latency(ServerID, to) {
+				return false
+			}
+			txEnd := done - n.Latency(ServerID, to)
+			if txEnd < lastDone {
+				return false // uplink transmissions overlap
+			}
+			lastDone = txEnd
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

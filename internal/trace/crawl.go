@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// Crawl reproduces the paper's Section III data-collection methodology on a
+// synthetic network: starting from a random user, perform a breadth-first
+// search over subscription relationships (user → subscribed channels →
+// their subscribers), collecting users, channels and videos until maxUsers
+// users have been crawled or the queue empties. The paper notes (citing
+// Mislove et al.) that truncated BFS sampling overestimates node degree but
+// preserves other metrics; Crawl exists so that exact claim can be tested
+// against ground truth here.
+//
+// The returned trace is self-contained: ids are re-numbered densely and all
+// references (subscriptions, favourites, subscriber lists) are restricted
+// to crawled entities.
+func Crawl(tr *Trace, seed int64, maxUsers int) (*Trace, error) {
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: crawl needs a non-empty trace", dist.ErrBadParameter)
+	}
+	if maxUsers <= 0 {
+		return nil, fmt.Errorf("%w: maxUsers=%d", dist.ErrBadParameter, maxUsers)
+	}
+	g := dist.NewRNG(seed)
+
+	visited := make(map[UserID]bool)
+	queue := []UserID{tr.Users[g.Intn(len(tr.Users))].ID}
+	visited[queue[0]] = true
+	var crawled []UserID
+	chanSeen := make(map[ChannelID]bool)
+
+	for len(queue) > 0 && len(crawled) < maxUsers {
+		uid := queue[0]
+		queue = queue[1:]
+		crawled = append(crawled, uid)
+		u := tr.User(uid)
+		for _, cid := range u.Subscriptions {
+			chanSeen[cid] = true
+			for _, sub := range tr.Channel(cid).Subscribers {
+				if !visited[sub] {
+					visited[sub] = true
+					queue = append(queue, sub)
+				}
+			}
+		}
+	}
+
+	return subTrace(tr, crawled, chanSeen)
+}
+
+// subTrace builds a dense, self-consistent trace restricted to the given
+// users and channels.
+func subTrace(tr *Trace, users []UserID, chans map[ChannelID]bool) (*Trace, error) {
+	userIdx := make(map[UserID]UserID, len(users))
+	for i, uid := range users {
+		userIdx[uid] = UserID(i)
+	}
+	chanIdx := make(map[ChannelID]ChannelID, len(chans))
+	out := &Trace{
+		Seed:       tr.Seed,
+		Categories: tr.Categories,
+		Start:      tr.Start,
+		End:        tr.End,
+	}
+	// Channels in ascending old-id order for determinism.
+	for _, ch := range tr.Channels {
+		if !chans[ch.ID] {
+			continue
+		}
+		chanIdx[ch.ID] = ChannelID(len(out.Channels))
+		out.Channels = append(out.Channels, &Channel{
+			ID:         chanIdx[ch.ID],
+			Primary:    ch.Primary,
+			Categories: append([]CategoryID(nil), ch.Categories...),
+		})
+	}
+	videoIdx := make(map[VideoID]VideoID)
+	for _, ch := range tr.Channels {
+		if !chans[ch.ID] {
+			continue
+		}
+		newCh := out.Channels[chanIdx[ch.ID]]
+		for _, vid := range ch.Videos {
+			v := tr.Video(vid)
+			nv := &Video{
+				ID:        VideoID(len(out.Videos)),
+				Channel:   newCh.ID,
+				Category:  v.Category,
+				Views:     v.Views,
+				Favorites: v.Favorites,
+				Uploaded:  v.Uploaded,
+				Length:    v.Length,
+				Rank:      v.Rank,
+			}
+			videoIdx[vid] = nv.ID
+			out.Videos = append(out.Videos, nv)
+			newCh.Videos = append(newCh.Videos, nv.ID)
+		}
+	}
+	for _, uid := range users {
+		u := tr.User(uid)
+		nu := &User{
+			ID:        userIdx[uid],
+			Interests: append([]CategoryID(nil), u.Interests...),
+		}
+		for _, cid := range u.Subscriptions {
+			nc, ok := chanIdx[cid]
+			if !ok {
+				continue
+			}
+			nu.Subscriptions = append(nu.Subscriptions, nc)
+			out.Channels[nc].Subscribers = append(out.Channels[nc].Subscribers, nu.ID)
+		}
+		for _, vid := range u.Favorites {
+			if nv, ok := videoIdx[vid]; ok {
+				nu.Favorites = append(nu.Favorites, nv)
+			}
+		}
+		out.Users = append(out.Users, nu)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("crawl produced inconsistent trace: %w", err)
+	}
+	return out, nil
+}
+
+// MeanDegree returns the average number of subscriptions per user — the
+// degree metric BFS sampling is known to overestimate.
+func (t *Trace) MeanDegree() float64 {
+	if len(t.Users) == 0 {
+		return 0
+	}
+	total := 0
+	for _, u := range t.Users {
+		total += len(u.Subscriptions)
+	}
+	return float64(total) / float64(len(t.Users))
+}

@@ -1,0 +1,436 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// Config controls synthetic trace generation. The defaults reproduce the
+// shape of the paper's crawl (Section III) at laptop scale; the benches grow
+// a trace toward the paper's 10,000-node simulations by raising Users and
+// Channels together.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Categories is the number of interest categories. YouTube has ~18;
+	// the paper's PlanetLab runs use 6.
+	Categories int
+	// Channels is the number of channels to generate (paper sim: 545).
+	Channels int
+	// Users is the number of users (paper sim: 10,000).
+	Users int
+	// MaxVideosPerChannel caps the heavy per-channel tail (Fig. 6).
+	MaxVideosPerChannel int
+	// VideoCountMultiplier scales the per-channel video count draw
+	// (0 or 1 = none). The paper's simulation uses 545 channels holding
+	// 101,121 videos — a mean of ≈185/channel, far above the crawl-wide
+	// Fig. 6 median of 9, because the simulated channels are the
+	// video-rich popular ones. Paper-scale runs set this multiplier to
+	// recover that catalog size.
+	VideoCountMultiplier float64
+	// ZipfExponent is the within-channel popularity exponent s (Fig. 9
+	// measures s ≈ 1).
+	ZipfExponent float64
+	// MaxInterestsPerUser bounds user interests (Fig. 13: max ≈18).
+	MaxInterestsPerUser int
+	// MeanSubscriptionsPerUser sets the average number of channels a user
+	// subscribes to.
+	MeanSubscriptionsPerUser float64
+	// InterestAlignedSubscriptionP is the probability a subscription is
+	// drawn from the user's own interest categories (Fig. 12: median
+	// similarity 1.0, i.e. most subscriptions align with interests).
+	InterestAlignedSubscriptionP float64
+	// MeanFavoritesPerUser sets how many favourites each user marks.
+	MeanFavoritesPerUser float64
+	// Span is the period the trace covers (Fig. 2 plots uploads over it).
+	Span time.Duration
+	// Start is the first upload date.
+	Start time.Time
+}
+
+// DefaultConfig returns a laptop-scale configuration whose ratios follow the
+// paper's simulation settings (Table I): 545 channels holding ~101k videos
+// watched by 10k users is the full scale; the default shrinks users while
+// keeping the distributions' shape.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                         1,
+		Categories:                   18,
+		Channels:                     545,
+		Users:                        2000,
+		MaxVideosPerChannel:          400,
+		ZipfExponent:                 1.0,
+		MaxInterestsPerUser:          18,
+		MeanSubscriptionsPerUser:     6,
+		InterestAlignedSubscriptionP: 0.85,
+		MeanFavoritesPerUser:         8,
+		Span:                         2 * 365 * 24 * time.Hour,
+		Start:                        time.Date(2008, time.January, 18, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Categories <= 0:
+		return fmt.Errorf("%w: categories=%d", dist.ErrBadParameter, c.Categories)
+	case c.Channels <= 0:
+		return fmt.Errorf("%w: channels=%d", dist.ErrBadParameter, c.Channels)
+	case c.Users <= 0:
+		return fmt.Errorf("%w: users=%d", dist.ErrBadParameter, c.Users)
+	case c.MaxVideosPerChannel < 2:
+		return fmt.Errorf("%w: maxVideosPerChannel=%d", dist.ErrBadParameter, c.MaxVideosPerChannel)
+	case c.ZipfExponent <= 0:
+		return fmt.Errorf("%w: zipfExponent=%v", dist.ErrBadParameter, c.ZipfExponent)
+	case c.MaxInterestsPerUser <= 0 || c.MaxInterestsPerUser > c.Categories:
+		return fmt.Errorf("%w: maxInterestsPerUser=%d", dist.ErrBadParameter, c.MaxInterestsPerUser)
+	case c.InterestAlignedSubscriptionP < 0 || c.InterestAlignedSubscriptionP > 1:
+		return fmt.Errorf("%w: interestAlignedSubscriptionP=%v", dist.ErrBadParameter, c.InterestAlignedSubscriptionP)
+	case c.Span <= 0:
+		return fmt.Errorf("%w: span=%v", dist.ErrBadParameter, c.Span)
+	case c.VideoCountMultiplier < 0:
+		return fmt.Errorf("%w: videoCountMultiplier=%v", dist.ErrBadParameter, c.VideoCountMultiplier)
+	}
+	return nil
+}
+
+// generator holds the per-run state of a single Generate call so concurrent
+// generations never share mutable state.
+type generator struct {
+	cfg        Config
+	g          *dist.RNG
+	tr         *Trace
+	catWeights []float64
+	chanPop    []float64     // per-channel popularity weight
+	byCat      [][]ChannelID // channels indexed by primary category
+}
+
+// Generate builds a synthetic trace from the configuration. The same
+// configuration always yields the same trace.
+func Generate(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("trace config: %w", err)
+	}
+	gen := &generator{
+		cfg: cfg,
+		g:   dist.NewRNG(cfg.Seed),
+		tr: &Trace{
+			Seed:       cfg.Seed,
+			Categories: cfg.Categories,
+			Start:      cfg.Start,
+			End:        cfg.Start.Add(cfg.Span),
+		},
+	}
+	gen.catWeights = categoryWeights(gen.g, cfg.Categories)
+	if err := gen.channels(); err != nil {
+		return nil, err
+	}
+	// Users (and their subscriptions) come before videos so channel view
+	// counts can scale with real subscriber counts — the strong positive
+	// correlation of Fig. 5.
+	gen.users()
+	if err := gen.videos(); err != nil {
+		return nil, err
+	}
+	for _, u := range gen.tr.Users {
+		gen.favorites(u)
+		gen.deriveInterests(u)
+	}
+	return gen.tr, nil
+}
+
+// deriveInterests replaces the user's latent preference list with the
+// interests the paper actually measures: the categories of the user's
+// favourite videos, most frequent first. Users without favourites keep
+// their latent preferences.
+func (gen *generator) deriveInterests(u *User) {
+	if len(u.Favorites) == 0 {
+		return
+	}
+	counts := make(map[CategoryID]int)
+	for _, vid := range u.Favorites {
+		counts[gen.tr.Videos[vid].Category]++
+	}
+	derived := make([]CategoryID, 0, len(counts))
+	for c := range counts {
+		derived = append(derived, c)
+	}
+	sort.Slice(derived, func(i, j int) bool {
+		if counts[derived[i]] != counts[derived[j]] {
+			return counts[derived[i]] > counts[derived[j]]
+		}
+		return derived[i] < derived[j]
+	})
+	if len(derived) > gen.cfg.MaxInterestsPerUser {
+		derived = derived[:gen.cfg.MaxInterestsPerUser]
+	}
+	u.Interests = derived
+}
+
+// categoryWeights gives each category a popularity weight so some categories
+// (e.g. Music, Entertainment) attract more channels and users than others.
+func categoryWeights(g *dist.RNG, n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Exp(g.NormFloat64() * 0.8)
+	}
+	return w
+}
+
+func (gen *generator) channels() error {
+	// Channel popularity weight: heavy-tailed so subscriber counts and
+	// view counts span several orders of magnitude (Figs. 3, 4). The
+	// tail index is calibrated so per-video views reproduce Fig. 7's
+	// quantile ratios (p90/p50 ≈ 70) after the subscription coupling
+	// roughly squares the skew.
+	popDist, err := dist.NewBoundedPareto(1.3, 1, 2000)
+	if err != nil {
+		return err
+	}
+	cfg, g, tr := gen.cfg, gen.g, gen.tr
+	tr.Channels = make([]*Channel, 0, cfg.Channels)
+	gen.chanPop = make([]float64, 0, cfg.Channels)
+	gen.byCat = make([][]ChannelID, cfg.Categories)
+	for i := 0; i < cfg.Channels; i++ {
+		primary := CategoryID(dist.WeightedChoice(g, gen.catWeights))
+		// Channels focus on few categories (Fig. 11): 1 + Poisson(0.9)
+		// extra categories, capped at 5.
+		nCats := 1 + dist.Poisson(g, 0.9)
+		if nCats > 5 {
+			nCats = 5
+		}
+		if nCats > cfg.Categories {
+			nCats = cfg.Categories
+		}
+		ch := &Channel{
+			ID:         ChannelID(i),
+			Primary:    primary,
+			Categories: pickCategories(g, cfg.Categories, int(primary), nCats),
+		}
+		tr.Channels = append(tr.Channels, ch)
+		gen.chanPop = append(gen.chanPop, popDist.Sample(g))
+		gen.byCat[primary] = append(gen.byCat[primary], ch.ID)
+	}
+	return nil
+}
+
+func pickCategories(g *dist.RNG, total, primary, n int) []CategoryID {
+	cats := make([]CategoryID, 0, n)
+	cats = append(cats, CategoryID(primary))
+	seen := map[int]bool{primary: true}
+	for len(cats) < n {
+		c := g.Intn(total)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cats = append(cats, CategoryID(c))
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
+}
+
+func (gen *generator) videos() error {
+	cfg, g, tr := gen.cfg, gen.g, gen.tr
+	lengthDist, err := dist.NewLogNormal(math.Log(240), 0.7) // ≈4 min median
+	if err != nil {
+		return err
+	}
+	// Videos per channel (Fig. 6): heavy-tailed, median around 9.
+	// Calibrated to Fig. 6: median ≈9 videos per channel, top 10% above
+	// ≈116, bounded by the configured maximum.
+	countDist, err := dist.NewBoundedPareto(0.65, 3.1, float64(cfg.MaxVideosPerChannel))
+	if err != nil {
+		return err
+	}
+	spanSec := cfg.Span.Seconds()
+	for ci, ch := range tr.Channels {
+		mult := cfg.VideoCountMultiplier
+		if mult <= 0 {
+			mult = 1
+		}
+		nVideos := int(countDist.Sample(g) * mult)
+		if nVideos < 1 {
+			nVideos = 1
+		}
+		zipf, err := dist.NewZipf(nVideos, cfg.ZipfExponent)
+		if err != nil {
+			return err
+		}
+		// Total channel views scale with the channel's subscriber count
+		// (Fig. 5's strong positive correlation) plus a popularity
+		// floor so unsubscribed channels still accrue some views.
+		// Total views grow with the audience (subscribers, Fig. 5) and
+		// sublinearly with catalog size: a channel's viewers
+		// concentrate on its top-ranked videos, so doubling the
+		// catalog does not double total views.
+		nSubs := float64(len(ch.Subscribers))
+		totalViews := (gen.chanPop[ci] + 40*nSubs*(0.75+0.5*g.Float64())) * math.Sqrt(float64(nVideos)) * 12
+		ch.Videos = make([]VideoID, 0, nVideos)
+		for r := 1; r <= nVideos; r++ {
+			views := int64(totalViews * zipf.P(r))
+			if views < 1 {
+				views = 1
+			}
+			// Favourites correlate strongly with views (Fig. 8;
+			// Chatzopoulou et al. report Pearson > 0.9).
+			favRate := 0.002 + 0.003*g.Float64()
+			favs := int64(float64(views) * favRate)
+			// Upload dates grow superlinearly toward the end of
+			// the span (Fig. 2): sqrt-transform of a uniform puts
+			// more uploads late in the period.
+			u := g.Float64()
+			at := gen.cfg.Start.Add(time.Duration(math.Sqrt(u) * spanSec * float64(time.Second)))
+			length := time.Duration(lengthDist.Sample(g) * float64(time.Second))
+			if length < 10*time.Second {
+				length = 10 * time.Second
+			}
+			if length > 30*time.Minute {
+				length = 30 * time.Minute
+			}
+			v := &Video{
+				ID:        VideoID(len(tr.Videos)),
+				Channel:   ch.ID,
+				Category:  videoCategory(g, ch),
+				Views:     views,
+				Favorites: favs,
+				Uploaded:  at,
+				Length:    length,
+				Rank:      r,
+			}
+			tr.Videos = append(tr.Videos, v)
+			ch.Videos = append(ch.Videos, v.ID)
+		}
+	}
+	return nil
+}
+
+func videoCategory(g *dist.RNG, ch *Channel) CategoryID {
+	// Most videos belong to the channel's primary category; the rest are
+	// spread over its secondary categories.
+	if len(ch.Categories) == 1 || g.Bool(0.7) {
+		return ch.Primary
+	}
+	return ch.Categories[g.Intn(len(ch.Categories))]
+}
+
+func (gen *generator) users() {
+	cfg, g, tr := gen.cfg, gen.g, gen.tr
+	tr.Users = make([]*User, 0, cfg.Users)
+	for i := 0; i < cfg.Users; i++ {
+		u := &User{ID: UserID(i)}
+		// Interests per user (Fig. 13): ~60% below 10, max ≈18.
+		nInterests := 1 + dist.Poisson(g, 6.5)
+		if nInterests > cfg.MaxInterestsPerUser {
+			nInterests = cfg.MaxInterestsPerUser
+		}
+		u.Interests = sampleInterests(g, gen.catWeights, nInterests)
+
+		nSubs := 1 + dist.Poisson(g, cfg.MeanSubscriptionsPerUser-1)
+		subscribed := make(map[ChannelID]bool, nSubs)
+		for s := 0; s < nSubs; s++ {
+			ch := gen.pickSubscription(u)
+			if ch < 0 || subscribed[ch] {
+				continue
+			}
+			subscribed[ch] = true
+			u.Subscriptions = append(u.Subscriptions, ch)
+			tr.Channels[ch].Subscribers = append(tr.Channels[ch].Subscribers, u.ID)
+		}
+		tr.Users = append(tr.Users, u)
+	}
+}
+
+// sampleInterests draws n distinct categories in preference order: the first
+// entries are the user's dominant interests, which receive most of the
+// user's subscriptions.
+func sampleInterests(g *dist.RNG, catWeights []float64, n int) []CategoryID {
+	seen := make(map[int]bool, n)
+	out := make([]CategoryID, 0, n)
+	for attempts := 0; len(out) < n && attempts < 20*n; attempts++ {
+		c := dist.WeightedChoice(g, catWeights)
+		if c < 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, CategoryID(c))
+	}
+	return out
+}
+
+func (gen *generator) pickSubscription(u *User) ChannelID {
+	g := gen.g
+	if len(u.Interests) > 0 && g.Bool(gen.cfg.InterestAlignedSubscriptionP) {
+		// Subscriptions concentrate on the user's dominant interests:
+		// a Zipf draw over the preference-ordered interest list. This
+		// concentration is what produces the per-category channel
+		// clusters of Fig. 10.
+		cat := u.Interests[0]
+		if z, err := dist.NewZipf(len(u.Interests), 2.2); err == nil {
+			cat = u.Interests[z.Sample(g)-1]
+		}
+		if chans := gen.byCat[cat]; len(chans) > 0 {
+			return gen.weightedChannel(chans)
+		}
+	}
+	if len(gen.tr.Channels) == 0 {
+		return -1
+	}
+	// Fall back to a popularity-weighted global draw: users sometimes
+	// subscribe outside their interests.
+	all := make([]ChannelID, len(gen.tr.Channels))
+	for i := range all {
+		all[i] = ChannelID(i)
+	}
+	return gen.weightedChannel(all)
+}
+
+func (gen *generator) weightedChannel(chans []ChannelID) ChannelID {
+	weights := make([]float64, len(chans))
+	for i, id := range chans {
+		weights[i] = gen.chanPop[id]
+	}
+	idx := dist.WeightedChoice(gen.g, weights)
+	if idx < 0 {
+		return -1
+	}
+	return chans[idx]
+}
+
+func (gen *generator) favorites(u *User) {
+	cfg, g, tr := gen.cfg, gen.g, gen.tr
+	nFavs := dist.Poisson(g, cfg.MeanFavoritesPerUser)
+	if nFavs == 0 || len(tr.Videos) == 0 {
+		return
+	}
+	seen := make(map[VideoID]bool, nFavs)
+	for attempts := 0; len(u.Favorites) < nFavs && attempts < 20*nFavs; attempts++ {
+		var vid VideoID
+		// Favourites come mostly from subscribed channels (popular
+		// ranks first), occasionally anywhere. The paper derives user
+		// interests from favourite videos; generating favourites from
+		// subscriptions keeps that relationship consistent.
+		if len(u.Subscriptions) > 0 && g.Bool(0.8) {
+			ch := tr.Channels[u.Subscriptions[g.Intn(len(u.Subscriptions))]]
+			if len(ch.Videos) == 0 {
+				continue
+			}
+			z, err := dist.NewZipf(len(ch.Videos), 1)
+			if err != nil {
+				continue
+			}
+			vid = ch.Videos[z.Sample(g)-1]
+		} else {
+			vid = VideoID(g.Intn(len(tr.Videos)))
+		}
+		if seen[vid] {
+			continue
+		}
+		seen[vid] = true
+		u.Favorites = append(u.Favorites, vid)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the trace as JSON to w.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON trace from r and validates its internal references.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Validate checks referential integrity: every channel's video and
+// subscriber ids resolve, every video's channel resolves, and rank ordering
+// within each channel is 1..n.
+func (t *Trace) Validate() error {
+	for _, ch := range t.Channels {
+		if ch == nil {
+			return fmt.Errorf("trace: nil channel entry")
+		}
+		for _, vid := range ch.Videos {
+			v := t.Video(vid)
+			if v == nil {
+				return fmt.Errorf("trace: channel %d references missing video %d", ch.ID, vid)
+			}
+			if v.Channel != ch.ID {
+				return fmt.Errorf("trace: video %d claims channel %d, listed under %d", vid, v.Channel, ch.ID)
+			}
+		}
+		for i, vid := range ch.Videos {
+			if want := i + 1; t.Videos[vid].Rank != want {
+				return fmt.Errorf("trace: channel %d video %d has rank %d, want %d", ch.ID, vid, t.Videos[vid].Rank, want)
+			}
+		}
+		for _, uid := range ch.Subscribers {
+			if t.User(uid) == nil {
+				return fmt.Errorf("trace: channel %d references missing user %d", ch.ID, uid)
+			}
+		}
+	}
+	for _, u := range t.Users {
+		if u == nil {
+			return fmt.Errorf("trace: nil user entry")
+		}
+		for _, cid := range u.Subscriptions {
+			if t.Channel(cid) == nil {
+				return fmt.Errorf("trace: user %d subscribed to missing channel %d", u.ID, cid)
+			}
+		}
+		for _, vid := range u.Favorites {
+			if t.Video(vid) == nil {
+				return fmt.Errorf("trace: user %d favourites missing video %d", u.ID, vid)
+			}
+		}
+		for _, c := range u.Interests {
+			if int(c) < 0 || int(c) >= t.Categories {
+				return fmt.Errorf("trace: user %d has out-of-range interest %d", u.ID, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package trace models the YouTube social network the paper measures in
+// Section III — interest categories, channels, videos, users, subscriptions
+// and favourites — and generates synthetic traces whose marginal
+// distributions match the paper's crawl (O1–O5). It also computes the
+// Section III statistics so every trace-analysis figure can be regenerated.
+package trace
+
+import (
+	"time"
+)
+
+// CategoryID identifies an interest category (e.g. Gaming, Sports, Comedy).
+type CategoryID int
+
+// ChannelID identifies a channel (a user's page of uploaded videos).
+type ChannelID int
+
+// VideoID identifies a single video.
+type VideoID int
+
+// UserID identifies a registered user (a prospective peer).
+type UserID int
+
+// Video is one uploaded clip together with the metadata the paper's crawler
+// collected: total views, upload date, length and favourite count.
+type Video struct {
+	ID       VideoID    `json:"id"`
+	Channel  ChannelID  `json:"channel"`
+	Category CategoryID `json:"category"`
+	// Views is the total view count; within a channel the view counts of
+	// its videos follow a Zipf distribution (Fig. 9).
+	Views int64 `json:"views"`
+	// Favorites is the number of times the video was marked as a
+	// favourite; it correlates strongly with Views (Fig. 8).
+	Favorites int64 `json:"favorites"`
+	// Uploaded is the upload date (Fig. 2 plots uploads over time).
+	Uploaded time.Time `json:"uploaded"`
+	// Length is the playback duration. YouTube short videos average a
+	// 320 kbps bitrate and a few minutes of content.
+	Length time.Duration `json:"lengthNanos"`
+	// Rank is the video's popularity rank within its channel (1 = most
+	// popular). The prefetching algorithm orders a channel's videos by
+	// this rank.
+	Rank int `json:"rank"`
+}
+
+// Channel is a user's channel: a set of videos focused on a small number of
+// interest categories (Fig. 11).
+type Channel struct {
+	ID ChannelID `json:"id"`
+	// Primary is the channel's dominant interest category; YouTube lists
+	// the channel under this category.
+	Primary CategoryID `json:"primary"`
+	// Categories are all categories the channel's videos span, Primary
+	// included. Channels focus on few categories (median 1–3).
+	Categories []CategoryID `json:"categories"`
+	// Videos are the channel's uploads ordered by popularity rank.
+	Videos []VideoID `json:"videos"`
+	// Subscribers are the users subscribed to this channel.
+	Subscribers []UserID `json:"subscribers"`
+}
+
+// User is a registered user with personal interests and channel
+// subscriptions. Users tend to subscribe to channels matching their
+// interests (Fig. 12) and have a bounded number of interests (Fig. 13).
+type User struct {
+	ID UserID `json:"id"`
+	// Interests are the user's personal interest categories, derived in
+	// the paper from the categories of the user's favourite videos.
+	Interests []CategoryID `json:"interests"`
+	// Subscriptions are the channels the user subscribes to.
+	Subscriptions []ChannelID `json:"subscriptions"`
+	// Favorites are videos the user marked as favourites.
+	Favorites []VideoID `json:"favorites"`
+}
+
+// Trace is a complete synthetic crawl of the modelled social network.
+type Trace struct {
+	Seed       int64      `json:"seed"`
+	Categories int        `json:"categories"`
+	Channels   []*Channel `json:"channels"`
+	Videos     []*Video   `json:"videos"`
+	Users      []*User    `json:"users"`
+	// Start and End bound the upload dates in the trace.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Channel returns the channel with the given id, or nil when out of range.
+func (t *Trace) Channel(id ChannelID) *Channel {
+	if int(id) < 0 || int(id) >= len(t.Channels) {
+		return nil
+	}
+	return t.Channels[id]
+}
+
+// Video returns the video with the given id, or nil when out of range.
+func (t *Trace) Video(id VideoID) *Video {
+	if int(id) < 0 || int(id) >= len(t.Videos) {
+		return nil
+	}
+	return t.Videos[id]
+}
+
+// User returns the user with the given id, or nil when out of range.
+func (t *Trace) User(id UserID) *User {
+	if int(id) < 0 || int(id) >= len(t.Users) {
+		return nil
+	}
+	return t.Users[id]
+}
+
+// ChannelViews returns the total views across a channel's videos.
+func (t *Trace) ChannelViews(id ChannelID) int64 {
+	ch := t.Channel(id)
+	if ch == nil {
+		return 0
+	}
+	var total int64
+	for _, vid := range ch.Videos {
+		total += t.Videos[vid].Views
+	}
+	return total
+}
+
+// ChannelsInCategory returns the ids of channels whose primary category is c.
+func (t *Trace) ChannelsInCategory(c CategoryID) []ChannelID {
+	var out []ChannelID
+	for _, ch := range t.Channels {
+		if ch.Primary == c {
+			out = append(out, ch.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// CDFPoint is one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value    float64 `json:"value"`
+	Fraction float64 `json:"fraction"`
+}
+
+// CDF returns the empirical CDF of values at the given fractions
+// (e.g. 0.01, 0.25, 0.50, 0.75, 0.99). Values need not be sorted.
+func CDF(values []float64, fractions []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(fractions))
+	for _, f := range fractions {
+		out = append(out, CDFPoint{Value: Quantile(sorted, f), Fraction: f})
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted slice
+// using nearest-rank interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// VideoGrowth returns cumulative video-upload counts over nBuckets equal
+// intervals of the trace span (Fig. 2).
+func (t *Trace) VideoGrowth(nBuckets int) []int {
+	if nBuckets <= 0 {
+		return nil
+	}
+	counts := make([]int, nBuckets)
+	span := t.End.Sub(t.Start)
+	if span <= 0 {
+		return counts
+	}
+	for _, v := range t.Videos {
+		frac := float64(v.Uploaded.Sub(t.Start)) / float64(span)
+		idx := int(frac * float64(nBuckets))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBuckets {
+			idx = nBuckets - 1
+		}
+		counts[idx]++
+	}
+	for i := 1; i < nBuckets; i++ {
+		counts[i] += counts[i-1]
+	}
+	return counts
+}
+
+// ChannelViewFrequencies returns, per channel, total views divided by the
+// average days its videos have been online (Fig. 3).
+func (t *Trace) ChannelViewFrequencies() []float64 {
+	out := make([]float64, 0, len(t.Channels))
+	for _, ch := range t.Channels {
+		if len(ch.Videos) == 0 {
+			continue
+		}
+		var views int64
+		var onlineDays float64
+		for _, vid := range ch.Videos {
+			v := t.Videos[vid]
+			views += v.Views
+			days := t.End.Sub(v.Uploaded).Hours() / 24
+			if days < 1 {
+				days = 1
+			}
+			onlineDays += days
+		}
+		avgDays := onlineDays / float64(len(ch.Videos))
+		out = append(out, float64(views)/avgDays)
+	}
+	return out
+}
+
+// SubscriberCounts returns subscribers per channel (Fig. 4).
+func (t *Trace) SubscriberCounts() []float64 {
+	out := make([]float64, len(t.Channels))
+	for i, ch := range t.Channels {
+		out[i] = float64(len(ch.Subscribers))
+	}
+	return out
+}
+
+// ViewsVsSubscriptions returns paired (subscribers, totalViews) samples per
+// channel (Fig. 5) for correlation analysis.
+func (t *Trace) ViewsVsSubscriptions() (subs, views []float64) {
+	subs = make([]float64, len(t.Channels))
+	views = make([]float64, len(t.Channels))
+	for i, ch := range t.Channels {
+		subs[i] = float64(len(ch.Subscribers))
+		views[i] = float64(t.ChannelViews(ch.ID))
+	}
+	return subs, views
+}
+
+// VideosPerChannel returns video counts per channel (Fig. 6).
+func (t *Trace) VideosPerChannel() []float64 {
+	out := make([]float64, len(t.Channels))
+	for i, ch := range t.Channels {
+		out[i] = float64(len(ch.Videos))
+	}
+	return out
+}
+
+// ViewsPerVideo returns per-video view counts (Fig. 7).
+func (t *Trace) ViewsPerVideo() []float64 {
+	out := make([]float64, len(t.Videos))
+	for i, v := range t.Videos {
+		out[i] = float64(v.Views)
+	}
+	return out
+}
+
+// FavoritesPerVideo returns per-video favourite counts (Fig. 8).
+func (t *Trace) FavoritesPerVideo() []float64 {
+	out := make([]float64, len(t.Videos))
+	for i, v := range t.Videos {
+		out[i] = float64(v.Favorites)
+	}
+	return out
+}
+
+// ChannelPopularityClass selects the channel at the given quantile of total
+// views (1.0 = most popular) — used by Fig. 9 to pick a high-, medium- and
+// low-popularity channel.
+func (t *Trace) ChannelPopularityClass(quantile float64) *Channel {
+	if len(t.Channels) == 0 {
+		return nil
+	}
+	type cv struct {
+		ch    *Channel
+		views int64
+	}
+	ranked := make([]cv, len(t.Channels))
+	for i, ch := range t.Channels {
+		ranked[i] = cv{ch: ch, views: t.ChannelViews(ch.ID)}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].views < ranked[j].views })
+	idx := int(quantile * float64(len(ranked)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ranked) {
+		idx = len(ranked) - 1
+	}
+	return ranked[idx].ch
+}
+
+// WithinChannelViews returns the per-rank view counts of a channel, ordered
+// by rank (Fig. 9: these approximate a Zipf distribution).
+func (t *Trace) WithinChannelViews(id ChannelID) []float64 {
+	ch := t.Channel(id)
+	if ch == nil {
+		return nil
+	}
+	out := make([]float64, len(ch.Videos))
+	for i, vid := range ch.Videos {
+		out[i] = float64(t.Videos[vid].Views)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// ZipfFit estimates the Zipf exponent s of rank-ordered (descending) counts
+// by least squares on log-log coordinates, returning s and the R² of the fit.
+func ZipfFit(counts []float64) (s, r2 float64) {
+	var xs, ys []float64
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(c))
+	}
+	if len(xs) < 2 {
+		return 0, 0
+	}
+	slope, intercept := linearFit(xs, ys)
+	// Residual analysis for R².
+	meanY := mean(ys)
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		return -slope, 1
+	}
+	return -slope, 1 - ssRes/ssTot
+}
+
+func linearFit(xs, ys []float64) (slope, intercept float64) {
+	mx, my := mean(xs), mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, my
+	}
+	slope = num / den
+	return slope, my - slope*mx
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples (Fig. 5 reports a strong positive correlation between channel
+// subscriptions and views).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := mean(xs), mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		dx += (xs[i] - mx) * (xs[i] - mx)
+		dy += (ys[i] - my) * (ys[i] - my)
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// LogPearson returns the Pearson correlation of log(1+x) transformed
+// samples — the correlation visible in Fig. 5's log-log scatter plot.
+func LogPearson(xs, ys []float64) float64 {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		lx[i] = math.Log1p(xs[i])
+	}
+	for i := range ys {
+		ly[i] = math.Log1p(ys[i])
+	}
+	return Pearson(lx, ly)
+}
+
+// SharedSubscriberEdge is a pair of channels linked by at least the
+// threshold number of shared subscribers (Fig. 10).
+type SharedSubscriberEdge struct {
+	A      ChannelID `json:"a"`
+	B      ChannelID `json:"b"`
+	Shared int       `json:"shared"`
+}
+
+// SharedSubscriberGraph returns edges between channels that share at least
+// minShared subscribers. The paper's Fig. 10 uses a threshold of 50 and
+// observes that the resulting graph clusters by interest category.
+func (t *Trace) SharedSubscriberGraph(minShared int) []SharedSubscriberEdge {
+	// Build per-user subscription lists, then count pairs.
+	pairCount := make(map[[2]ChannelID]int)
+	for _, u := range t.Users {
+		subs := u.Subscriptions
+		for i := 0; i < len(subs); i++ {
+			for j := i + 1; j < len(subs); j++ {
+				a, b := subs[i], subs[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairCount[[2]ChannelID{a, b}]++
+			}
+		}
+	}
+	var edges []SharedSubscriberEdge
+	for pair, n := range pairCount {
+		if n >= minShared {
+			edges = append(edges, SharedSubscriberEdge{A: pair[0], B: pair[1], Shared: n})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// IntraCategoryEdgeFraction returns the fraction of shared-subscriber edges
+// whose endpoints share a primary category — the clustering Fig. 10 shows
+// visually.
+func (t *Trace) IntraCategoryEdgeFraction(minShared int) float64 {
+	edges := t.SharedSubscriberGraph(minShared)
+	if len(edges) == 0 {
+		return 0
+	}
+	same := 0
+	for _, e := range edges {
+		if t.Channels[e.A].Primary == t.Channels[e.B].Primary {
+			same++
+		}
+	}
+	return float64(same) / float64(len(edges))
+}
+
+// InterestsPerChannel returns the number of video categories each channel
+// spans (Fig. 11).
+func (t *Trace) InterestsPerChannel() []float64 {
+	out := make([]float64, len(t.Channels))
+	for i, ch := range t.Channels {
+		cats := make(map[CategoryID]bool)
+		for _, vid := range ch.Videos {
+			cats[t.Videos[vid].Category] = true
+		}
+		out[i] = float64(len(cats))
+	}
+	return out
+}
+
+// InterestSimilarities returns, per user, |C_u ∩ C_c| / |C_u| where C_u is
+// the user's interest set and C_c the categories of the user's subscribed
+// channels (Fig. 12).
+func (t *Trace) InterestSimilarities() []float64 {
+	out := make([]float64, 0, len(t.Users))
+	for _, u := range t.Users {
+		if len(u.Interests) == 0 {
+			continue
+		}
+		chanCats := make(map[CategoryID]bool)
+		for _, cid := range u.Subscriptions {
+			for _, c := range t.Channels[cid].Categories {
+				chanCats[c] = true
+			}
+		}
+		match := 0
+		for _, c := range u.Interests {
+			if chanCats[c] {
+				match++
+			}
+		}
+		out = append(out, float64(match)/float64(len(u.Interests)))
+	}
+	return out
+}
+
+// InterestsPerUser returns the number of interest categories per user
+// (Fig. 13).
+func (t *Trace) InterestsPerUser() []float64 {
+	out := make([]float64, len(t.Users))
+	for i, u := range t.Users {
+		out[i] = float64(len(u.Interests))
+	}
+	return out
+}
+
+// Summary aggregates the headline statistics of a trace.
+type Summary struct {
+	Channels        int           `json:"channels"`
+	Videos          int           `json:"videos"`
+	Users           int           `json:"users"`
+	Categories      int           `json:"categories"`
+	MedianVideos    float64       `json:"medianVideosPerChannel"`
+	MedianSubs      float64       `json:"medianSubscribersPerChannel"`
+	ViewsSubsCorr   float64       `json:"viewsSubsPearson"`
+	MedianInterests float64       `json:"medianInterestsPerUser"`
+	Span            time.Duration `json:"spanNanos"`
+}
+
+// Summarize computes the trace's headline statistics.
+func (t *Trace) Summarize() Summary {
+	videos := t.VideosPerChannel()
+	sort.Float64s(videos)
+	subs := t.SubscriberCounts()
+	sort.Float64s(subs)
+	interests := t.InterestsPerUser()
+	sort.Float64s(interests)
+	s, v := t.ViewsVsSubscriptions()
+	return Summary{
+		Channels:        len(t.Channels),
+		Videos:          len(t.Videos),
+		Users:           len(t.Users),
+		Categories:      t.Categories,
+		MedianVideos:    Quantile(videos, 0.5),
+		MedianSubs:      Quantile(subs, 0.5),
+		ViewsSubsCorr:   Pearson(s, v),
+		MedianInterests: Quantile(interests, 0.5),
+		Span:            t.End.Sub(t.Start),
+	}
+}

@@ -1,0 +1,74 @@
+package vod
+
+import (
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// Source says where a requested video was obtained.
+type Source int
+
+// Request sources.
+const (
+	// SourceCache means the node already held the full video locally.
+	SourceCache Source = iota + 1
+	// SourcePeer means another peer supplied the video.
+	SourcePeer
+	// SourceServer means the central server supplied the video.
+	SourceServer
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourcePeer:
+		return "peer"
+	case SourceServer:
+		return "server"
+	default:
+		return "unknown"
+	}
+}
+
+// RequestResult describes how a protocol located one requested video.
+type RequestResult struct {
+	// Source is where the video came from.
+	Source Source
+	// Provider is the peer that serves the video when Source is
+	// SourcePeer.
+	Provider int
+	// Hops is the number of overlay hops the successful query travelled
+	// (0 for cache hits and direct server requests).
+	Hops int
+	// Messages is the number of query messages sent while searching.
+	Messages int
+	// PrefixCached reports that the node already held the video's first
+	// chunk (a prefetch hit), eliminating the startup delay.
+	PrefixCached bool
+}
+
+// Protocol is the contract every P2P VoD scheme implements over the
+// simulator: SocialTube (internal/core) and the NetTube / PA-VoD baselines
+// (internal/baseline). The experiment engine (internal/exp) drives these
+// callbacks and layers network timing on top.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Join brings a node online at the start of a session.
+	Join(node int)
+	// Leave takes a node offline at the end of a session (graceful
+	// departure: neighbours may clean up immediately).
+	Leave(node int)
+	// Fail takes a node offline abruptly: neighbours discover the loss
+	// only via maintenance probes.
+	Fail(node int)
+	// Request locates the given video for the node.
+	Request(node int, v trace.VideoID) RequestResult
+	// Finish records that the node completed watching the video; the
+	// protocol updates caches, overlay links and prefetches here.
+	Finish(node int, v trace.VideoID)
+	// Links returns the node's current maintenance overhead measured, as
+	// in the paper, by the number of overlay links it must maintain.
+	Links(node int) int
+}

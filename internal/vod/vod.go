@@ -1,0 +1,295 @@
+// Package vod holds the video-on-demand abstractions shared by every
+// protocol: chunked videos, the session cache peers serve from, and the
+// viewing-behaviour model that drives trace-driven experiments.
+package vod
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// DefaultBitrateBps is the average YouTube video bitrate the paper cites
+// (330 kbps per Cheng et al.; Table I uses 320 kbps).
+const DefaultBitrateBps = 320_000
+
+// DefaultChunksPerVideo is Table I's chunk count per video.
+const DefaultChunksPerVideo = 2
+
+// Chunk identifies one piece of a video.
+type Chunk struct {
+	Video trace.VideoID `json:"video"`
+	Index int           `json:"index"`
+}
+
+// ChunkBytes returns the size in bytes of one chunk of a video of the given
+// length at the given bitrate, split into chunks equal parts.
+func ChunkBytes(length time.Duration, bitrateBps int64, chunks int) int64 {
+	if chunks <= 0 || length <= 0 || bitrateBps <= 0 {
+		return 0
+	}
+	total := int64(length.Seconds() * float64(bitrateBps) / 8)
+	return total / int64(chunks)
+}
+
+// Cache is a peer's video store. The paper's protocols cache every video
+// watched during a session (NetTube, SocialTube) plus prefetched first
+// chunks; MaxVideos=0 reproduces that unbounded session cache, while a
+// positive bound turns it into an LRU cache for the ablation benches.
+type Cache struct {
+	maxVideos int
+	full      map[trace.VideoID]bool
+	prefix    map[trace.VideoID]bool
+	order     []trace.VideoID // LRU order of full videos, oldest first
+}
+
+// NewCache returns a cache bounded to maxVideos full videos (0 = unbounded).
+func NewCache(maxVideos int) *Cache {
+	return &Cache{
+		maxVideos: maxVideos,
+		full:      make(map[trace.VideoID]bool),
+		prefix:    make(map[trace.VideoID]bool),
+	}
+}
+
+// AddFull stores a complete video, evicting the least recently used video
+// if the bound is exceeded. Storing a full video supersedes its prefix.
+func (c *Cache) AddFull(v trace.VideoID) {
+	if c.full[v] {
+		c.touch(v)
+		return
+	}
+	c.full[v] = true
+	c.order = append(c.order, v)
+	delete(c.prefix, v)
+	if c.maxVideos > 0 && len(c.full) > c.maxVideos {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.full, oldest)
+	}
+}
+
+func (c *Cache) touch(v trace.VideoID) {
+	for i, id := range c.order {
+		if id == v {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, v)
+			return
+		}
+	}
+}
+
+// AddPrefix stores only the first chunk of a video (a prefetch). A prefix
+// never evicts full videos; prefetched chunks are tiny (~15 KB per the
+// paper) so they are not counted against the video bound.
+func (c *Cache) AddPrefix(v trace.VideoID) {
+	if c.full[v] {
+		return
+	}
+	c.prefix[v] = true
+}
+
+// HasFull reports whether the complete video is cached.
+func (c *Cache) HasFull(v trace.VideoID) bool { return c.full[v] }
+
+// HasPrefix reports whether at least the first chunk is cached.
+func (c *Cache) HasPrefix(v trace.VideoID) bool { return c.full[v] || c.prefix[v] }
+
+// FullLen returns the number of complete videos cached.
+func (c *Cache) FullLen() int { return len(c.full) }
+
+// PrefixLen returns the number of prefix-only entries.
+func (c *Cache) PrefixLen() int { return len(c.prefix) }
+
+// FullVideos returns the ids of all fully cached videos (copy).
+func (c *Cache) FullVideos() []trace.VideoID {
+	out := make([]trace.VideoID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.full = make(map[trace.VideoID]bool)
+	c.prefix = make(map[trace.VideoID]bool)
+	c.order = nil
+}
+
+// Behavior holds the probabilities of the paper's video-selection mechanism
+// (§V): when choosing the next video, a node picks from the same channel
+// with PSameChannel, the same category with PSameCategory, and anywhere
+// else with the remainder.
+type Behavior struct {
+	PSameChannel  float64
+	PSameCategory float64
+}
+
+// DefaultBehavior is the paper's 75% / 15% / 10% split.
+func DefaultBehavior() Behavior {
+	return Behavior{PSameChannel: 0.75, PSameCategory: 0.15}
+}
+
+// Validate reports the first problem with the behaviour probabilities.
+func (b Behavior) Validate() error {
+	if b.PSameChannel < 0 || b.PSameCategory < 0 || b.PSameChannel+b.PSameCategory > 1 {
+		return fmt.Errorf("%w: behavior %+v", dist.ErrBadParameter, b)
+	}
+	return nil
+}
+
+// Picker selects videos according to the behaviour model over a trace. It
+// precomputes popularity indexes so repeated picks are cheap.
+type Picker struct {
+	tr       *trace.Trace
+	behavior Behavior
+	// Per-category video lists and weights.
+	byCat        [][]trace.VideoID
+	byCatWeights [][]float64
+	allWeights   []float64
+	// zipfBySize caches Zipf samplers keyed by channel size; building
+	// the CDF is O(n) and channel sizes repeat constantly. zipfMu guards
+	// the cache: the emulator shares one Picker across peer goroutines.
+	zipfMu     sync.Mutex
+	zipfBySize map[int]*dist.Zipf
+}
+
+// NewPicker builds a picker over the trace with the given behaviour.
+func NewPicker(tr *trace.Trace, b Behavior) (*Picker, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || len(tr.Videos) == 0 {
+		return nil, fmt.Errorf("%w: picker needs a non-empty trace", dist.ErrBadParameter)
+	}
+	p := &Picker{
+		tr:           tr,
+		behavior:     b,
+		byCat:        make([][]trace.VideoID, tr.Categories),
+		byCatWeights: make([][]float64, tr.Categories),
+		allWeights:   make([]float64, len(tr.Videos)),
+		zipfBySize:   make(map[int]*dist.Zipf),
+	}
+	for i, v := range tr.Videos {
+		p.allWeights[i] = float64(v.Views)
+		c := int(v.Category)
+		if c >= 0 && c < tr.Categories {
+			p.byCat[c] = append(p.byCat[c], v.ID)
+			p.byCatWeights[c] = append(p.byCatWeights[c], float64(v.Views))
+		}
+	}
+	return p, nil
+}
+
+// First picks a session's first video: a popularity-weighted draw from the
+// user's subscribed channels, falling back to a global draw when the user
+// has no subscriptions.
+func (p *Picker) First(g *dist.RNG, u *trace.User) trace.VideoID {
+	if u != nil && len(u.Subscriptions) > 0 {
+		ch := p.tr.Channel(u.Subscriptions[g.Intn(len(u.Subscriptions))])
+		if ch != nil && len(ch.Videos) > 0 {
+			return p.fromChannel(g, ch)
+		}
+	}
+	return p.global(g)
+}
+
+// Next picks the video to watch after current using the 75/15/10 rule.
+func (p *Picker) Next(g *dist.RNG, current trace.VideoID) trace.VideoID {
+	v := p.tr.Video(current)
+	if v == nil {
+		return p.global(g)
+	}
+	u := g.Float64()
+	switch {
+	case u < p.behavior.PSameChannel:
+		if ch := p.tr.Channel(v.Channel); ch != nil && len(ch.Videos) > 1 {
+			return p.fromChannel(g, ch)
+		}
+	case u < p.behavior.PSameChannel+p.behavior.PSameCategory:
+		if picked, ok := p.fromCategory(g, v.Category); ok {
+			return picked
+		}
+	default:
+		// A different category, if one exists.
+		if p.tr.Categories > 1 {
+			for attempts := 0; attempts < 10; attempts++ {
+				c := trace.CategoryID(g.Intn(p.tr.Categories))
+				if c == v.Category {
+					continue
+				}
+				if picked, ok := p.fromCategory(g, c); ok {
+					return picked
+				}
+			}
+		}
+	}
+	return p.global(g)
+}
+
+// fromChannel draws a video from the channel, Zipf-weighted by rank — the
+// within-channel popularity distribution of Fig. 9.
+func (p *Picker) fromChannel(g *dist.RNG, ch *trace.Channel) trace.VideoID {
+	p.zipfMu.Lock()
+	z, ok := p.zipfBySize[len(ch.Videos)]
+	if !ok {
+		var err error
+		z, err = dist.NewZipf(len(ch.Videos), 1)
+		if err != nil {
+			p.zipfMu.Unlock()
+			return ch.Videos[0]
+		}
+		p.zipfBySize[len(ch.Videos)] = z
+	}
+	p.zipfMu.Unlock()
+	return ch.Videos[z.Sample(g)-1]
+}
+
+func (p *Picker) fromCategory(g *dist.RNG, c trace.CategoryID) (trace.VideoID, bool) {
+	ci := int(c)
+	if ci < 0 || ci >= len(p.byCat) || len(p.byCat[ci]) == 0 {
+		return 0, false
+	}
+	idx := dist.WeightedChoice(g, p.byCatWeights[ci])
+	if idx < 0 {
+		return 0, false
+	}
+	return p.byCat[ci][idx], true
+}
+
+func (p *Picker) global(g *dist.RNG) trace.VideoID {
+	idx := dist.WeightedChoice(g, p.allWeights)
+	if idx < 0 {
+		return p.tr.Videos[g.Intn(len(p.tr.Videos))].ID
+	}
+	return p.tr.Videos[idx].ID
+}
+
+// SessionPlan is one user session: which videos get watched and when the
+// node goes back offline.
+type SessionPlan struct {
+	Videos  []trace.VideoID
+	OffTime time.Duration
+}
+
+// PlanSession builds a session of nVideos views for the user, with an
+// exponentially distributed off-time afterwards (the paper's Poisson
+// session-arrival model, mean 500 s in simulation).
+func (p *Picker) PlanSession(g *dist.RNG, u *trace.User, nVideos int, meanOff time.Duration) SessionPlan {
+	plan := SessionPlan{
+		Videos:  make([]trace.VideoID, 0, nVideos),
+		OffTime: time.Duration(dist.Exponential(g, float64(meanOff))),
+	}
+	if nVideos <= 0 {
+		return plan
+	}
+	cur := p.First(g, u)
+	plan.Videos = append(plan.Videos, cur)
+	for len(plan.Videos) < nVideos {
+		cur = p.Next(g, cur)
+		plan.Videos = append(plan.Videos, cur)
+	}
+	return plan
+}

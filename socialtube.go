@@ -1,0 +1,237 @@
+// Package socialtube is a from-scratch reproduction of "An Interest-based
+// Per-Community P2P Hierarchical Structure for Short Video Sharing in the
+// YouTube Social Network" (Shen, Lin, Chandler — ICDCS 2014).
+//
+// SocialTube organizes a P2P video-on-demand swarm around the *social*
+// structure of YouTube rather than around individual videos: subscribers of
+// one channel form a lower-level overlay (at most N_l inner-links per node),
+// all users of channels within one interest category form a higher-level
+// cluster (at most N_h inter-links), queries flood the channel overlay with
+// a TTL, then the category cluster, then fall back to the server, and nodes
+// prefetch the first chunks of the most popular videos of the channel they
+// are watching.
+//
+// The package exposes four layers:
+//
+//   - Trace: a synthetic YouTube social network whose distributions match
+//     the paper's Section III crawl (GenerateTrace).
+//   - Protocols: SocialTube (NewSystem) plus the NetTube and PA-VoD
+//     baselines (NewNetTube, NewPAVoD), all implementing Protocol.
+//   - Simulation: a discrete-event, trace-driven experiment engine
+//     (RunExperiment) reproducing the PeerSim evaluation.
+//   - Emulation: real TCP nodes on loopback with injected WAN latency and
+//     loss (RunCluster) reproducing the PlanetLab evaluation.
+//
+// A minimal end-to-end run:
+//
+//	tr, err := socialtube.GenerateTrace(socialtube.DefaultTraceConfig())
+//	if err != nil { ... }
+//	sys, err := socialtube.NewSystem(socialtube.DefaultSystemConfig(), tr)
+//	if err != nil { ... }
+//	res, err := socialtube.RunExperiment(
+//		socialtube.DefaultExperimentConfig(), tr, sys,
+//		socialtube.DefaultNetworkConfig())
+//	if err != nil { ... }
+//	p1, p50, p99 := res.NormalizedPeerBandwidthPercentiles()
+package socialtube
+
+import (
+	"github.com/socialtube/socialtube/internal/baseline"
+	"github.com/socialtube/socialtube/internal/core"
+	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// Trace layer: the synthetic YouTube social network.
+type (
+	// Trace is a synthetic crawl of the modelled YouTube social network.
+	Trace = trace.Trace
+	// TraceConfig controls synthetic trace generation.
+	TraceConfig = trace.Config
+	// TraceSummary aggregates a trace's headline statistics.
+	TraceSummary = trace.Summary
+	// Channel is one YouTube channel.
+	Channel = trace.Channel
+	// Video is one uploaded video.
+	Video = trace.Video
+	// User is one registered user.
+	User = trace.User
+	// ChannelID identifies a channel.
+	ChannelID = trace.ChannelID
+	// VideoID identifies a video.
+	VideoID = trace.VideoID
+	// UserID identifies a user.
+	UserID = trace.UserID
+	// CategoryID identifies an interest category.
+	CategoryID = trace.CategoryID
+)
+
+// DefaultTraceConfig returns a laptop-scale trace configuration whose
+// distributions follow the paper's Section III measurements.
+func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
+
+// GenerateTrace builds a synthetic trace; the same configuration always
+// yields the same trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// CrawlTrace samples a sub-trace by breadth-first search over subscription
+// relationships — the paper's Section III data-collection methodology.
+func CrawlTrace(tr *Trace, seed int64, maxUsers int) (*Trace, error) {
+	return trace.Crawl(tr, seed, maxUsers)
+}
+
+// Protocol layer: SocialTube and the two baselines.
+type (
+	// Protocol is the contract every P2P VoD scheme implements.
+	Protocol = vod.Protocol
+	// RequestResult describes how a protocol located one video.
+	RequestResult = vod.RequestResult
+	// Source says who served a request.
+	Source = vod.Source
+	// Behavior is the video-selection model (75/15/10 in the paper).
+	Behavior = vod.Behavior
+
+	// System is the SocialTube protocol (the paper's contribution).
+	System = core.System
+	// SystemConfig holds SocialTube's parameters (N_l, N_h, TTL, M).
+	SystemConfig = core.Config
+	// MaintenanceModel is the closed-form Fig. 15 overhead model.
+	MaintenanceModel = core.MaintenanceModel
+
+	// NetTube is the per-video-overlay baseline.
+	NetTube = baseline.NetTube
+	// NetTubeConfig holds NetTube's parameters.
+	NetTubeConfig = baseline.NetTubeConfig
+	// PAVoD is the peer-assisted, cache-less baseline.
+	PAVoD = baseline.PAVoD
+	// PAVoDConfig holds PA-VoD's parameters.
+	PAVoDConfig = baseline.PAVoDConfig
+)
+
+// Request sources.
+const (
+	// SourceCache means the node already held the video locally.
+	SourceCache = vod.SourceCache
+	// SourcePeer means another peer supplied the video.
+	SourcePeer = vod.SourcePeer
+	// SourceServer means the central server supplied the video.
+	SourceServer = vod.SourceServer
+)
+
+// DefaultSystemConfig returns the paper's Table I protocol parameters
+// (N_l=5, N_h=10, TTL=2, M=3).
+func DefaultSystemConfig() SystemConfig { return core.DefaultConfig() }
+
+// NewSystem builds a SocialTube system over the trace.
+func NewSystem(cfg SystemConfig, tr *Trace) (*System, error) { return core.New(cfg, tr) }
+
+// DefaultNetTubeConfig returns NetTube's comparison parameters.
+func DefaultNetTubeConfig() NetTubeConfig { return baseline.DefaultNetTubeConfig() }
+
+// NewNetTube builds a NetTube baseline over the trace.
+func NewNetTube(cfg NetTubeConfig, tr *Trace) (*NetTube, error) {
+	return baseline.NewNetTube(cfg, tr)
+}
+
+// DefaultPAVoDConfig returns PA-VoD's parameters.
+func DefaultPAVoDConfig() PAVoDConfig { return baseline.DefaultPAVoDConfig() }
+
+// NewPAVoD builds a PA-VoD baseline over the trace.
+func NewPAVoD(cfg PAVoDConfig, tr *Trace) (*PAVoD, error) {
+	return baseline.NewPAVoD(cfg, tr)
+}
+
+// DefaultBehavior returns the paper's 75/15/10 video-selection split.
+func DefaultBehavior() Behavior { return vod.DefaultBehavior() }
+
+// DefaultMaintenanceModel returns Fig. 15's model parameters.
+func DefaultMaintenanceModel() MaintenanceModel { return core.DefaultMaintenanceModel() }
+
+// PrefetchAccuracy returns the §IV-B probability that one of the top
+// prefetchCount videos of a channelVideos-video channel is watched next.
+func PrefetchAccuracy(channelVideos, prefetchCount int) float64 {
+	return core.PrefetchAccuracy(channelVideos, prefetchCount)
+}
+
+// Simulation layer: the PeerSim-style trace-driven evaluation.
+type (
+	// ExperimentConfig sets the simulated workload (Table I).
+	ExperimentConfig = exp.Config
+	// ExperimentResult aggregates one simulated run.
+	ExperimentResult = exp.Result
+	// NetworkConfig sets the simulated network (bandwidths, latency).
+	NetworkConfig = simnet.Config
+)
+
+// DefaultExperimentConfig returns Table I's workload parameters.
+func DefaultExperimentConfig() ExperimentConfig { return exp.DefaultConfig() }
+
+// DefaultNetworkConfig returns Table I's network parameters.
+func DefaultNetworkConfig() NetworkConfig { return simnet.DefaultConfig() }
+
+// RunExperiment drives the protocol over the trace with churn and returns
+// the paper's three evaluation metrics.
+func RunExperiment(cfg ExperimentConfig, tr *Trace, p Protocol, net NetworkConfig) (*ExperimentResult, error) {
+	return exp.Run(cfg, tr, p, net)
+}
+
+// Emulation layer: the PlanetLab-style TCP evaluation.
+type (
+	// ClusterConfig drives one emulated experiment over loopback TCP.
+	ClusterConfig = emu.ClusterConfig
+	// ClusterResult aggregates one emulated run.
+	ClusterResult = emu.ClusterResult
+	// Mode selects which protocol emulated peers speak.
+	Mode = emu.Mode
+	// Conditions injects WAN latency and loss into loopback TCP.
+	Conditions = emu.Conditions
+	// Peer is one TCP node (for hand-built topologies).
+	Peer = emu.Peer
+	// PeerConfig sets one TCP node's parameters.
+	PeerConfig = emu.PeerConfig
+	// Tracker is the central TCP server.
+	Tracker = emu.Tracker
+	// TrackerConfig sets the central server's parameters.
+	TrackerConfig = emu.TrackerConfig
+)
+
+// Emulation protocol modes.
+const (
+	// ModeSocialTube runs the hierarchical per-community protocol.
+	ModeSocialTube = emu.ModeSocialTube
+	// ModeNetTube runs per-video overlays.
+	ModeNetTube = emu.ModeNetTube
+	// ModePAVoD runs server-directed peer assistance.
+	ModePAVoD = emu.ModePAVoD
+)
+
+// DefaultClusterConfig returns a loopback-scaled PlanetLab workload.
+func DefaultClusterConfig(mode Mode) ClusterConfig { return emu.DefaultClusterConfig(mode) }
+
+// DefaultConditions returns WAN-like latency/loss for loopback runs.
+func DefaultConditions() *Conditions { return emu.DefaultConditions() }
+
+// DefaultTrackerConfig returns loopback-scaled tracker settings.
+func DefaultTrackerConfig() TrackerConfig { return emu.DefaultTrackerConfig() }
+
+// DefaultPeerConfig returns loopback-scaled peer settings.
+func DefaultPeerConfig(id int, mode Mode) PeerConfig { return emu.DefaultPeerConfig(id, mode) }
+
+// NewTracker builds a TCP tracker over the trace.
+func NewTracker(cfg TrackerConfig, tr *Trace, cond *Conditions) (*Tracker, error) {
+	return emu.NewTracker(cfg, tr, cond)
+}
+
+// NewPeer builds one TCP peer over the trace.
+func NewPeer(cfg PeerConfig, tr *Trace, trackerAddr string, cond *Conditions) (*Peer, error) {
+	return emu.NewPeer(cfg, tr, trackerAddr, cond)
+}
+
+// RunCluster starts a tracker plus peers, drives the session workload and
+// returns aggregated metrics.
+func RunCluster(cfg ClusterConfig, tr *Trace) (*ClusterResult, error) {
+	return emu.RunCluster(cfg, tr)
+}
