@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench figures figures-paper emu cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper emu cover clean
 
 all: build test
 
@@ -11,10 +11,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/emu/ ./internal/vod/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fast allocation-focused micro-benchmarks for the hot paths (flood search,
+# mesh maintenance, per-request work). Seconds, not minutes.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchmem ./internal/overlay/
+	$(GO) test -run '^$$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchmem ./internal/core/
+
+# Full gate: what CI runs (see scripts/ci.sh).
+ci:
+	./scripts/ci.sh
 
 # Regenerate every table and figure at laptop scale (~90 s).
 figures:

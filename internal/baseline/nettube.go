@@ -7,6 +7,7 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/socialtube/socialtube/internal/dist"
 	"github.com/socialtube/socialtube/internal/overlay"
@@ -57,7 +58,8 @@ func (c NetTubeConfig) Validate() error {
 	return nil
 }
 
-// NetTube implements the per-video-overlay baseline over a trace.
+// NetTube implements the per-video-overlay baseline over a trace. Node ids
+// are dense user indices, so per-node state is slice-indexed.
 type NetTube struct {
 	cfg NetTubeConfig
 	tr  *trace.Trace
@@ -68,7 +70,14 @@ type NetTube struct {
 	// members tracks the online members of each per-video overlay — the
 	// per-video state the central server must keep (contrast §IV-A).
 	members map[trace.VideoID]*overlay.Members
-	nodes   map[int]*ntNode
+	nodes   []ntNode
+
+	// scratch is the reusable flood state; unionSeen/unionBuf back the
+	// allocation-free cross-overlay neighbour union.
+	scratch    overlay.FloodScratch
+	unionSeen  []uint32
+	unionEpoch uint32
+	unionBuf   []int
 }
 
 var _ vod.Protocol = (*NetTube)(nil)
@@ -76,9 +85,26 @@ var _ vod.Protocol = (*NetTube)(nil)
 type ntNode struct {
 	online bool
 	cache  *vod.Cache
-	// joined is the set of per-video overlays the node currently has
-	// links in.
-	joined map[trace.VideoID]bool
+	// joined lists the per-video overlays the node currently has links
+	// in, sorted ascending so every iteration order is deterministic.
+	joined []trace.VideoID
+}
+
+// joinedHas reports whether v is in the node's sorted joined list.
+func (st *ntNode) joinedHas(v trace.VideoID) bool {
+	i := sort.Search(len(st.joined), func(i int) bool { return st.joined[i] >= v })
+	return i < len(st.joined) && st.joined[i] == v
+}
+
+// joinedAdd inserts v into the sorted joined list if absent.
+func (st *ntNode) joinedAdd(v trace.VideoID) {
+	i := sort.Search(len(st.joined), func(i int) bool { return st.joined[i] >= v })
+	if i < len(st.joined) && st.joined[i] == v {
+		return
+	}
+	st.joined = append(st.joined, 0)
+	copy(st.joined[i+1:], st.joined[i:])
+	st.joined[i] = v
 }
 
 // NewNetTube builds a NetTube system over the trace.
@@ -90,20 +116,26 @@ func NewNetTube(cfg NetTubeConfig, tr *trace.Trace) (*NetTube, error) {
 		return nil, fmt.Errorf("%w: nettube needs a non-empty trace", dist.ErrBadParameter)
 	}
 	n := &NetTube{
-		cfg:      cfg,
-		tr:       tr,
-		g:        dist.NewRNG(cfg.Seed),
-		overlays: make(map[trace.VideoID]*overlay.Mesh),
-		members:  make(map[trace.VideoID]*overlay.Members),
-		nodes:    make(map[int]*ntNode, len(tr.Users)),
+		cfg:       cfg,
+		tr:        tr,
+		g:         dist.NewRNG(cfg.Seed),
+		overlays:  make(map[trace.VideoID]*overlay.Mesh),
+		members:   make(map[trace.VideoID]*overlay.Members),
+		nodes:     make([]ntNode, len(tr.Users)),
+		scratch:   *overlay.NewFloodScratch(len(tr.Users)),
+		unionSeen: make([]uint32, len(tr.Users)),
 	}
-	for _, u := range tr.Users {
-		n.nodes[int(u.ID)] = &ntNode{
-			cache:  vod.NewCache(cfg.CacheVideos),
-			joined: make(map[trace.VideoID]bool),
-		}
+	for i := range n.nodes {
+		n.nodes[i] = ntNode{cache: vod.NewCache(cfg.CacheVideos)}
 	}
 	return n, nil
+}
+
+func (n *NetTube) state(node int) *ntNode {
+	if node < 0 || node >= len(n.nodes) {
+		return nil
+	}
+	return &n.nodes[node]
 }
 
 // Name implements vod.Protocol.
@@ -128,15 +160,15 @@ func (n *NetTube) memberSet(v trace.VideoID) *overlay.Members {
 }
 
 func (n *NetTube) online(node int) bool {
-	st, ok := n.nodes[node]
-	return ok && st.online
+	st := n.state(node)
+	return st != nil && st.online
 }
 
 // Join implements vod.Protocol. A returning NetTube node starts with no
 // overlay links and accumulates them as it watches videos — the behaviour
 // behind the growing curve of Fig. 18.
 func (n *NetTube) Join(node int) {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || st.online {
 		return
 	}
@@ -145,48 +177,60 @@ func (n *NetTube) Join(node int) {
 
 // Leave implements vod.Protocol: graceful departure from every overlay.
 func (n *NetTube) Leave(node int) {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || !st.online {
 		return
 	}
-	for v := range st.joined {
+	for _, v := range st.joined {
 		n.mesh(v).RemoveNode(node)
 		n.memberSet(v).Remove(node)
-		delete(st.joined, v)
 	}
+	st.joined = st.joined[:0]
 	st.online = false
 }
 
 // Fail implements vod.Protocol: the node vanishes from member sets but its
 // mesh links linger until neighbours probe.
 func (n *NetTube) Fail(node int) {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || !st.online {
 		return
 	}
-	for v := range st.joined {
+	for _, v := range st.joined {
 		n.memberSet(v).Remove(node)
 	}
 	st.online = false
 }
 
 // unionNeighbors returns the node's neighbours across every overlay it has
-// joined — NetTube nodes forward queries over all their links.
+// joined — NetTube nodes forward queries over all their links. The result
+// is a reusable buffer, valid until the next unionNeighbors call; the
+// joined list is sorted, so the order is deterministic.
 func (n *NetTube) unionNeighbors(node int) []int {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || !st.online {
 		return nil
 	}
-	seen := make(map[int]bool)
-	var out []int
-	for v := range st.joined {
-		for _, nb := range n.mesh(v).Neighbors(node) {
-			if !seen[nb] {
-				seen[nb] = true
-				out = append(out, nb)
+	n.unionEpoch++
+	if n.unionEpoch == 0 {
+		for i := range n.unionSeen {
+			n.unionSeen[i] = 0
+		}
+		n.unionEpoch = 1
+	}
+	out := n.unionBuf[:0]
+	for _, v := range st.joined {
+		for _, nb := range n.mesh(v).NeighborsView(node) {
+			if nb < len(n.unionSeen) && n.unionSeen[nb] == n.unionEpoch {
+				continue
 			}
+			if nb < len(n.unionSeen) {
+				n.unionSeen[nb] = n.unionEpoch
+			}
+			out = append(out, nb)
 		}
 	}
+	n.unionBuf = out
 	return out
 }
 
@@ -194,7 +238,7 @@ func (n *NetTube) unionNeighbors(node int) []int {
 // the node's overlays; on a miss the server serves the video and directs
 // the node into the video's overlay.
 func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
-	st := n.nodes[node]
+	st := n.state(node)
 	video := n.tr.Video(v)
 	if st == nil || !st.online || video == nil {
 		return vod.RequestResult{Source: vod.SourceServer}
@@ -205,7 +249,7 @@ func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
 		return res
 	}
 	match := func(m int) bool {
-		other := n.nodes[m]
+		other := n.state(m)
 		return other != nil && other.online && other.cache.HasFull(v)
 	}
 	// A node with overlay links queries its neighbours within TTL hops;
@@ -213,7 +257,7 @@ func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
 	// which directs it to providers in the video's overlay. On a miss the
 	// server serves the video itself.
 	if len(st.joined) > 0 {
-		fr := overlay.Flood(node, n.cfg.TTL, n.unionNeighbors, match)
+		fr := n.scratch.Flood(node, n.cfg.TTL, n.unionNeighbors, match)
 		res.Messages += fr.Messages
 		if fr.OK {
 			res.Source = vod.SourcePeer
@@ -238,10 +282,10 @@ func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
 // joinOverlay places the node in the video's overlay, linking it to the
 // provider (when given) and to random overlay members up to the bound.
 func (n *NetTube) joinOverlay(node int, v trace.VideoID, provider int) {
-	st := n.nodes[node]
+	st := n.state(node)
 	mesh := n.mesh(v)
 	members := n.memberSet(v)
-	st.joined[v] = true
+	st.joinedAdd(v)
 	members.Add(node)
 	if provider >= 0 {
 		mesh.Connect(node, provider)
@@ -261,7 +305,7 @@ func (n *NetTube) joinOverlay(node int, v trace.VideoID, provider int) {
 // provider, and prefetch the first chunks of randomly chosen videos from
 // neighbours' caches (NetTube's related-video prefetching).
 func (n *NetTube) Finish(node int, v trace.VideoID) {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || n.tr.Video(v) == nil {
 		return
 	}
@@ -276,7 +320,7 @@ func (n *NetTube) Finish(node int, v trace.VideoID) {
 	prefetched := 0
 	for attempts := 0; prefetched < n.cfg.PrefetchCount && attempts < 4*n.cfg.PrefetchCount; attempts++ {
 		nb := neighbors[n.g.Intn(len(neighbors))]
-		other := n.nodes[nb]
+		other := n.state(nb)
 		if other == nil {
 			continue
 		}
@@ -297,12 +341,12 @@ func (n *NetTube) Finish(node int, v trace.VideoID) {
 // counting redundant links to the same neighbour in different overlays
 // separately — exactly the overhead §IV-C criticizes.
 func (n *NetTube) Links(node int) int {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil {
 		return 0
 	}
 	total := 0
-	for v := range st.joined {
+	for _, v := range st.joined {
 		total += n.mesh(v).Degree(node)
 	}
 	return total
@@ -311,26 +355,20 @@ func (n *NetTube) Links(node int) int {
 // Probe drops dead links in every joined overlay and returns the number of
 // probe messages sent.
 func (n *NetTube) Probe(node int) int {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil || !st.online {
 		return 0
 	}
 	msgs := 0
-	for v := range st.joined {
-		mesh := n.mesh(v)
-		for _, nb := range mesh.Neighbors(node) {
-			msgs++
-			if !n.online(nb) {
-				mesh.Disconnect(node, nb)
-			}
-		}
+	for _, v := range st.joined {
+		msgs += n.mesh(v).Prune(node, n.online)
 	}
 	return msgs
 }
 
 // Cache exposes the node's cache for accounting.
 func (n *NetTube) Cache(node int) *vod.Cache {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil {
 		return nil
 	}
@@ -340,7 +378,7 @@ func (n *NetTube) Cache(node int) *vod.Cache {
 // Overlays returns how many per-video overlays the node currently belongs
 // to (tests and ablations).
 func (n *NetTube) Overlays(node int) int {
-	st := n.nodes[node]
+	st := n.state(node)
 	if st == nil {
 		return 0
 	}

@@ -60,11 +60,13 @@ type PAVoD struct {
 	// server-side state PA-VoD needs.
 	watchers map[trace.VideoID]*overlay.Members
 	// startedAt records when each node began its current watch, for the
-	// readiness constraint.
-	startedAt map[int]time.Duration
-	// uploads counts each node's concurrent uploads.
-	uploads map[int]int
-	nodes   map[int]*paNode
+	// readiness constraint (indexed by node id).
+	startedAt []time.Duration
+	// uploads counts each node's concurrent uploads (indexed by node id).
+	uploads []int
+	nodes   []paNode
+	// eligible is the reusable candidate buffer of eligibleProvider.
+	eligible []int
 }
 
 var (
@@ -92,14 +94,21 @@ func NewPAVoD(cfg PAVoDConfig, tr *trace.Trace) (*PAVoD, error) {
 		tr:        tr,
 		g:         dist.NewRNG(cfg.Seed),
 		watchers:  make(map[trace.VideoID]*overlay.Members),
-		startedAt: make(map[int]time.Duration),
-		uploads:   make(map[int]int),
-		nodes:     make(map[int]*paNode, len(tr.Users)),
+		startedAt: make([]time.Duration, len(tr.Users)),
+		uploads:   make([]int, len(tr.Users)),
+		nodes:     make([]paNode, len(tr.Users)),
 	}
-	for _, u := range tr.Users {
-		p.nodes[int(u.ID)] = &paNode{watching: -1, provider: -1}
+	for i := range p.nodes {
+		p.nodes[i] = paNode{watching: -1, provider: -1}
 	}
 	return p, nil
+}
+
+func (p *PAVoD) state(node int) *paNode {
+	if node < 0 || node >= len(p.nodes) {
+		return nil
+	}
+	return &p.nodes[node]
 }
 
 // Name implements vod.Protocol.
@@ -120,7 +129,7 @@ func (p *PAVoD) watcherSet(v trace.VideoID) *overlay.Members {
 
 // Join implements vod.Protocol.
 func (p *PAVoD) Join(node int) {
-	st := p.nodes[node]
+	st := p.state(node)
 	if st == nil || st.online {
 		return
 	}
@@ -131,7 +140,7 @@ func (p *PAVoD) Join(node int) {
 
 // Leave implements vod.Protocol.
 func (p *PAVoD) Leave(node int) {
-	st := p.nodes[node]
+	st := p.state(node)
 	if st == nil || !st.online {
 		return
 	}
@@ -144,10 +153,10 @@ func (p *PAVoD) Leave(node int) {
 func (p *PAVoD) Fail(node int) { p.Leave(node) }
 
 func (p *PAVoD) stopWatching(node int) {
-	st := p.nodes[node]
+	st := p.state(node)
 	if st.watching >= 0 {
 		p.watcherSet(st.watching).Remove(node)
-		delete(p.startedAt, node)
+		p.startedAt[node] = 0
 		st.watching = -1
 	}
 	if st.provider >= 0 {
@@ -161,13 +170,12 @@ func (p *PAVoD) stopWatching(node int) {
 // eligibleProvider picks a current watcher that (a) has watched long enough
 // to hold the leading chunk and (b) has upload capacity left.
 func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
-	candidates := p.watcherSet(v).List()
-	var eligible []int
-	for _, id := range candidates {
+	eligible := p.eligible[:0]
+	for _, id := range p.watcherSet(v).View() {
 		if id == exclude {
 			continue
 		}
-		other := p.nodes[id]
+		other := p.state(id)
 		if other == nil || !other.online {
 			continue
 		}
@@ -182,6 +190,7 @@ func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
 		}
 		eligible = append(eligible, id)
 	}
+	p.eligible = eligible
 	if len(eligible) == 0 {
 		return -1
 	}
@@ -193,7 +202,7 @@ func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
 // itself. The node becomes a watcher (and thus a prospective provider)
 // until Finish.
 func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
-	st := p.nodes[node]
+	st := p.state(node)
 	video := p.tr.Video(v)
 	if st == nil || !st.online || video == nil {
 		return vod.RequestResult{Source: vod.SourceServer}
@@ -220,7 +229,7 @@ func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
 // Finish implements vod.Protocol: the node stops being a provider for the
 // video; nothing is cached.
 func (p *PAVoD) Finish(node int, v trace.VideoID) {
-	st := p.nodes[node]
+	st := p.state(node)
 	if st == nil || st.watching != v {
 		return
 	}
@@ -230,7 +239,7 @@ func (p *PAVoD) Finish(node int, v trace.VideoID) {
 // Links implements vod.Protocol: a PA-VoD node maintains at most one active
 // peer connection (to its current provider).
 func (p *PAVoD) Links(node int) int {
-	st := p.nodes[node]
+	st := p.state(node)
 	if st == nil || st.provider < 0 {
 		return 0
 	}

@@ -6,6 +6,13 @@ import (
 	"github.com/socialtube/socialtube/internal/vod"
 )
 
+// flood runs one TTL-scoped flood over mesh through the system's reusable
+// scratch and hoisted closures — zero allocation per query.
+func (s *System) flood(origin int, mesh *overlay.Mesh) overlay.FloodResult {
+	s.floodMesh = mesh
+	return s.scratch.Flood(origin, s.cfg.TTL, s.floodNeighbors, s.matchNode)
+}
+
 // Request implements vod.Protocol. It follows Algorithm 1 of the paper: the
 // node queries its channel overlay with the TTL, then its category cluster
 // (each inter-neighbour forwards within its own channel overlay with the
@@ -22,22 +29,12 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 		return res
 	}
 	s.ensureAttached(node, video.Channel)
-
-	match := func(n int) bool {
-		other := s.nodes[n]
-		return other != nil && other.online && other.cache.HasFull(v)
-	}
+	s.matchVideo = v
 
 	// Phase 1: flood the node's channel overlay along inner-links.
 	if st.home >= 0 {
 		mesh := s.innerMesh(st.home)
-		neighbors := func(n int) []int {
-			if !s.online(n) {
-				return nil // a failed node cannot forward
-			}
-			return mesh.Neighbors(n)
-		}
-		fr := overlay.Flood(node, s.cfg.TTL, neighbors, match)
+		fr := s.flood(node, mesh)
 		res.Messages += fr.Messages
 		if fr.OK {
 			res.Source = vod.SourcePeer
@@ -51,13 +48,14 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 	}
 
 	// Phase 2: query inter-neighbours; each forwards within its own
-	// channel overlay for TTL hops.
-	for _, j := range s.inter.Neighbors(node) {
+	// channel overlay for TTL hops. The view is safe to range over: the
+	// inter mesh is only mutated right before returning.
+	for _, j := range s.inter.NeighborsView(node) {
 		res.Messages++
 		if !s.online(j) {
 			continue
 		}
-		if match(j) {
+		if s.matchNode(j) {
 			res.Source = vod.SourcePeer
 			res.Provider = j
 			res.Hops = 1
@@ -67,14 +65,7 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 		if jHome < 0 {
 			continue
 		}
-		jMesh := s.innerMesh(jHome)
-		neighbors := func(n int) []int {
-			if !s.online(n) {
-				return nil
-			}
-			return jMesh.Neighbors(n)
-		}
-		fr := overlay.Flood(j, s.cfg.TTL, neighbors, match)
+		fr := s.flood(j, s.innerMesh(jHome))
 		res.Messages += fr.Messages
 		if fr.OK {
 			res.Source = vod.SourcePeer
@@ -91,7 +82,7 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 	// the video", §IV-A) — the path that rescues non-subscribers and
 	// cross-channel views.
 	if st.home != video.Channel {
-		if provider, hops, msgs, ok := s.searchChannelOverlay(node, video.Channel, match); ok {
+		if provider, hops, msgs, ok := s.searchChannelOverlay(node, video.Channel); ok {
 			res.Messages += msgs
 			res.Source = vod.SourcePeer
 			res.Provider = provider
@@ -109,24 +100,18 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 }
 
 // searchChannelOverlay queries a server-recommended member of the channel's
-// overlay and lets the query flood that overlay with the TTL.
-func (s *System) searchChannelOverlay(node int, ch trace.ChannelID, match func(int) bool) (provider, hops, msgs int, ok bool) {
+// overlay and lets the query flood that overlay with the TTL, matching the
+// video set by the caller through s.matchVideo.
+func (s *System) searchChannelOverlay(node int, ch trace.ChannelID) (provider, hops, msgs int, ok bool) {
 	entry := s.memberSetOf(ch).Random(s.g, node)
 	if entry < 0 || !s.online(entry) {
 		return 0, 0, 0, false
 	}
 	msgs = 1 // the contact with the recommended entry node
-	if match(entry) {
+	if s.matchNode(entry) {
 		return entry, 1, msgs, true
 	}
-	mesh := s.innerMesh(ch)
-	neighbors := func(n int) []int {
-		if !s.online(n) {
-			return nil
-		}
-		return mesh.Neighbors(n)
-	}
-	fr := overlay.Flood(entry, s.cfg.TTL, neighbors, match)
+	fr := s.flood(entry, s.innerMesh(ch))
 	msgs += fr.Messages
 	if fr.OK {
 		return fr.Found, 1 + fr.Hops, msgs, true
@@ -162,9 +147,7 @@ func (s *System) ensureAttached(node int, ch trace.ChannelID) {
 	}
 	s.detach(node)
 	if oldCat != cat {
-		for _, nb := range s.inter.Neighbors(node) {
-			s.inter.Disconnect(node, nb)
-		}
+		s.inter.RemoveNode(node)
 	}
 	st.home = ch
 	s.memberSetOf(ch).Add(node)
@@ -210,7 +193,7 @@ func (s *System) seedInterLinks(node int, cat trace.CategoryID) {
 
 // subscribed reports whether the node's user subscribes to the channel.
 func (s *System) subscribed(node int, ch trace.ChannelID) bool {
-	return s.subs[node][ch]
+	return node >= 0 && node < len(s.subs) && s.subs[node][ch]
 }
 
 // Finish implements vod.Protocol: the node caches the watched video and

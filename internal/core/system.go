@@ -13,6 +13,10 @@ import (
 // System is the SocialTube protocol over a trace. Node ids are user ids
 // from the trace. System implements vod.Protocol; it is single-threaded,
 // driven by the experiment engine.
+//
+// Node ids are dense (trace users are 0..len(Users)-1), so all per-node
+// state lives in slices indexed by node id rather than maps — the flood
+// hot path touches no hash buckets and does no per-query allocation.
 type System struct {
 	cfg Config
 	tr  *trace.Trace
@@ -28,11 +32,25 @@ type System struct {
 	// server keeps so it can assist joins (much less than NetTube's
 	// per-video tracking, as §IV-A notes).
 	members map[trace.ChannelID]*overlay.Members
-	nodes   map[int]*nodeState
+	// nodes is indexed by node id.
+	nodes []nodeState
 	// byCat indexes channels by primary category for inter-link seeding.
 	byCat map[trace.CategoryID][]trace.ChannelID
-	// subs is each node's subscription set.
-	subs map[int]map[trace.ChannelID]bool
+	// subs is each node's subscription set, indexed by node id.
+	subs []map[trace.ChannelID]bool
+
+	// scratch is the reusable flood state; one flood runs at a time, so a
+	// single scratch serves every query the system issues.
+	scratch overlay.FloodScratch
+	// floodMesh is the mesh floodNeighbors reads; Request points it at the
+	// overlay being searched so the closure is built once, not per flood.
+	floodMesh      *overlay.Mesh
+	floodNeighbors func(int) []int
+	// matchVideo is the video matchNode tests for, set per request.
+	matchVideo trace.VideoID
+	matchNode  func(int) bool
+	// keepOnline is the probe/repair predicate for Mesh.Prune.
+	keepOnline func(int) bool
 }
 
 var _ vod.Protocol = (*System)(nil)
@@ -67,16 +85,17 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 		inner:   make(map[trace.ChannelID]*overlay.Mesh),
 		inter:   overlay.NewMesh(cfg.InterLinks),
 		members: make(map[trace.ChannelID]*overlay.Members),
-		nodes:   make(map[int]*nodeState, len(tr.Users)),
+		nodes:   make([]nodeState, len(tr.Users)),
 		byCat:   make(map[trace.CategoryID][]trace.ChannelID),
-		subs:    make(map[int]map[trace.ChannelID]bool, len(tr.Users)),
+		subs:    make([]map[trace.ChannelID]bool, len(tr.Users)),
+		scratch: *overlay.NewFloodScratch(len(tr.Users)),
 	}
 	for _, ch := range tr.Channels {
 		s.byCat[ch.Primary] = append(s.byCat[ch.Primary], ch.ID)
 	}
 	for _, u := range tr.Users {
 		node := int(u.ID)
-		s.nodes[node] = &nodeState{
+		s.nodes[node] = nodeState{
 			user:  u,
 			cache: vod.NewCache(cfg.CacheVideos),
 			home:  -1,
@@ -87,6 +106,19 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 		}
 		s.subs[node] = set
 	}
+	// The flood and probe closures are built once and steered through
+	// System fields, so the per-request hot path allocates nothing.
+	s.floodNeighbors = func(n int) []int {
+		if !s.online(n) {
+			return nil // a failed node cannot forward
+		}
+		return s.floodMesh.NeighborsView(n)
+	}
+	s.matchNode = func(n int) bool {
+		st := s.state(n)
+		return st != nil && st.online && st.cache.HasFull(s.matchVideo)
+	}
+	s.keepOnline = s.online
 	return s, nil
 }
 
@@ -94,7 +126,10 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 func (s *System) Name() string { return "SocialTube" }
 
 func (s *System) state(node int) *nodeState {
-	return s.nodes[node]
+	if node < 0 || node >= len(s.nodes) {
+		return nil
+	}
+	return &s.nodes[node]
 }
 
 func (s *System) innerMesh(ch trace.ChannelID) *overlay.Mesh {
@@ -117,8 +152,7 @@ func (s *System) memberSetOf(ch trace.ChannelID) *overlay.Members {
 
 // online reports whether a node is currently in the system.
 func (s *System) online(node int) bool {
-	st, ok := s.nodes[node]
-	return ok && st.online
+	return node >= 0 && node < len(s.nodes) && s.nodes[node].online
 }
 
 // Join implements vod.Protocol: the node comes online and first tries to
@@ -220,18 +254,9 @@ func (s *System) detach(node int) {
 func (s *System) dropDeadLinks(node int) {
 	st := s.state(node)
 	if st.home >= 0 {
-		mesh := s.innerMesh(st.home)
-		for _, nb := range mesh.Neighbors(node) {
-			if !s.online(nb) {
-				mesh.Disconnect(node, nb)
-			}
-		}
+		s.innerMesh(st.home).Prune(node, s.keepOnline)
 	}
-	for _, nb := range s.inter.Neighbors(node) {
-		if !s.online(nb) {
-			s.inter.Disconnect(node, nb)
-		}
-	}
+	s.inter.Prune(node, s.keepOnline)
 }
 
 // Probe implements the periodic structure maintenance of §IV-A: the node
@@ -244,20 +269,9 @@ func (s *System) Probe(node int) int {
 	}
 	msgs := 0
 	if st.home >= 0 {
-		mesh := s.innerMesh(st.home)
-		for _, nb := range mesh.Neighbors(node) {
-			msgs++
-			if !s.online(nb) {
-				mesh.Disconnect(node, nb)
-			}
-		}
+		msgs += s.innerMesh(st.home).Prune(node, s.keepOnline)
 	}
-	for _, nb := range s.inter.Neighbors(node) {
-		msgs++
-		if !s.online(nb) {
-			s.inter.Disconnect(node, nb)
-		}
-	}
+	msgs += s.inter.Prune(node, s.keepOnline)
 	s.replenish(node)
 	return msgs
 }
@@ -374,6 +388,9 @@ func (s *System) Unsubscribe(node int, ch trace.ChannelID) bool {
 // Subscriptions returns the node's current subscription set in ascending
 // order (a copy).
 func (s *System) Subscriptions(node int) []trace.ChannelID {
+	if node < 0 || node >= len(s.subs) {
+		return nil
+	}
 	set := s.subs[node]
 	out := make([]trace.ChannelID, 0, len(set))
 	for ch := range set {

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// determinismScale is small enough that two full three-protocol runs stay
+// in the unit-test budget.
+func determinismScale() Scale {
+	return Scale{
+		TraceChannels:    60,
+		TraceUsers:       150,
+		Categories:       8,
+		Sessions:         2,
+		VideosPerSession: 5,
+		WatchScale:       0.05,
+		Seed:             7,
+	}
+}
+
+// TestRunAllProtocolsDeterministic guards the parallel figure runner: each
+// exp.Run is an independent single-threaded simulation with its own seeded
+// RNG, so two same-seed invocations must produce byte-identical results no
+// matter how the goroutines interleave.
+func TestRunAllProtocolsDeterministic(t *testing.T) {
+	s := determinismScale()
+	tr, err := s.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunAllProtocols(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh trace too: the generator must be seed-stable as well.
+	tr2, err := s.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunAllProtocols(s, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same-seed runs differ:\nfirst:  %s\nsecond: %s", a, b)
+	}
+	for _, name := range []string{"SocialTube", "NetTube", "PA-VoD"} {
+		if first[name] == nil || first[name].Requests == 0 {
+			t.Fatalf("protocol %s produced no requests", name)
+		}
+	}
+}
+
+// TestFig17aDeterministic pins the concurrent variant runner the same way:
+// identical tables on repeated same-seed invocations.
+func TestFig17aDeterministic(t *testing.T) {
+	s := determinismScale()
+	tr, err := s.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Fig17a(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Fig17a(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("same-seed Fig17a tables differ:\n%s\nvs\n%s", t1, t2)
+	}
+}

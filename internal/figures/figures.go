@@ -7,7 +7,9 @@ package figures
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/baseline"
@@ -322,15 +324,67 @@ func RunAllProtocols(s Scale, tr *trace.Trace) (map[string]*exp.Result, error) {
 	return runAll(s, tr, protos)
 }
 
-// runAll executes the standard workload for each named protocol.
-func runAll(s Scale, tr *trace.Trace, protos map[string]vod.Protocol) (map[string]*exp.Result, error) {
-	out := make(map[string]*exp.Result, len(protos))
-	for name, p := range protos {
-		res, err := exp.Run(s.expConfig(), tr, p, simnet.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("run %s: %w", name, err)
+// runConcurrently executes fn(i) for i in [0, n) across goroutines bounded
+// by GOMAXPROCS and returns the first error by index order. Each exp.Run is
+// an independent single-threaded deterministic simulation (own RNG, own
+// simnet, read-only trace), so running them side by side changes nothing
+// but wall-clock time.
+func runConcurrently(n int, fn func(i int) error) error {
+	if n <= 1 {
+		if n == 1 {
+			return fn(0)
 		}
-		out[name] = res
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAll executes the standard workload for each named protocol, running
+// the independent simulations concurrently. Results are keyed exactly as
+// the sequential version keyed them.
+func runAll(s Scale, tr *trace.Trace, protos map[string]vod.Protocol) (map[string]*exp.Result, error) {
+	names := make([]string, 0, len(protos))
+	for name := range protos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]*exp.Result, len(names))
+	err := runConcurrently(len(names), func(i int) error {
+		res, err := exp.Run(s.expConfig(), tr, protos[names[i]], simnet.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("run %s: %w", names[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*exp.Result, len(names))
+	for i, name := range names {
+		out[name] = results[i]
 	}
 	return out, nil
 }
@@ -392,15 +446,26 @@ func Fig17a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
 			return baseline.NewNetTube(cfg, tr)
 		}},
 	}
-	for _, variant := range variants {
-		p, err := variant.build()
+	// Each variant is an independent deterministic simulation: build and
+	// run them concurrently, then emit rows in the declared order.
+	results := make([]*exp.Result, len(variants))
+	err := runConcurrently(len(variants), func(i int) error {
+		p, err := variants[i].build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := exp.Run(s.expConfig(), tr, p, simnet.DefaultConfig())
 		if err != nil {
-			return nil, fmt.Errorf("run %s: %w", variant.name, err)
+			return fmt.Errorf("run %s: %w", variants[i].name, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, variant := range variants {
+		res := results[i]
 		t.AddRow(variant.name, res.StartupDelay.Mean(), res.StartupDelay.Percentile(50), res.StartupDelay.Percentile(99))
 	}
 	return t, nil

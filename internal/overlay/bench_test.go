@@ -1,0 +1,78 @@
+package overlay
+
+import (
+	"testing"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// benchMesh builds a connected random mesh of n nodes with the given link
+// bound — the shape of one channel overlay at paper scale.
+func benchMesh(n, maxLinks int) *Mesh {
+	m := NewMesh(maxLinks)
+	g := dist.NewRNG(1)
+	// Ring for connectivity, then random chords up to the bound.
+	for i := 0; i < n; i++ {
+		m.Connect(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		for attempts := 0; m.Degree(i) < maxLinks && attempts < 4*maxLinks; attempts++ {
+			m.Connect(i, g.Intn(n))
+		}
+	}
+	return m
+}
+
+// BenchmarkFlood measures one TTL-scoped flood query over a 10k-node
+// channel-overlay-shaped mesh — the hot path behind every figure run.
+func BenchmarkFlood(b *testing.B) {
+	const n = 10_000
+	m := benchMesh(n, 8)
+	neighbors := m.Neighbors
+	match := func(v int) bool { return v == n-1 } // far away: full expansion
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Flood(i%n, 3, neighbors, match)
+	}
+}
+
+// BenchmarkFloodScratch measures the same query through a reusable
+// FloodScratch, the zero-allocation path the simulator uses.
+func BenchmarkFloodScratch(b *testing.B) {
+	const n = 10_000
+	m := benchMesh(n, 8)
+	neighbors := m.NeighborsView
+	match := func(v int) bool { return v == n-1 }
+	scratch := NewFloodScratch(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.Flood(i%n, 3, neighbors, match)
+	}
+}
+
+// BenchmarkMeshConnect measures building a bounded mesh edge by edge —
+// the join/replenish path.
+func BenchmarkMeshConnect(b *testing.B) {
+	const n = 1024
+	g := dist.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMesh(8)
+		for e := 0; e < 4*n; e++ {
+			m.Connect(g.Intn(n), g.Intn(n))
+		}
+	}
+}
+
+// BenchmarkNeighbors measures adjacency listing during query forwarding.
+func BenchmarkNeighbors(b *testing.B) {
+	m := benchMesh(1024, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Neighbors(i % 1024)
+	}
+}

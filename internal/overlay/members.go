@@ -56,6 +56,11 @@ func (m *Members) List() []int {
 	return out
 }
 
+// View returns the members in insertion-compacted order without copying.
+// The slice is live: it is invalidated by the next Add/Remove and must not
+// be mutated or retained across mutations.
+func (m *Members) View() []int { return m.items }
+
 // Random returns a uniformly random member, excluding the given node. It
 // returns -1 when no eligible member exists.
 func (m *Members) Random(g *dist.RNG, exclude int) int {

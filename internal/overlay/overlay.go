@@ -1,66 +1,97 @@
 // Package overlay provides the unstructured-P2P building blocks shared by
 // SocialTube and the baseline protocols: bounded neighbour sets, symmetric
 // link meshes and TTL-scoped flood search.
+//
+// Data layout: neighbour sets are small (the paper's N_l=5, N_h=10 bounds),
+// so Links stores a single sorted []int instead of a map. Membership is a
+// binary search, iteration is allocation-free and already in ascending
+// order, and the flood hot path reads adjacency through View/NeighborsView
+// without copying.
 package overlay
 
 import (
 	"sort"
 )
 
-// Links is a bounded set of neighbour node ids. The zero value is unusable;
-// construct with NewLinks.
+// Links is a bounded set of neighbour node ids, kept sorted ascending. The
+// zero value is unusable; construct with NewLinks.
 type Links struct {
-	max int
-	set map[int]bool
+	max   int
+	items []int // sorted ascending
 }
 
 // NewLinks returns a neighbour set bounded to max entries (max <= 0 means
-// unbounded).
+// unbounded). Small bounded sets (the common N_l/N_h case) allocate their
+// full backing array up front so Add never reallocates.
 func NewLinks(max int) *Links {
-	return &Links{max: max, set: make(map[int]bool)}
+	l := &Links{max: max}
+	if max > 0 && max <= 64 {
+		l.items = make([]int, 0, max)
+	}
+	return l
+}
+
+// search returns the insertion index of n and whether n is present.
+func (l *Links) search(n int) (int, bool) {
+	i := sort.SearchInts(l.items, n)
+	return i, i < len(l.items) && l.items[i] == n
 }
 
 // Add inserts a neighbour. It reports false when the set is full or the
 // neighbour is already present.
 func (l *Links) Add(n int) bool {
-	if l.set[n] {
+	i, ok := l.search(n)
+	if ok {
 		return false
 	}
-	if l.max > 0 && len(l.set) >= l.max {
+	if l.max > 0 && len(l.items) >= l.max {
 		return false
 	}
-	l.set[n] = true
+	l.items = append(l.items, 0)
+	copy(l.items[i+1:], l.items[i:])
+	l.items[i] = n
 	return true
 }
 
 // Remove deletes a neighbour if present.
-func (l *Links) Remove(n int) { delete(l.set, n) }
+func (l *Links) Remove(n int) {
+	i, ok := l.search(n)
+	if !ok {
+		return
+	}
+	l.items = append(l.items[:i], l.items[i+1:]...)
+}
 
 // Has reports whether n is a neighbour.
-func (l *Links) Has(n int) bool { return l.set[n] }
+func (l *Links) Has(n int) bool {
+	_, ok := l.search(n)
+	return ok
+}
 
 // Len returns the number of neighbours.
-func (l *Links) Len() int { return len(l.set) }
+func (l *Links) Len() int { return len(l.items) }
 
 // Full reports whether the set is at capacity.
-func (l *Links) Full() bool { return l.max > 0 && len(l.set) >= l.max }
+func (l *Links) Full() bool { return l.max > 0 && len(l.items) >= l.max }
 
 // Max returns the capacity (0 = unbounded).
 func (l *Links) Max() int { return l.max }
 
-// List returns the neighbours in ascending order (a copy).
+// List returns the neighbours in ascending order (a copy the caller owns).
 func (l *Links) List() []int {
-	out := make([]int, 0, len(l.set))
-	for n := range l.set {
-		out = append(out, n)
-	}
-	sort.Ints(out)
+	out := make([]int, len(l.items))
+	copy(out, l.items)
 	return out
 }
 
-// Clear removes all neighbours.
+// View returns the neighbours in ascending order without copying. The slice
+// is live: it is invalidated by the next Add/Remove/Clear and must not be
+// mutated or retained across mutations. Use List for a stable copy.
+func (l *Links) View() []int { return l.items }
+
+// Clear removes all neighbours, reusing the backing storage.
 func (l *Links) Clear() {
-	l.set = make(map[int]bool)
+	l.items = l.items[:0]
 }
 
 // Mesh maintains symmetric bounded links between nodes: an edge exists on
@@ -117,13 +148,26 @@ func (m *Mesh) Connected(a, b int) bool {
 	return ok && la.Has(b)
 }
 
-// Neighbors returns a's neighbours in ascending order.
+// Neighbors returns a's neighbours in ascending order (a copy the caller
+// owns).
 func (m *Mesh) Neighbors(a int) []int {
+	la, ok := m.nodes[a]
+	if !ok || len(la.items) == 0 {
+		return nil
+	}
+	return la.List()
+}
+
+// NeighborsView returns a's neighbours in ascending order without copying —
+// the allocation-free adjacency read the flood hot path uses. The slice is
+// live: it is invalidated by the next mutation of a's links and must not be
+// mutated or retained across Connect/Disconnect/RemoveNode.
+func (m *Mesh) NeighborsView(a int) []int {
 	la, ok := m.nodes[a]
 	if !ok {
 		return nil
 	}
-	return la.List()
+	return la.View()
 }
 
 // Degree returns the number of links a holds.
@@ -147,12 +191,36 @@ func (m *Mesh) RemoveNode(a int) {
 	if !ok {
 		return
 	}
-	for _, b := range la.List() {
+	for _, b := range la.View() {
 		if lb, ok := m.nodes[b]; ok {
 			lb.Remove(a)
 		}
 	}
 	delete(m.nodes, a)
+}
+
+// Prune removes a's edges to every neighbour failing keep and reports the
+// number of neighbours examined — the probe/repair primitive. It runs
+// without allocating: the neighbour list is walked in descending order so
+// in-place removals never shift an unvisited entry.
+func (m *Mesh) Prune(a int, keep func(int) bool) int {
+	la, ok := m.nodes[a]
+	if !ok {
+		return 0
+	}
+	nbs := la.View()
+	examined := len(nbs)
+	for i := len(nbs) - 1; i >= 0; i-- {
+		b := nbs[i]
+		if keep(b) {
+			continue
+		}
+		la.Remove(b)
+		if lb, ok := m.nodes[b]; ok {
+			lb.Remove(a)
+		}
+	}
+	return examined
 }
 
 // Nodes returns all node ids with at least one link record, ascending.
@@ -169,7 +237,7 @@ func (m *Mesh) Nodes() []int {
 // endpoints. It returns true for a consistent mesh.
 func (m *Mesh) Symmetric() bool {
 	for a, la := range m.nodes {
-		for _, b := range la.List() {
+		for _, b := range la.View() {
 			lb, ok := m.nodes[b]
 			if !ok || !lb.Has(a) {
 				return false
@@ -196,26 +264,69 @@ type FloodResult struct {
 	Visited int
 }
 
-// Flood performs the paper's query forwarding: origin sends the query to its
-// neighbours with the given TTL; each receiver that does not match forwards
-// to its own neighbours while TTL remains. neighbors supplies adjacency and
-// match is the "has the video" predicate. The origin itself is not matched.
-func Flood(origin int, ttl int, neighbors func(int) []int, match func(int) bool) FloodResult {
+// FloodScratch is reusable flood-search state: an epoch-stamped visited
+// array plus two frontier buffers. One scratch serves any number of
+// sequential floods with zero steady-state allocation — the visited array
+// grows to the highest node id seen and is never cleared (bumping the epoch
+// invalidates all stamps at once). The zero value is ready to use. A
+// scratch must not be shared between concurrent floods.
+type FloodScratch struct {
+	epoch    uint32
+	visited  []uint32 // visited[n] == epoch ⇔ n visited this flood
+	frontier []int
+	next     []int
+}
+
+// NewFloodScratch returns a scratch pre-sized for node ids below n, so the
+// first floods do not grow the visited array incrementally.
+func NewFloodScratch(n int) *FloodScratch {
+	if n < 0 {
+		n = 0
+	}
+	return &FloodScratch{visited: make([]uint32, n)}
+}
+
+// mark stamps n as visited in the current epoch, growing the array when n
+// is beyond its current bound.
+func (s *FloodScratch) mark(n int) {
+	if n >= len(s.visited) {
+		grown := make([]uint32, n+1+n/2)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	s.visited[n] = s.epoch
+}
+
+func (s *FloodScratch) seen(n int) bool {
+	return n < len(s.visited) && s.visited[n] == s.epoch
+}
+
+// Flood runs one TTL-scoped flood search reusing the scratch buffers; see
+// the package-level Flood for the search semantics. Negative node ids are
+// not supported (node ids are dense user indices).
+func (s *FloodScratch) Flood(origin int, ttl int, neighbors func(int) []int, match func(int) bool) FloodResult {
 	var res FloodResult
-	if ttl <= 0 || neighbors == nil || match == nil {
+	if ttl <= 0 || origin < 0 || neighbors == nil || match == nil {
 		return res
 	}
-	visited := map[int]bool{origin: true}
-	frontier := []int{origin}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, so reset all
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.mark(origin)
+	s.frontier = append(s.frontier[:0], origin)
 	for depth := 1; depth <= ttl; depth++ {
-		var next []int
-		for _, sender := range frontier {
+		s.next = s.next[:0]
+		for _, sender := range s.frontier {
 			for _, nb := range neighbors(sender) {
 				res.Messages++
-				if visited[nb] {
+				if s.seen(nb) {
 					continue
 				}
-				visited[nb] = true
+				s.mark(nb)
 				res.Visited++
 				if match(nb) {
 					res.Found = nb
@@ -223,13 +334,25 @@ func Flood(origin int, ttl int, neighbors func(int) []int, match func(int) bool)
 					res.Hops = depth
 					return res
 				}
-				next = append(next, nb)
+				s.next = append(s.next, nb)
 			}
 		}
-		frontier = next
-		if len(frontier) == 0 {
+		s.frontier, s.next = s.next, s.frontier
+		if len(s.frontier) == 0 {
 			break
 		}
 	}
 	return res
+}
+
+// Flood performs the paper's query forwarding: origin sends the query to its
+// neighbours with the given TTL; each receiver that does not match forwards
+// to its own neighbours while TTL remains. neighbors supplies adjacency and
+// match is the "has the video" predicate. The origin itself is not matched.
+//
+// This wrapper allocates fresh scratch state per call; hot paths should
+// hold a FloodScratch and call its Flood method instead.
+func Flood(origin int, ttl int, neighbors func(int) []int, match func(int) bool) FloodResult {
+	var s FloodScratch
+	return s.Flood(origin, ttl, neighbors, match)
 }

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunResumesAfterHorizon guards the documented contract: a horizon
+// return leaves unfired events queued, and a later Run with a larger
+// horizon resumes exactly where the previous call left off.
+func TestRunResumesAfterHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	record := func(now time.Duration) { fired = append(fired, now) }
+	e.At(1*time.Minute, record)
+	e.At(3*time.Minute, record)
+
+	if err := e.Run(2*time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 1*time.Minute {
+		t.Fatalf("first run fired %v, want [1m]", fired)
+	}
+	if e.Now() != 2*time.Minute {
+		t.Fatalf("clock %v after horizon return, want 2m", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d after horizon return, want 1", e.Pending())
+	}
+
+	// Same horizon again: nothing to do, clock stays put.
+	if err := e.Run(2*time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || e.Pending() != 1 {
+		t.Fatalf("same-horizon rerun fired events: %v pending %d", fired, e.Pending())
+	}
+
+	// Larger horizon: the queued event fires at its original time.
+	if err := e.Run(4*time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 3*time.Minute {
+		t.Fatalf("resumed run fired %v, want [1m 3m]", fired)
+	}
+}
+
+// TestMaxEventsIsLifetimeBudget guards the documented contract: maxEvents
+// counts events fired across the engine's lifetime, so a Run whose budget
+// is already met fires nothing.
+func TestMaxEventsIsLifetimeBudget(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 3; i++ {
+		e.At(time.Duration(i)*time.Second, func(time.Duration) { count++ })
+	}
+	if err := e.Run(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("budget 1 fired %d events", count)
+	}
+	// Budget already exhausted: the second run must not fire the next event.
+	if err := e.Run(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("exhausted budget fired an extra event (count %d)", count)
+	}
+	// A raised budget resumes.
+	if err := e.Run(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || e.Pending() != 1 {
+		t.Fatalf("raised budget: count %d pending %d, want 2 and 1", count, e.Pending())
+	}
+}
+
+// TestStopHonoredOnResumedRun: Stop set by the last event of a run must not
+// leak into the next run (Run clears it), but Stop during a run still
+// interrupts before the next event fires.
+func TestStopHonoredOnResumedRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(time.Second, func(time.Duration) { count++; e.Stop() })
+	e.At(2*time.Second, func(time.Duration) { count++ })
+	if err := e.Run(0, 0); err != ErrStopped {
+		t.Fatalf("run = %v, want ErrStopped", err)
+	}
+	if count != 1 || e.Pending() != 1 {
+		t.Fatalf("stop mid-run: count %d pending %d", count, e.Pending())
+	}
+	// The stop is consumed: a fresh Run proceeds.
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("resumed run fired %d events, want 2", count)
+	}
+}

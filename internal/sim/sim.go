@@ -38,12 +38,11 @@ func (q eventQueue) Less(i, j int) bool {
 
 func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 
+// Push implements heap.Interface. It is only ever called by container/heap
+// with *scheduled values; anything else is a programming error, so the type
+// assertion is allowed to panic rather than silently dropping the event.
 func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*scheduled)
-	if !ok {
-		return
-	}
-	*q = append(*q, ev)
+	*q = append(*q, x.(*scheduled))
 }
 
 func (q *eventQueue) Pop() any {
@@ -107,28 +106,34 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in non-decreasing time order until the queue drains,
 // the virtual clock passes horizon (0 means no horizon), or maxEvents have
-// fired (0 means unbounded). It returns ErrStopped if Stop was called.
+// fired in total across this engine's lifetime (0 means unbounded).
+//
+// Returning for any reason leaves unfired events queued: a horizon or
+// event-budget return keeps the remaining schedule intact, so calling Run
+// again with a larger horizon (or budget) resumes exactly where the
+// previous call left off. On a horizon return the clock advances to the
+// horizon itself; a second Run with the same horizon fires nothing and
+// returns immediately. Stop is checked before every event, including the
+// first of a resumed run; entering Run clears a previous stop.
+// It returns ErrStopped if Stop was called.
 func (e *Engine) Run(horizon time.Duration, maxEvents uint64) error {
 	e.stopped = false
 	for len(e.queue) > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
+		if maxEvents > 0 && e.fired >= maxEvents {
+			return nil
+		}
 		next := e.queue[0]
 		if horizon > 0 && next.at > horizon {
 			e.now = horizon
 			return nil
 		}
-		popped, ok := heap.Pop(&e.queue).(*scheduled)
-		if !ok {
-			continue
-		}
+		popped := heap.Pop(&e.queue).(*scheduled)
 		e.now = popped.at
 		popped.fire(e.now)
 		e.fired++
-		if maxEvents > 0 && e.fired >= maxEvents {
-			return nil
-		}
 	}
 	return nil
 }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate for the SocialTube reproduction.
+#
+# Build, vet, race-test everything, then run the short allocation
+# benchmarks so a regression in the zero-allocation hot paths (flood
+# search, per-request work) shows up in the log next to the tests.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== short benchmarks (allocations) =="
+go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
+go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/
+
+echo "CI OK"
