@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper emu cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper emu trace-demo cover clean
 
 all: build test
 
@@ -37,6 +37,13 @@ figures-paper:
 # Run the TCP emulation at the paper's 250-node PlanetLab scale.
 emu:
 	$(GO) run ./cmd/socialtube-emu -fig all -peers 250 -sessions 2 -videos 6 -watch 30ms
+
+# Record a JSONL event trace from the Fig. 17(a) run, validate it against
+# the golden schema, then pretty-print the first events.
+trace-demo:
+	$(GO) run ./cmd/socialtube-sim -fig 17a -trace-out trace-demo.jsonl
+	$(GO) run ./cmd/socialtube-sim -trace-check trace-demo.jsonl
+	$(GO) run ./cmd/socialtube-sim -trace-print trace-demo.jsonl -trace-max 20
 
 cover:
 	$(GO) test -cover ./internal/...

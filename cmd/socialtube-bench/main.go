@@ -17,6 +17,7 @@ import (
 
 	"github.com/socialtube/socialtube/internal/figures"
 	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
 )
 
 func main() {
@@ -26,12 +27,13 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-bench", flag.ContinueOnError)
 	var (
-		scale   = fs.String("scale", "small", "workload scale: small or paper")
-		seed    = fs.Int64("seed", 1, "experiment seed")
-		skipEmu = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
+		scale    = fs.String("scale", "small", "workload scale: small or paper")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		skipEmu  = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
+		traceOut = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +48,22 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	s.Seed = *seed
+	if *traceOut != "" {
+		j, err := obs.OpenJSONL(*traceOut)
+		if err != nil {
+			return err
+		}
+		s.Tracer = j
+		defer func() {
+			cerr := j.Close()
+			if retErr == nil {
+				retErr = cerr
+			}
+			if retErr == nil {
+				fmt.Printf("trace: %d events -> %s\n", j.Total(), *traceOut)
+			}
+		}()
+	}
 
 	begin := time.Now()
 	tr, err := s.BuildTrace()

@@ -33,6 +33,8 @@ func run(args []string) error {
 		videos   = fs.Int("videos", 6, "videos per session")
 		watch    = fs.Duration("watch", 25*time.Millisecond, "emulated playback per video")
 		seed     = fs.Int64("seed", 1, "experiment seed")
+		metrics  = fs.String("metrics", "", "serve live cluster metrics on this address while each run is in flight (e.g. 127.0.0.1:8080)")
+		pprof    = fs.Bool("pprof", false, "with -metrics, also mount net/http/pprof on the metrics listener")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +45,8 @@ func run(args []string) error {
 		VideosPerSession: *videos,
 		WatchTime:        *watch,
 		Seed:             *seed,
+		MetricsAddr:      *metrics,
+		Pprof:            *pprof,
 	}
 	tr, err := s.EmuTrace()
 	if err != nil {

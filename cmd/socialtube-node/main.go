@@ -18,6 +18,7 @@ import (
 
 	"github.com/socialtube/socialtube/internal/dist"
 	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
 )
@@ -44,6 +45,8 @@ func run(args []string, stop chan struct{}) error {
 		videos      = fs.Int("videos", 10, "videos per session (peer role)")
 		watch       = fs.Duration("watch", 500*time.Millisecond, "emulated playback per video (peer role)")
 		seed        = fs.Int64("seed", 1, "workload seed (peer role)")
+		metrics     = fs.String("metrics", "", "serve live node metrics on this address (e.g. 127.0.0.1:8080)")
+		pprof       = fs.Bool("pprof", false, "with -metrics, also mount net/http/pprof on the metrics listener")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,15 +66,15 @@ func run(args []string, stop chan struct{}) error {
 
 	switch *role {
 	case "tracker":
-		return runTracker(tr, *addr, stop)
+		return runTracker(tr, *addr, *metrics, *pprof, stop)
 	case "peer":
-		return runPeer(tr, *addr, *trackerAddr, *id, *mode, *sessions, *videos, *watch, *seed)
+		return runPeer(tr, *addr, *trackerAddr, *id, *mode, *sessions, *videos, *watch, *seed, *metrics, *pprof)
 	default:
 		return fmt.Errorf("unknown role %q (want tracker or peer)", *role)
 	}
 }
 
-func runTracker(tr *trace.Trace, addr string, stop chan struct{}) error {
+func runTracker(tr *trace.Trace, addr, metricsAddr string, pprof bool, stop chan struct{}) error {
 	cfg := emu.DefaultTrackerConfig()
 	cfg.Addr = addr
 	tk, err := emu.NewTracker(cfg, tr, emu.DefaultConditions())
@@ -82,6 +85,14 @@ func runTracker(tr *trace.Trace, addr string, stop chan struct{}) error {
 		return err
 	}
 	defer tk.Stop()
+	if metricsAddr != "" {
+		srv, err := tk.ServeMetrics(metricsAddr, pprof)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	}
 	fmt.Printf("tracker serving %d videos on %s\n", len(tr.Videos), tk.Addr())
 	<-stop
 	fmt.Printf("tracker served %d bytes\n", tk.ServedBytes())
@@ -101,7 +112,7 @@ func parseMode(mode string) (emu.Mode, error) {
 	}
 }
 
-func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string, sessions, videos int, watch time.Duration, seed int64) error {
+func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string, sessions, videos int, watch time.Duration, seed int64, metricsAddr string, pprof bool) error {
 	if trackerAddr == "" {
 		return fmt.Errorf("-tracker is required for the peer role")
 	}
@@ -122,6 +133,22 @@ func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string,
 		return err
 	}
 	defer p.Stop()
+	if metricsAddr != "" {
+		srv, err := obs.ServeMetrics(metricsAddr, func() any {
+			return struct {
+				Peer        int    `json:"peer"`
+				Mode        string `json:"mode"`
+				Links       int    `json:"links"`
+				CachedVideo int    `json:"cachedVideos"`
+				ServedBytes int64  `json:"servedBytes"`
+			}{id, mode.String(), p.Links(), p.CacheLen(), p.ServedBytes()}
+		}, pprof)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	}
 	fmt.Printf("peer %d (%s) on %s, tracker %s\n", id, mode, p.Addr(), trackerAddr)
 
 	picker, err := vod.NewPicker(tr, vod.DefaultBehavior())

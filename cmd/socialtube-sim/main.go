@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
@@ -36,16 +37,64 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// checkTrace validates a JSONL event trace against the golden schema and
+// prints the per-kind event counts (the -trace-check path CI runs against
+// a freshly generated trace).
+func checkTrace(path string) error {
+	schema, err := obs.GoldenSchema()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	counts, err := schema.ValidateJSONL(f)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return fmt.Errorf("%s: trace is empty", path)
+	}
+	fmt.Printf("%s: %d events valid against the golden schema %v\n", path, total, counts)
+	return nil
+}
+
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, table1 or all")
-		scale    = fs.String("scale", "small", "workload scale: small or paper")
-		seed     = fs.Int64("seed", 1, "experiment seed")
-		jsonDump = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
+		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, table1 or all")
+		scale      = fs.String("scale", "small", "workload scale: small or paper")
+		seed       = fs.Int64("seed", 1, "experiment seed")
+		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
+		traceOut   = fs.String("trace-out", "", "write every protocol event as JSON Lines to this file")
+		tracePrint = fs.String("trace-print", "", "pretty-print an existing JSONL event trace and exit")
+		traceMax   = fs.Int("trace-max", 0, "with -trace-print, stop after this many events (0 = all)")
+		traceCheck = fs.String("trace-check", "", "validate an existing JSONL event trace against the golden schema and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceCheck != "" {
+		return checkTrace(*traceCheck)
+	}
+	if *tracePrint != "" {
+		f, err := os.Open(*tracePrint)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.Pretty(f, os.Stdout, *traceMax)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d events\n", n)
+		return nil
 	}
 	var s figures.Scale
 	switch *scale {
@@ -63,6 +112,23 @@ func run(args []string) error {
 	}
 	fmt.Printf("trace: %d channels, %d videos, %d users (scale %s, seed %d)\n\n",
 		len(tr.Channels), len(tr.Videos), len(tr.Users), *scale, *seed)
+
+	if *traceOut != "" {
+		j, err := obs.OpenJSONL(*traceOut)
+		if err != nil {
+			return err
+		}
+		s.Tracer = j
+		defer func() {
+			cerr := j.Close()
+			if retErr == nil {
+				retErr = cerr
+			}
+			if retErr == nil {
+				fmt.Printf("\ntrace: %d events -> %s\n", j.Total(), *traceOut)
+			}
+		}()
+	}
 
 	if *jsonDump {
 		return dumpJSON(s, tr)

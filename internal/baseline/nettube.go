@@ -8,8 +8,10 @@ package baseline
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/overlay"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -78,6 +80,11 @@ type NetTube struct {
 	unionSeen  []uint32
 	unionEpoch uint32
 	unionBuf   []int
+
+	// ctr/tracer/now are the observability hooks; see internal/obs.
+	ctr    obs.Counters
+	tracer obs.Tracer
+	now    time.Duration
 }
 
 var _ vod.Protocol = (*NetTube)(nil)
@@ -141,6 +148,16 @@ func (n *NetTube) state(node int) *ntNode {
 // Name implements vod.Protocol.
 func (n *NetTube) Name() string { return "NetTube" }
 
+// ObsCounters implements obs.Instrumented.
+func (n *NetTube) ObsCounters() *obs.Counters { return &n.ctr }
+
+// SetTracer implements obs.Traceable; a nil tracer disables tracing.
+func (n *NetTube) SetTracer(t obs.Tracer) { n.tracer = t }
+
+// SetNow implements the experiment engine's clock hook so trace events carry
+// virtual timestamps.
+func (n *NetTube) SetNow(now time.Duration) { n.now = now }
+
 func (n *NetTube) mesh(v trace.VideoID) *overlay.Mesh {
 	m, ok := n.overlays[v]
 	if !ok {
@@ -173,6 +190,8 @@ func (n *NetTube) Join(node int) {
 		return
 	}
 	st.online = true
+	n.ctr.OverlayJoins++
+	churnEvent(n.tracer, "NetTube", n.now, obs.KindJoin, node)
 }
 
 // Leave implements vod.Protocol: graceful departure from every overlay.
@@ -187,6 +206,8 @@ func (n *NetTube) Leave(node int) {
 	}
 	st.joined = st.joined[:0]
 	st.online = false
+	n.ctr.OverlayLeaves++
+	churnEvent(n.tracer, "NetTube", n.now, obs.KindLeave, node)
 }
 
 // Fail implements vod.Protocol: the node vanishes from member sets but its
@@ -200,6 +221,8 @@ func (n *NetTube) Fail(node int) {
 		n.memberSet(v).Remove(node)
 	}
 	st.online = false
+	n.ctr.OverlayFails++
+	churnEvent(n.tracer, "NetTube", n.now, obs.KindFail, node)
 }
 
 // unionNeighbors returns the node's neighbours across every overlay it has
@@ -234,10 +257,18 @@ func (n *NetTube) unionNeighbors(node int) []int {
 	return out
 }
 
-// Request implements vod.Protocol: query neighbours within TTL hops across
-// the node's overlays; on a miss the server serves the video and directs
-// the node into the video's overlay.
+// Request implements vod.Protocol: locate the video, then account the
+// outcome and emit the serve event (shared with PA-VoD via accountRequest).
 func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
+	res := n.locate(node, v)
+	accountRequest(&n.ctr, n.tracer, "NetTube", n.now, node, v, res)
+	return res
+}
+
+// locate queries neighbours within TTL hops across the node's overlays; on a
+// miss the server serves the video and directs the node into the video's
+// overlay.
+func (n *NetTube) locate(node int, v trace.VideoID) vod.RequestResult {
 	st := n.state(node)
 	video := n.tr.Video(v)
 	if st == nil || !st.online || video == nil {
@@ -255,24 +286,51 @@ func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
 	// A node with overlay links queries its neighbours within TTL hops;
 	// a fresh node (first request of a session) instead asks the server,
 	// which directs it to providers in the video's overlay. On a miss the
-	// server serves the video itself.
+	// server serves the video itself. NetTube has no hierarchy, so its
+	// cross-overlay flood counts at the channel level and its
+	// server-directed provider lookup at the server level.
 	if len(st.joined) > 0 {
+		n.ctr.LookupsChannel++
 		fr := n.scratch.Flood(node, n.cfg.TTL, n.unionNeighbors, match)
 		res.Messages += fr.Messages
+		n.ctr.FloodMsgsChannel += uint64(fr.Messages)
+		if n.tracer != nil {
+			provider := -1
+			if fr.OK {
+				provider = fr.Found
+			}
+			n.tracer.Emit(obs.Event{T: int64(n.now), Proto: "NetTube", Kind: obs.KindFlood, Node: node,
+				Video: int64(v), Provider: provider, Level: obs.LevelChannel, OK: fr.OK, Hops: fr.Hops, Msgs: fr.Messages})
+		}
 		if fr.OK {
+			n.ctr.HitsChannel++
 			res.Source = vod.SourcePeer
 			res.Provider = fr.Found
 			res.Hops = fr.Hops
 			n.joinOverlay(node, v, fr.Found)
 			return res
 		}
-	} else if provider := n.memberSet(v).Random(n.g, node); provider >= 0 && match(provider) {
-		res.Source = vod.SourcePeer
-		res.Provider = provider
-		res.Hops = 1
-		res.Messages++ // the server-directed contact
-		n.joinOverlay(node, v, provider)
-		return res
+		n.ctr.TTLExhausted++
+	}
+	// The request reaches the server either way: it serves the video, and
+	// for a fresh node it first tries to direct the request to a provider
+	// already in the video's overlay.
+	n.ctr.LookupsServer++
+	if len(st.joined) == 0 {
+		if provider := n.memberSet(v).Random(n.g, node); provider >= 0 && match(provider) {
+			res.Source = vod.SourcePeer
+			res.Provider = provider
+			res.Hops = 1
+			res.Messages++ // the server-directed contact
+			n.ctr.FloodMsgsServer++
+			n.ctr.HitsServerAssist++
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{T: int64(n.now), Proto: "NetTube", Kind: obs.KindFlood, Node: node,
+					Video: int64(v), Provider: provider, Level: obs.LevelServer, OK: true, Hops: 1, Msgs: 1})
+			}
+			n.joinOverlay(node, v, provider)
+			return res
+		}
 	}
 	res.Source = vod.SourceServer
 	n.joinOverlay(node, v, -1)
@@ -333,6 +391,11 @@ func (n *NetTube) Finish(node int, v trace.VideoID) {
 			continue
 		}
 		st.cache.AddPrefix(pick)
+		n.ctr.PrefetchStored++
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{T: int64(n.now), Proto: "NetTube", Kind: obs.KindPrefetch, Node: node,
+				Video: int64(pick), Provider: -1})
+		}
 		prefetched++
 	}
 }
@@ -359,9 +422,16 @@ func (n *NetTube) Probe(node int) int {
 	if st == nil || !st.online {
 		return 0
 	}
+	before := n.Links(node)
 	msgs := 0
 	for _, v := range st.joined {
 		msgs += n.mesh(v).Prune(node, n.online)
+	}
+	n.ctr.LinksPruned += uint64(before - n.Links(node))
+	n.ctr.ProbeMsgs += uint64(msgs)
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: int64(n.now), Proto: "NetTube", Kind: obs.KindProbe, Node: node,
+			Video: -1, Provider: -1, Msgs: msgs})
 	}
 	return msgs
 }

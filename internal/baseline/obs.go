@@ -1,0 +1,48 @@
+package baseline
+
+import (
+	"time"
+
+	"github.com/socialtube/socialtube/internal/obs"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// accountRequest applies the per-request accounting shared by both
+// baselines (and mirrored by SocialTube): the request-source counters, the
+// hop histogram of peer hits, the prefetch hit/miss split, and the serve
+// trace event.
+func accountRequest(ctr *obs.Counters, tracer obs.Tracer, proto string, now time.Duration,
+	node int, v trace.VideoID, res vod.RequestResult) {
+	switch res.Source {
+	case vod.SourceCache:
+		ctr.RequestsCache++
+	case vod.SourcePeer:
+		ctr.RequestsPeer++
+		ctr.AddHops(res.Hops)
+	default:
+		ctr.RequestsServer++
+	}
+	if res.Source != vod.SourceCache {
+		if res.PrefixCached {
+			ctr.PrefetchHits++
+		} else {
+			ctr.PrefetchMisses++
+		}
+	}
+	if tracer != nil {
+		provider := -1
+		if res.Source == vod.SourcePeer {
+			provider = res.Provider
+		}
+		tracer.Emit(obs.Event{T: int64(now), Proto: proto, Kind: obs.KindServe, Node: node,
+			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages})
+	}
+}
+
+// churnEvent emits a join/leave/fail event when a tracer is installed.
+func churnEvent(tracer obs.Tracer, proto string, now time.Duration, kind obs.Kind, node int) {
+	if tracer != nil {
+		tracer.Emit(obs.Event{T: int64(now), Proto: proto, Kind: kind, Node: node, Video: -1, Provider: -1})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/overlay"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -67,6 +68,10 @@ type PAVoD struct {
 	nodes   []paNode
 	// eligible is the reusable candidate buffer of eligibleProvider.
 	eligible []int
+
+	// ctr/tracer are the observability hooks; see internal/obs.
+	ctr    obs.Counters
+	tracer obs.Tracer
 }
 
 var (
@@ -118,6 +123,12 @@ func (p *PAVoD) Name() string { return "PA-VoD" }
 // readiness constraint can reason about elapsed watch time.
 func (p *PAVoD) SetNow(now time.Duration) { p.now = now }
 
+// ObsCounters implements obs.Instrumented.
+func (p *PAVoD) ObsCounters() *obs.Counters { return &p.ctr }
+
+// SetTracer implements obs.Traceable; a nil tracer disables tracing.
+func (p *PAVoD) SetTracer(t obs.Tracer) { p.tracer = t }
+
 func (p *PAVoD) watcherSet(v trace.VideoID) *overlay.Members {
 	m, ok := p.watchers[v]
 	if !ok {
@@ -136,21 +147,38 @@ func (p *PAVoD) Join(node int) {
 	st.online = true
 	st.watching = -1
 	st.provider = -1
+	p.ctr.OverlayJoins++
+	churnEvent(p.tracer, "PA-VoD", p.now, obs.KindJoin, node)
+}
+
+// depart takes the node out of the system; it reports whether the node was
+// online so Leave/Fail can account gracefully-left versus failed sessions.
+func (p *PAVoD) depart(node int) bool {
+	st := p.state(node)
+	if st == nil || !st.online {
+		return false
+	}
+	p.stopWatching(node)
+	st.online = false
+	return true
 }
 
 // Leave implements vod.Protocol.
 func (p *PAVoD) Leave(node int) {
-	st := p.state(node)
-	if st == nil || !st.online {
-		return
+	if p.depart(node) {
+		p.ctr.OverlayLeaves++
+		churnEvent(p.tracer, "PA-VoD", p.now, obs.KindLeave, node)
 	}
-	p.stopWatching(node)
-	st.online = false
 }
 
 // Fail implements vod.Protocol. PA-VoD keeps no overlay links, so an abrupt
 // failure behaves like a departure from the server's perspective.
-func (p *PAVoD) Fail(node int) { p.Leave(node) }
+func (p *PAVoD) Fail(node int) {
+	if p.depart(node) {
+		p.ctr.OverlayFails++
+		churnEvent(p.tracer, "PA-VoD", p.now, obs.KindFail, node)
+	}
+}
 
 func (p *PAVoD) stopWatching(node int) {
 	st := p.state(node)
@@ -197,11 +225,18 @@ func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
 	return eligible[p.g.Intn(len(eligible))]
 }
 
-// Request implements vod.Protocol: the server directs the request to a
-// current watcher of the video, if any; otherwise it serves the video
-// itself. The node becomes a watcher (and thus a prospective provider)
-// until Finish.
+// Request implements vod.Protocol: locate a provider via the server, then
+// account the outcome and emit the serve event.
 func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
+	res := p.locate(node, v)
+	accountRequest(&p.ctr, p.tracer, "PA-VoD", p.now, node, v, res)
+	return res
+}
+
+// locate asks the server to direct the request to a current watcher of the
+// video, if any; otherwise the server serves the video itself. The node
+// becomes a watcher (and thus a prospective provider) until Finish.
+func (p *PAVoD) locate(node int, v trace.VideoID) vod.RequestResult {
 	st := p.state(node)
 	video := p.tr.Video(v)
 	if st == nil || !st.online || video == nil {
@@ -210,8 +245,16 @@ func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
 	// Moving to a new video ends the previous watch.
 	p.stopWatching(node)
 	res := vod.RequestResult{Messages: 1} // the request to the server
+	// PA-VoD has no overlay to flood: every lookup is server-level.
+	p.ctr.LookupsServer++
+	p.ctr.FloodMsgsServer++
 	provider := p.eligibleProvider(v, node)
+	if p.tracer != nil {
+		p.tracer.Emit(obs.Event{T: int64(p.now), Proto: "PA-VoD", Kind: obs.KindFlood, Node: node,
+			Video: int64(v), Provider: provider, Level: obs.LevelServer, OK: provider >= 0, Hops: 1, Msgs: 1})
+	}
 	if provider >= 0 {
+		p.ctr.HitsServerAssist++
 		res.Source = vod.SourcePeer
 		res.Provider = provider
 		res.Hops = 1

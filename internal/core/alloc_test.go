@@ -1,0 +1,50 @@
+// Alloc assertions are meaningless under the race detector (its
+// instrumentation allocates), so this file is build-tagged out of -race runs.
+
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"github.com/socialtube/socialtube/internal/obs"
+)
+
+// TestRequestStaysAllocFree pins the zero-overhead contract of the
+// instrumentation layer: the request hot path allocates nothing per
+// operation, with tracing disabled AND with the no-op tracer installed.
+// (The threshold is <1 alloc on average: cache-map growth inside the
+// protocol itself amortizes to ~0 but is not exactly 0 on every run.)
+func TestRequestStaysAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		tracer obs.Tracer
+	}{
+		{"untraced", nil},
+		{"nop-tracer", obs.Nop},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, tr := benchSystem(t)
+			if tc.tracer != nil {
+				sys.SetTracer(tc.tracer)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(2000, func() {
+				i++
+				u := tr.Users[i%len(tr.Users)]
+				if len(u.Subscriptions) == 0 {
+					return
+				}
+				ch := tr.Channel(u.Subscriptions[0])
+				if ch == nil || len(ch.Videos) == 0 {
+					return
+				}
+				sys.Request(int(u.ID), ch.Videos[(i+1)%len(ch.Videos)])
+			})
+			if avg >= 1 {
+				t.Fatalf("request path allocates %.2f allocs/op with %s, want <1", avg, tc.name)
+			}
+		})
+	}
+}

@@ -3,24 +3,25 @@ package core
 import (
 	"testing"
 
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
 // benchSystem builds a populated SocialTube system: everyone online and
 // attached, with enough watched videos that floods traverse real overlays.
-func benchSystem(b *testing.B) (*System, *trace.Trace) {
-	b.Helper()
+func benchSystem(tb testing.TB) (*System, *trace.Trace) {
+	tb.Helper()
 	cfg := trace.DefaultConfig()
 	cfg.Seed = 1
 	cfg.Users = 1000
 	cfg.Channels = 120
 	tr, err := trace.Generate(cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	sys, err := New(DefaultConfig(), tr)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	for _, u := range tr.Users {
 		sys.Join(int(u.ID))
@@ -59,6 +60,53 @@ func BenchmarkRequest(b *testing.B) {
 			continue
 		}
 		// A video the node has not cached: rotate through the channel.
+		v := ch.Videos[(i+1)%len(ch.Videos)]
+		sys.Request(node, v)
+	}
+}
+
+// BenchmarkRequestTraced is BenchmarkRequest with a no-op tracer installed:
+// it prices the tracing seam itself (one nil-check per emit site plus the
+// Event construction and interface call) and guards the hot path against a
+// tracer-induced allocation creeping in.
+func BenchmarkRequestTraced(b *testing.B) {
+	sys, tr := benchSystem(b)
+	sys.SetTracer(obs.Nop)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := tr.Users[i%len(tr.Users)]
+		node := int(u.ID)
+		if len(u.Subscriptions) == 0 {
+			continue
+		}
+		ch := tr.Channel(u.Subscriptions[0])
+		if ch == nil || len(ch.Videos) == 0 {
+			continue
+		}
+		v := ch.Videos[(i+1)%len(ch.Videos)]
+		sys.Request(node, v)
+	}
+}
+
+// BenchmarkRequestRingTraced prices live tracing into an in-memory ring
+// buffer — the upper bound users pay for `-trace` style introspection
+// without a file sink.
+func BenchmarkRequestRingTraced(b *testing.B) {
+	sys, tr := benchSystem(b)
+	sys.SetTracer(obs.NewRing(4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := tr.Users[i%len(tr.Users)]
+		node := int(u.ID)
+		if len(u.Subscriptions) == 0 {
+			continue
+		}
+		ch := tr.Channel(u.Subscriptions[0])
+		if ch == nil || len(ch.Videos) == 0 {
+			continue
+		}
 		v := ch.Videos[(i+1)%len(ch.Videos)]
 		sys.Request(node, v)
 	}

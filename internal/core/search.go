@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/overlay"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -13,11 +14,44 @@ func (s *System) flood(origin int, mesh *overlay.Mesh) overlay.FloodResult {
 	return s.scratch.Flood(origin, s.cfg.TTL, s.floodNeighbors, s.matchNode)
 }
 
-// Request implements vod.Protocol. It follows Algorithm 1 of the paper: the
-// node queries its channel overlay with the TTL, then its category cluster
-// (each inter-neighbour forwards within its own channel overlay with the
-// TTL), and finally resorts to the server.
+// Request implements vod.Protocol: locate the video per Algorithm 1, then
+// account the outcome (request source, hop histogram, prefetch hit/miss) and
+// emit the serve event. The accounting is hoisted out of locate so the
+// search phases stay exactly the PR-1 hot path plus counter increments.
 func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
+	res := s.locate(node, v)
+	switch res.Source {
+	case vod.SourceCache:
+		s.ctr.RequestsCache++
+	case vod.SourcePeer:
+		s.ctr.RequestsPeer++
+		s.ctr.AddHops(res.Hops)
+	default:
+		s.ctr.RequestsServer++
+	}
+	if res.Source != vod.SourceCache {
+		if res.PrefixCached {
+			s.ctr.PrefetchHits++
+		} else {
+			s.ctr.PrefetchMisses++
+		}
+	}
+	if s.tracer != nil {
+		provider := -1
+		if res.Source == vod.SourcePeer {
+			provider = res.Provider
+		}
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindServe, Node: node,
+			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages})
+	}
+	return res
+}
+
+// locate follows Algorithm 1 of the paper: the node queries its channel
+// overlay with the TTL, then its category cluster (each inter-neighbour
+// forwards within its own channel overlay with the TTL), and finally resorts
+// to the server.
+func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 	st := s.state(node)
 	video := s.tr.Video(v)
 	if st == nil || !st.online || video == nil {
@@ -34,9 +68,20 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 	// Phase 1: flood the node's channel overlay along inner-links.
 	if st.home >= 0 {
 		mesh := s.innerMesh(st.home)
+		s.ctr.LookupsChannel++
 		fr := s.flood(node, mesh)
 		res.Messages += fr.Messages
+		s.ctr.FloodMsgsChannel += uint64(fr.Messages)
+		if s.tracer != nil {
+			provider := -1
+			if fr.OK {
+				provider = fr.Found
+			}
+			s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
+				Video: int64(v), Provider: provider, Level: obs.LevelChannel, OK: fr.OK, Hops: fr.Hops, Msgs: fr.Messages})
+		}
 		if fr.OK {
+			s.ctr.HitsChannel++
 			res.Source = vod.SourcePeer
 			res.Provider = fr.Found
 			res.Hops = fr.Hops
@@ -45,13 +90,19 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 			mesh.Connect(node, fr.Found)
 			return res
 		}
+		s.ctr.TTLExhausted++
 	}
 
 	// Phase 2: query inter-neighbours; each forwards within its own
 	// channel overlay for TTL hops. The view is safe to range over: the
-	// inter mesh is only mutated right before returning.
+	// inter mesh is only mutated right before returning. catMsgs tracks
+	// the category-level message volume for the counters and the flood
+	// event (a request that never leaves its channel emits none).
+	s.ctr.LookupsCategory++
+	catMsgs := 0
 	for _, j := range s.inter.NeighborsView(node) {
 		res.Messages++
+		catMsgs++
 		if !s.online(j) {
 			continue
 		}
@@ -59,6 +110,12 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 			res.Source = vod.SourcePeer
 			res.Provider = j
 			res.Hops = 1
+			s.ctr.FloodMsgsCategory += uint64(catMsgs)
+			s.ctr.HitsCategory++
+			if s.tracer != nil {
+				s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
+					Video: int64(v), Provider: j, Level: obs.LevelCategory, OK: true, Hops: 1, Msgs: catMsgs})
+			}
 			return res
 		}
 		jHome := s.nodes[j].home
@@ -67,30 +124,59 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 		}
 		fr := s.flood(j, s.innerMesh(jHome))
 		res.Messages += fr.Messages
+		catMsgs += fr.Messages
 		if fr.OK {
 			res.Source = vod.SourcePeer
 			res.Provider = fr.Found
 			res.Hops = 1 + fr.Hops
+			s.ctr.FloodMsgsCategory += uint64(catMsgs)
+			s.ctr.HitsCategory++
+			if s.tracer != nil {
+				s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
+					Video: int64(v), Provider: fr.Found, Level: obs.LevelCategory, OK: true, Hops: res.Hops, Msgs: catMsgs})
+			}
 			// Connect to the provider if inter-link budget remains.
 			s.inter.Connect(node, fr.Found)
 			return res
 		}
+		s.ctr.TTLExhausted++
 	}
+	s.ctr.FloodMsgsCategory += uint64(catMsgs)
+	if s.tracer != nil && catMsgs > 0 {
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
+			Video: int64(v), Provider: -1, Level: obs.LevelCategory, OK: false, Msgs: catMsgs})
+	}
+
+	// The request now reaches the server, whether it assists (phase 2.5)
+	// or serves the video itself (phase 3).
+	s.ctr.LookupsServer++
 
 	// Phase 2.5: before serving the video itself, the server recommends
 	// a node in the video's own channel overlay ("including a node with
 	// the video", §IV-A) — the path that rescues non-subscribers and
 	// cross-channel views.
 	if st.home != video.Channel {
-		if provider, hops, msgs, ok := s.searchChannelOverlay(node, video.Channel); ok {
-			res.Messages += msgs
+		provider, hops, msgs, ok := s.searchChannelOverlay(node, video.Channel)
+		res.Messages += msgs
+		s.ctr.FloodMsgsServer += uint64(msgs)
+		if s.tracer != nil && msgs > 0 {
+			p := -1
+			if ok {
+				p = provider
+			}
+			s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
+				Video: int64(v), Provider: p, Level: obs.LevelServer, OK: ok, Hops: hops, Msgs: msgs})
+		}
+		if ok {
+			s.ctr.HitsServerAssist++
 			res.Source = vod.SourcePeer
 			res.Provider = provider
 			res.Hops = hops
 			s.inter.Connect(node, provider)
 			return res
-		} else {
-			res.Messages += msgs
+		}
+		if msgs > 0 {
+			s.ctr.TTLExhausted++
 		}
 	}
 
@@ -219,6 +305,14 @@ func (s *System) Finish(node int, v trace.VideoID) {
 		if ch.Videos[i] == v {
 			continue
 		}
+		if st.cache.HasPrefix(ch.Videos[i]) {
+			continue // already local: nothing new to prefetch
+		}
 		st.cache.AddPrefix(ch.Videos[i])
+		s.ctr.PrefetchStored++
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindPrefetch, Node: node,
+				Video: int64(ch.Videos[i]), Provider: -1})
+		}
 	}
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/overlay"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -51,6 +53,16 @@ type System struct {
 	matchNode  func(int) bool
 	// keepOnline is the probe/repair predicate for Mesh.Prune.
 	keepOnline func(int) bool
+
+	// ctr is the dense observability counter block; the simulator
+	// increments it single-threaded (plain ++), see obs.Counters.
+	ctr obs.Counters
+	// tracer receives protocol events; nil (the default) disables tracing
+	// at the cost of one branch per emit site.
+	tracer obs.Tracer
+	// now is the experiment engine's virtual clock (SetNow), stamping
+	// trace events.
+	now time.Duration
 }
 
 var _ vod.Protocol = (*System)(nil)
@@ -125,6 +137,16 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 // Name implements vod.Protocol.
 func (s *System) Name() string { return "SocialTube" }
 
+// ObsCounters implements obs.Instrumented.
+func (s *System) ObsCounters() *obs.Counters { return &s.ctr }
+
+// SetTracer implements obs.Traceable; a nil tracer disables tracing.
+func (s *System) SetTracer(t obs.Tracer) { s.tracer = t }
+
+// SetNow implements the experiment engine's clock hook (exp.Timed) so trace
+// events carry virtual timestamps.
+func (s *System) SetNow(now time.Duration) { s.now = now }
+
 func (s *System) state(node int) *nodeState {
 	if node < 0 || node >= len(s.nodes) {
 		return nil
@@ -164,6 +186,10 @@ func (s *System) Join(node int) {
 		return
 	}
 	st.online = true
+	s.ctr.OverlayJoins++
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindJoin, Node: node, Video: -1, Provider: -1})
+	}
 	if st.home >= 0 {
 		// Drop stale mesh edges left by an earlier abrupt failure.
 		s.dropDeadLinks(node)
@@ -212,6 +238,10 @@ func (s *System) Leave(node int) {
 	}
 	s.inter.RemoveNode(node)
 	st.online = false
+	s.ctr.OverlayLeaves++
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindLeave, Node: node, Video: -1, Provider: -1})
+	}
 }
 
 // Fail implements vod.Protocol: an abrupt departure. The node disappears
@@ -227,6 +257,10 @@ func (s *System) Fail(node int) {
 		s.memberSetOf(st.home).Remove(node)
 	}
 	st.online = false
+	s.ctr.OverlayFails++
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFail, Node: node, Video: -1, Provider: -1})
+	}
 }
 
 func (s *System) rememberNeighbors(node int) {
@@ -253,10 +287,12 @@ func (s *System) detach(node int) {
 // a probe round or a fresh session's reconnection attempt discovers.
 func (s *System) dropDeadLinks(node int) {
 	st := s.state(node)
+	before := s.Links(node)
 	if st.home >= 0 {
 		s.innerMesh(st.home).Prune(node, s.keepOnline)
 	}
 	s.inter.Prune(node, s.keepOnline)
+	s.ctr.LinksPruned += uint64(before - s.Links(node))
 }
 
 // Probe implements the periodic structure maintenance of §IV-A: the node
@@ -268,11 +304,17 @@ func (s *System) Probe(node int) int {
 		return 0
 	}
 	msgs := 0
+	before := s.Links(node)
 	if st.home >= 0 {
 		msgs += s.innerMesh(st.home).Prune(node, s.keepOnline)
 	}
 	msgs += s.inter.Prune(node, s.keepOnline)
+	s.ctr.LinksPruned += uint64(before - s.Links(node))
 	s.replenish(node)
+	s.ctr.ProbeMsgs += uint64(msgs)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindProbe, Node: node, Video: -1, Provider: -1, Msgs: msgs})
+	}
 	return msgs
 }
 

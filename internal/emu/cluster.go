@@ -7,6 +7,7 @@ import (
 
 	"github.com/socialtube/socialtube/internal/dist"
 	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
 )
@@ -41,6 +42,17 @@ type ClusterConfig struct {
 	Tracker TrackerConfig
 	// Conditions injects latency and loss (nil = pristine loopback).
 	Conditions *Conditions
+	// MetricsAddr, when non-empty, serves live run metrics as JSON on
+	// GET <addr>/metrics for the duration of the run ("127.0.0.1:0" picks
+	// an ephemeral port).
+	MetricsAddr string
+	// PprofEnabled additionally mounts net/http/pprof under the metrics
+	// listener's /debug/pprof/.
+	PprofEnabled bool
+	// OnMetricsAddr, when set, is called once with the metrics listener's
+	// concrete address as soon as the endpoint is up (before the workload
+	// starts), so callers using port 0 can find it.
+	OnMetricsAddr func(addr string)
 }
 
 // DefaultClusterConfig returns a loopback-scaled PlanetLab workload.
@@ -110,6 +122,36 @@ func (r *ClusterResult) NormalizedPeerBandwidthPercentiles() (p1, p50, p99 float
 	return r.PeerBandwidth.Percentile(1), r.PeerBandwidth.Percentile(50), r.PeerBandwidth.Percentile(99)
 }
 
+// LiveMetrics is the JSON document the cluster's /metrics endpoint serves
+// while a run is in flight: the tracker's view plus the workload aggregates
+// collected so far.
+type LiveMetrics struct {
+	Protocol       string          `json:"protocol"`
+	Tracker        TrackerMetrics  `json:"tracker"`
+	StartupDelayMs metrics.Summary `json:"startupDelayMs"`
+	CacheHits      int64           `json:"cacheHits"`
+	PrefixHits     int64           `json:"prefixHits"`
+	PeerHits       int64           `json:"peerHits"`
+	ServerHits     int64           `json:"serverHits"`
+	Messages       int64           `json:"messages"`
+}
+
+func liveMetrics(cfg ClusterConfig, tracker *Tracker, res *ClusterResult, resMu *sync.Mutex) LiveMetrics {
+	resMu.Lock()
+	m := LiveMetrics{
+		Protocol:       cfg.Mode.String(),
+		StartupDelayMs: res.StartupDelay.Summary(),
+		CacheHits:      res.CacheHits,
+		PrefixHits:     res.PrefixHits,
+		PeerHits:       res.PeerHits,
+		ServerHits:     res.ServerHits,
+		Messages:       res.Messages,
+	}
+	resMu.Unlock()
+	m.Tracker = tracker.MetricsSnapshot()
+	return m
+}
+
 // RunCluster starts a tracker and peers, drives the session workload to
 // completion, shuts everything down and returns aggregated metrics.
 func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
@@ -161,6 +203,20 @@ func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 		LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
 	}
 	var resMu sync.Mutex
+
+	if cfg.MetricsAddr != "" {
+		srv, err := obs.ServeMetrics(cfg.MetricsAddr, func() any {
+			return liveMetrics(cfg, tracker, res, &resMu)
+		}, cfg.PprofEnabled)
+		if err != nil {
+			return nil, fmt.Errorf("cluster metrics: %w", err)
+		}
+		defer srv.Close()
+		if cfg.OnMetricsAddr != nil {
+			cfg.OnMetricsAddr(srv.Addr())
+		}
+	}
+
 	begin := time.Now()
 
 	var wg sync.WaitGroup

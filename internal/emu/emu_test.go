@@ -2,7 +2,9 @@ package emu
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"runtime"
 	"testing"
 	"time"
@@ -403,6 +405,70 @@ func TestClusterRunAllModes(t *testing.T) {
 				t.Fatal("server shipped nothing")
 			}
 		})
+	}
+}
+
+// TestClusterLiveMetrics scrapes /metrics while a cluster run is in flight:
+// the OnMetricsAddr hook fires before the workload starts, so the GET races
+// the run and must return a consistent JSON snapshot either way.
+func TestClusterLiveMetrics(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := DefaultClusterConfig(ModeSocialTube)
+	cfg.Peers = 8
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.WatchTime = 5 * time.Millisecond
+	cfg.MeanOffTime = 5 * time.Millisecond
+	cfg.Conditions = fastConditions()
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.PprofEnabled = true
+
+	var scraped LiveMetrics
+	var pprofStatus int
+	cfg.OnMetricsAddr = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Errorf("GET /metrics: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /metrics = %d", resp.StatusCode)
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&scraped); err != nil {
+			t.Errorf("metrics not JSON: %v", err)
+			return
+		}
+		pr, err := http.Get("http://" + addr + "/debug/pprof/")
+		if err != nil {
+			t.Errorf("GET /debug/pprof/: %v", err)
+			return
+		}
+		pr.Body.Close()
+		pprofStatus = pr.StatusCode
+	}
+
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if scraped.Protocol != "SocialTube" {
+		t.Fatalf("scraped protocol %q", scraped.Protocol)
+	}
+	if scraped.Tracker.RequestsByType == nil {
+		t.Fatal("scraped snapshot has no tracker request map")
+	}
+	if pprofStatus != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", pprofStatus)
+	}
+	// After the run the endpoint is down but the final result carries the
+	// same counters the endpoint was serving.
+	if res.CacheHits+res.PeerHits+res.ServerHits == 0 {
+		t.Fatal("run produced no requests")
 	}
 }
 

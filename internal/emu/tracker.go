@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
@@ -54,6 +56,10 @@ type Tracker struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 	close chan struct{}
+
+	// ctr is updated with atomics (some handlers touch it outside t.mu)
+	// and read lock-free by MetricsSnapshot while the run is live.
+	ctr obs.Counters
 
 	mu    sync.Mutex
 	g     *dist.RNG
@@ -190,6 +196,38 @@ func (t *Tracker) Stats() map[MsgType]int64 {
 	return out
 }
 
+// TrackerMetrics is the tracker's live observability snapshot, served as
+// JSON from the /metrics endpoint while an emulated cluster runs.
+type TrackerMetrics struct {
+	Peers          int               `json:"peers"`
+	ServedBytes    int64             `json:"servedBytes"`
+	RequestsByType map[MsgType]int64 `json:"requestsByType"`
+	Counters       obs.Counters      `json:"counters"`
+}
+
+// MetricsSnapshot captures the tracker's current metrics. Safe to call from
+// any goroutine while the tracker serves.
+func (t *Tracker) MetricsSnapshot() TrackerMetrics {
+	t.mu.Lock()
+	m := TrackerMetrics{
+		Peers:          len(t.addrs),
+		ServedBytes:    t.servedBytes,
+		RequestsByType: make(map[MsgType]int64, len(t.requests)),
+	}
+	for k, v := range t.requests {
+		m.RequestsByType[k] = v
+	}
+	t.mu.Unlock()
+	m.Counters = t.ctr.Snapshot()
+	return m
+}
+
+// ServeMetrics exposes this tracker's MetricsSnapshot on addr (and the pprof
+// handlers when enabled). The caller owns the returned server's lifetime.
+func (t *Tracker) ServeMetrics(addr string, pprofEnabled bool) (*obs.MetricsServer, error) {
+	return obs.ServeMetrics(addr, func() any { return t.MetricsSnapshot() }, pprofEnabled)
+}
+
 func (t *Tracker) dispatch(req *Message) *Message {
 	t.mu.Lock()
 	t.requests[req.Type]++
@@ -237,6 +275,7 @@ func (t *Tracker) handleJoin(req *Message) *Message {
 	if chn == nil {
 		return &Message{Type: MsgMiss, From: -1}
 	}
+	atomic.AddUint64(&t.ctr.OverlayJoins, 1)
 	resp := &Message{Type: MsgJoinOK, From: -1}
 	// One random member of the channel overlay itself.
 	if info, ok := t.randomMemberLocked(t.channelMembers[ch], req.From, int(ch)); ok {
@@ -282,6 +321,7 @@ func (t *Tracker) handleJoinVideo(req *Message) *Message {
 	if t.tr.Video(v) == nil {
 		return &Message{Type: MsgMiss, From: -1}
 	}
+	atomic.AddUint64(&t.ctr.OverlayJoins, 1)
 	resp := &Message{Type: MsgJoinOK, From: -1}
 	members := t.videoMembers[v]
 	for id, addr := range members {
@@ -302,6 +342,7 @@ func (t *Tracker) handleJoinVideo(req *Message) *Message {
 }
 
 func (t *Tracker) handleLeave(req *Message) *Message {
+	atomic.AddUint64(&t.ctr.OverlayLeaves, 1)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.addrs, req.From)
@@ -335,6 +376,7 @@ func (t *Tracker) handleServe(req *Message) *Message {
 	t.busyUntil = done
 	t.servedBytes += int64(t.cfg.ChunkPayload)
 	t.mu.Unlock()
+	atomic.AddUint64(&t.ctr.ChunksServer, 1)
 	time.Sleep(done.Sub(now))
 	return &Message{
 		Type:    MsgOK,
@@ -385,9 +427,11 @@ func (t *Tracker) handleWatchStart(req *Message) *Message {
 		}
 		candidates = local
 	}
+	atomic.AddUint64(&t.ctr.LookupsServer, 1)
 	if info, ok := t.randomMemberLocked(candidates, req.From, req.Video); ok {
 		resp.Provider = info.ID
 		resp.ProviderAddr = info.Addr
+		atomic.AddUint64(&t.ctr.HitsServerAssist, 1)
 	}
 	m := t.watchers[v]
 	if m == nil {

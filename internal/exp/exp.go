@@ -11,6 +11,7 @@ import (
 
 	"github.com/socialtube/socialtube/internal/dist"
 	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/sim"
 	"github.com/socialtube/socialtube/internal/simnet"
 	"github.com/socialtube/socialtube/internal/trace"
@@ -144,6 +145,12 @@ type Result struct {
 	Requests int64 `json:"requests"`
 	// SimulatedTime is the virtual time the run covered.
 	SimulatedTime time.Duration `json:"simulatedTimeNanos"`
+	// Obs is the protocol's dense counter snapshot at the end of the run
+	// (zero when the protocol is not obs.Instrumented), plus the chunk
+	// split the runner accounts itself.
+	Obs obs.Counters `json:"obs"`
+	// Engine is the discrete-event engine's accounting.
+	Engine sim.Stats `json:"engine"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -171,7 +178,11 @@ type runner struct {
 	g      *dist.RNG
 	picker *vod.Picker
 	timed  Timed // non-nil when the protocol wants clock callbacks
-	res    *Result
+	// ctr is the protocol's counter block when it is obs.Instrumented,
+	// otherwise a private scratch block, so the runner's own accounting
+	// (chunk split) never needs a nil check.
+	ctr *obs.Counters
+	res *Result
 	// Per-node chunk accounting for normalized peer bandwidth.
 	peerChunks   []int64
 	serverChunks []int64
@@ -218,6 +229,11 @@ func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) 
 	}
 	if timed, ok := proto.(Timed); ok {
 		r.timed = timed
+	}
+	if inst, ok := proto.(obs.Instrumented); ok {
+		r.ctr = inst.ObsCounters()
+	} else {
+		r.ctr = &obs.Counters{}
 	}
 	for i := range tr.Users {
 		r.sessionsLeft[i] = cfg.Sessions
@@ -283,10 +299,12 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duratio
 		r.res.PeerHits.Inc()
 		ready = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
 		r.peerChunks[node] += int64(r.cfg.ChunksPerVideo)
+		r.ctr.ChunksPeer += uint64(r.cfg.ChunksPerVideo)
 	case vod.SourceServer:
 		r.res.ServerHits.Inc()
 		ready = r.deliver(node, simnet.ServerID, res, chunkBytes, now)
 		r.serverChunks[node] += int64(r.cfg.ChunksPerVideo)
+		r.ctr.ChunksServer += uint64(r.cfg.ChunksPerVideo)
 	default:
 		ready = now
 	}
@@ -383,4 +401,6 @@ func (r *runner) finalize() {
 	r.res.ServerBytes = r.net.ServerBytes()
 	r.res.PeerBytes = r.net.PeerBytes()
 	r.res.SimulatedTime = r.engine.Now()
+	r.res.Obs = r.ctr.Snapshot()
+	r.res.Engine = r.engine.Stats()
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/socialtube/socialtube/internal/core"
 	"github.com/socialtube/socialtube/internal/exp"
 	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/simnet"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -41,6 +42,20 @@ type Scale struct {
 	VideoCountMultiplier float64
 	// Seed drives everything.
 	Seed int64
+	// Tracer, when non-nil, is installed on every protocol the scale
+	// builds (the -trace-out path). It must be safe for concurrent Emit:
+	// the figure runner runs protocols in parallel.
+	Tracer obs.Tracer
+}
+
+// attach installs the scale's tracer on protocols that accept one.
+func (s Scale) attach(p vod.Protocol) {
+	if s.Tracer == nil {
+		return
+	}
+	if t, ok := p.(obs.Traceable); ok {
+		t.SetTracer(s.Tracer)
+	}
 }
 
 // SmallScale returns a seconds-long configuration.
@@ -295,11 +310,15 @@ func (s Scale) Protocols(tr *trace.Trace) (map[string]vod.Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]vod.Protocol{
+	protos := map[string]vod.Protocol{
 		"SocialTube": st,
 		"NetTube":    nt,
 		"PA-VoD":     pv,
-	}, nil
+	}
+	for _, p := range protos {
+		s.attach(p)
+	}
+	return protos, nil
 }
 
 // RunSocialTube runs one SocialTube variant through the standard workload —
@@ -310,6 +329,7 @@ func RunSocialTube(s Scale, tr *trace.Trace, cfg core.Config) (*exp.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	s.attach(sys)
 	return exp.Run(s.expConfig(), tr, sys, simnet.DefaultConfig())
 }
 
@@ -391,9 +411,64 @@ func runAll(s Scale, tr *trace.Trace, protos map[string]vod.Protocol) (map[strin
 
 var protoOrder = []string{"PA-VoD", "SocialTube", "NetTube"}
 
+// FigSim bundles a simulator figure's main table with the per-run counter
+// summary produced by the same simulations — every simulator figure reports
+// not just its metric but the protocol activity that generated it.
+type FigSim struct {
+	Table    *metrics.Table
+	Counters *metrics.Table
+}
+
+// String renders the figure table followed by its counter summary.
+func (f *FigSim) String() string {
+	return f.Table.String() + "\n" + f.Counters.String()
+}
+
+// countersTable renders the runs' counter snapshots side by side, one column
+// per run in the given order, one row per counter (declaration order, so the
+// output is byte-stable), followed by the engine's accounting.
+func countersTable(title string, names []string, results []*exp.Result) *metrics.Table {
+	headers := make([]string, 0, len(names)+1)
+	headers = append(headers, "counter")
+	headers = append(headers, names...)
+	t := metrics.NewTable(title, headers...)
+	if len(results) == 0 {
+		return t
+	}
+	perRun := make([][]obs.CounterRow, len(results))
+	for i, r := range results {
+		perRun[i] = r.Obs.Rows()
+	}
+	for ri, row := range perRun[0] {
+		cells := make([]any, 0, len(results)+1)
+		cells = append(cells, row.Name)
+		for i := range results {
+			cells = append(cells, perRun[i][ri].Value)
+		}
+		t.AddRow(cells...)
+	}
+	engineRows := []struct {
+		name string
+		get  func(r *exp.Result) any
+	}{
+		{"engineEventsFired", func(r *exp.Result) any { return r.Engine.EventsFired }},
+		{"engineEventsScheduled", func(r *exp.Result) any { return r.Engine.EventsScheduled }},
+		{"engineHeapHighWater", func(r *exp.Result) any { return r.Engine.HeapHighWater }},
+	}
+	for _, er := range engineRows {
+		cells := make([]any, 0, len(results)+1)
+		cells = append(cells, er.name)
+		for _, r := range results {
+			cells = append(cells, er.get(r))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
 // Fig16a prints the normalized peer bandwidth percentiles per protocol on
-// the simulator.
-func Fig16a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+// the simulator, with the per-protocol counter summary.
+func Fig16a(s Scale, tr *trace.Trace) (*FigSim, error) {
 	protos, err := s.Protocols(tr)
 	if err != nil {
 		return nil, err
@@ -404,16 +479,21 @@ func Fig16a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
 	}
 	t := metrics.NewTable("Fig. 16(a) — normalized peer bandwidth (simulator)",
 		"protocol", "p1", "p50", "p99")
+	ordered := make([]*exp.Result, 0, len(protoOrder))
 	for _, name := range protoOrder {
 		p1, p50, p99 := results[name].NormalizedPeerBandwidthPercentiles()
 		t.AddRow(name, p1, p50, p99)
+		ordered = append(ordered, results[name])
 	}
-	return t, nil
+	return &FigSim{
+		Table:    t,
+		Counters: countersTable("Fig. 16(a) — protocol counters", protoOrder, ordered),
+	}, nil
 }
 
 // Fig17a prints startup delay with and without prefetching per protocol on
-// the simulator.
-func Fig17a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+// the simulator, with the per-variant counter summary.
+func Fig17a(s Scale, tr *trace.Trace) (*FigSim, error) {
 	t := metrics.NewTable("Fig. 17(a) — startup delay (simulator)",
 		"variant", "meanMs", "p50Ms", "p99Ms")
 	variants := []struct {
@@ -454,6 +534,7 @@ func Fig17a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
 		if err != nil {
 			return err
 		}
+		s.attach(p)
 		res, err := exp.Run(s.expConfig(), tr, p, simnet.DefaultConfig())
 		if err != nil {
 			return fmt.Errorf("run %s: %w", variants[i].name, err)
@@ -464,16 +545,21 @@ func Fig17a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	names := make([]string, len(variants))
 	for i, variant := range variants {
-		res := results[i]
-		t.AddRow(variant.name, res.StartupDelay.Mean(), res.StartupDelay.Percentile(50), res.StartupDelay.Percentile(99))
+		names[i] = variant.name
+		d := results[i].StartupDelay.Summary()
+		t.AddRow(variant.name, d.Mean, d.P50, d.P99)
 	}
-	return t, nil
+	return &FigSim{
+		Table:    t,
+		Counters: countersTable("Fig. 17(a) — protocol counters", names, results),
+	}, nil
 }
 
 // Fig18a prints maintenance overhead versus videos watched per protocol on
-// the simulator.
-func Fig18a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
+// the simulator, with the per-protocol counter summary.
+func Fig18a(s Scale, tr *trace.Trace) (*FigSim, error) {
 	protos, err := s.Protocols(tr)
 	if err != nil {
 		return nil, err
@@ -490,7 +576,12 @@ func Fig18a(s Scale, tr *trace.Trace) (*metrics.Table, error) {
 			results["SocialTube"].LinksByVideoIndex[k].Mean(),
 			results["NetTube"].LinksByVideoIndex[k].Mean())
 	}
-	return t, nil
+	names := []string{"SocialTube", "NetTube"}
+	return &FigSim{
+		Table: t,
+		Counters: countersTable("Fig. 18(a) — protocol counters", names,
+			[]*exp.Result{results["SocialTube"], results["NetTube"]}),
+	}, nil
 }
 
 // Table1 prints the experiment's default parameters alongside the paper's.

@@ -21,6 +21,11 @@ type EmuScale struct {
 	WatchTime time.Duration
 	// Seed drives the workload.
 	Seed int64
+	// MetricsAddr, when non-empty, serves live cluster metrics on
+	// GET <addr>/metrics while each emulated run is in flight.
+	MetricsAddr string
+	// Pprof mounts net/http/pprof on the metrics listener.
+	Pprof bool
 }
 
 // SmallEmuScale returns a seconds-long emulation.
@@ -59,6 +64,13 @@ func (s EmuScale) clusterConfig(mode emu.Mode) emu.ClusterConfig {
 	// one ISP per ≈50 emulated peers once the cluster is big enough.
 	if s.Peers >= 100 {
 		cfg.Tracker.ISPs = s.Peers / 50
+	}
+	cfg.MetricsAddr = s.MetricsAddr
+	cfg.PprofEnabled = s.Pprof
+	if s.MetricsAddr != "" {
+		cfg.OnMetricsAddr = func(addr string) {
+			fmt.Printf("# live metrics: http://%s/metrics\n", addr)
+		}
 	}
 	return cfg
 }
@@ -117,8 +129,8 @@ func Fig17b(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(variant.name,
-			res.StartupDelay.Mean(), res.StartupDelay.Percentile(50), res.StartupDelay.Percentile(99))
+		d := res.StartupDelay.Summary()
+		t.AddRow(variant.name, d.Mean, d.P50, d.P99)
 	}
 	return t, nil
 }

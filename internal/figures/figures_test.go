@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func tinyTrace(t *testing.T) *trace.Trace {
 	return tr
 }
 
-func requireRows(t *testing.T, tb *metrics.Table, wantSubstring string) {
+func requireRows(t *testing.T, tb fmt.Stringer, wantSubstring string) {
 	t.Helper()
 	out := tb.String()
 	if !strings.Contains(out, wantSubstring) {

@@ -84,7 +84,10 @@ func (s *Sample) Values() []float64 {
 	return out
 }
 
-// Summary is the JSON form of a Sample: its size and key percentiles.
+// Summary is the JSON form of a Sample: its size and key percentiles. It is
+// the one percentile-extraction point shared by the figure builders, the
+// experiment results and the emu /metrics endpoint, so every consumer reports
+// the same statistics.
 type Summary struct {
 	Count int     `json:"count"`
 	Mean  float64 `json:"mean"`
@@ -92,13 +95,14 @@ type Summary struct {
 	P25   float64 `json:"p25"`
 	P50   float64 `json:"p50"`
 	P75   float64 `json:"p75"`
+	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 }
 
-// Summarize returns the sample's summary (zero-valued when empty).
-func (s *Sample) Summarize() Summary {
+// Summary returns the sample's summary (zero-valued when empty).
+func (s *Sample) Summary() Summary {
 	if s.Len() == 0 {
 		return Summary{}
 	}
@@ -109,15 +113,19 @@ func (s *Sample) Summarize() Summary {
 		P25:   s.Percentile(25),
 		P50:   s.Percentile(50),
 		P75:   s.Percentile(75),
+		P90:   s.Percentile(90),
 		P99:   s.Percentile(99),
 		Min:   s.Min(),
 		Max:   s.Max(),
 	}
 }
 
+// Summarize is an alias of Summary, kept for callers that predate it.
+func (s *Sample) Summarize() Summary { return s.Summary() }
+
 // MarshalJSON encodes the sample as its Summary.
 func (s *Sample) MarshalJSON() ([]byte, error) {
-	return json.Marshal(s.Summarize())
+	return json.Marshal(s.Summary())
 }
 
 // Counter is a named monotonically increasing count.

@@ -1,0 +1,229 @@
+package obs_test
+
+// Counter-correctness tests: drive each protocol over a trace small enough
+// that every counter value can be derived by hand from the protocol
+// definitions, then assert the full counter block. Any accounting drift —
+// a double-counted flood message, a lookup attributed to the wrong
+// hierarchy level — fails these tests with the exact field that moved.
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/baseline"
+	"github.com/socialtube/socialtube/internal/core"
+	"github.com/socialtube/socialtube/internal/obs"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// tinyTrace is one category, one channel with two videos (ids 0 and 1, most
+// popular first), and two users A=0 and B=1, both subscribed to the channel.
+func tinyTrace() *trace.Trace {
+	mkVideo := func(id trace.VideoID, rank int) *trace.Video {
+		return &trace.Video{
+			ID: id, Channel: 0, Category: 0,
+			Views: int64(100 / rank), Length: 4 * time.Minute, Rank: rank,
+		}
+	}
+	return &trace.Trace{
+		Categories: 1,
+		Channels: []*trace.Channel{{
+			ID: 0, Primary: 0, Categories: []trace.CategoryID{0},
+			Videos:      []trace.VideoID{0, 1},
+			Subscribers: []trace.UserID{0, 1},
+		}},
+		Videos: []*trace.Video{mkVideo(0, 1), mkVideo(1, 2)},
+		Users: []*trace.User{
+			{ID: 0, Interests: []trace.CategoryID{0}, Subscriptions: []trace.ChannelID{0}},
+			{ID: 1, Interests: []trace.CategoryID{0}, Subscriptions: []trace.ChannelID{0}},
+		},
+	}
+}
+
+const (
+	nodeA = 0
+	nodeB = 1
+	v0    = trace.VideoID(0)
+	v1    = trace.VideoID(1)
+)
+
+// driveChurnAndRequests runs the shared scenario skeleton: join both nodes,
+// then the given request/finish schedule, then a graceful leave of A and an
+// abrupt failure of B.
+func driveChurn(p vod.Protocol, steps func()) {
+	p.Join(nodeA)
+	p.Join(nodeB)
+	steps()
+	p.Leave(nodeA)
+	p.Fail(nodeB)
+}
+
+func requireCounters(t *testing.T, got, want obs.Counters) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	// Report the exact fields that moved, not two opaque structs.
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	for i := 0; i < gv.NumField(); i++ {
+		if gv.Field(i).Uint() != wv.Field(i).Uint() {
+			t.Errorf("%s = %d, want %d", gv.Type().Field(i).Name, gv.Field(i).Uint(), wv.Field(i).Uint())
+		}
+	}
+	t.FailNow()
+}
+
+func TestSocialTubeCounters(t *testing.T) {
+	sys, err := core.New(core.DefaultConfig(), tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := obs.NewJSONL(&buf)
+	sys.SetTracer(tracer)
+
+	probeMsgs := 0
+	driveChurn(sys, func() {
+		// A requests v0: its channel flood finds nobody (no neighbours,
+		// 0 messages, TTL exhausted), the category level is empty, the
+		// server serves.
+		if res := sys.Request(nodeA, v0); res.Source != vod.SourceServer {
+			t.Fatalf("A req v0 = %+v, want server", res)
+		}
+		// A finishes v0 and prefetches the channel's top videos: only
+		// v1's prefix is new.
+		sys.Finish(nodeA, v0)
+		// B requests v0: joining the channel overlay linked B to A, so
+		// the flood hits A at hop 1 for exactly 1 message.
+		if res := sys.Request(nodeB, v0); res.Source != vod.SourcePeer || res.Provider != nodeA || res.Hops != 1 {
+			t.Fatalf("B req v0 = %+v, want peer A at hop 1", res)
+		}
+		sys.Finish(nodeB, v0)
+		// B requests v1 with its prefix prefetched: the flood over the
+		// B–A edge misses (2 messages: the query and its echo back),
+		// and the server serves.
+		res := sys.Request(nodeB, v1)
+		if res.Source != vod.SourceServer || !res.PrefixCached {
+			t.Fatalf("B req v1 = %+v, want server with prefix cached", res)
+		}
+		// B requests v0 again: a local cache hit, touching no level.
+		if res := sys.Request(nodeB, v0); res.Source != vod.SourceCache {
+			t.Fatalf("B req v0 again = %+v, want cache", res)
+		}
+		// One maintenance round on A probes its single live neighbour.
+		probeMsgs = sys.Probe(nodeA)
+	})
+
+	if probeMsgs != 1 {
+		t.Fatalf("probe sent %d messages, want 1 (A's only neighbour is B)", probeMsgs)
+	}
+	want := obs.Counters{
+		LookupsChannel: 3, LookupsCategory: 2, LookupsServer: 2,
+		HitsChannel:      1,
+		FloodMsgsChannel: 3, // 0 (A misses alone) + 1 (B hits A) + 2 (B misses for v1)
+		TTLExhausted:     2,
+		Hops1:            1,
+		RequestsCache:    1, RequestsPeer: 1, RequestsServer: 2,
+		PrefetchHits: 1, PrefetchMisses: 2, PrefetchStored: 2,
+		OverlayJoins: 2, OverlayLeaves: 1, OverlayFails: 1,
+		ProbeMsgs: uint64(probeMsgs),
+	}
+	requireCounters(t, sys.ObsCounters().Snapshot(), want)
+
+	// The emitted trace validates against the checked-in golden schema and
+	// contains exactly the hand-counted events.
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := obs.LoadSchemaFile(filepath.Join("testdata", "trace_schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := schema.ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := map[string]int{
+		"join": 2, "leave": 1, "fail": 1,
+		"flood": 3, "serve": 4, "prefetch": 2, "probe": 1,
+	}
+	if !reflect.DeepEqual(counts, wantCounts) {
+		t.Fatalf("trace event counts = %v, want %v", counts, wantCounts)
+	}
+}
+
+func TestNetTubeCounters(t *testing.T) {
+	nt, err := baseline.NewNetTube(baseline.DefaultNetTubeConfig(), tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChurn(nt, func() {
+		// A requests v0 fresh: no overlays joined, the server finds no
+		// provider in v0's (empty) overlay and serves.
+		if res := nt.Request(nodeA, v0); res.Source != vod.SourceServer {
+			t.Fatalf("A req v0 = %+v, want server", res)
+		}
+		// A finishes v0; it has no neighbours, so nothing prefetches.
+		nt.Finish(nodeA, v0)
+		// B requests v0 fresh: the server directs it to A (server-level
+		// assist, one contact message).
+		if res := nt.Request(nodeB, v0); res.Source != vod.SourcePeer || res.Provider != nodeA {
+			t.Fatalf("B req v0 = %+v, want server-directed peer A", res)
+		}
+		// B finishes v0; its only neighbour A caches only v0, which B
+		// just watched — nothing prefetches.
+		nt.Finish(nodeB, v0)
+		// B requests v1 with overlay links: the cross-overlay flood
+		// misses over the B–A edge (2 messages), the server serves.
+		if res := nt.Request(nodeB, v1); res.Source != vod.SourceServer || res.PrefixCached {
+			t.Fatalf("B req v1 = %+v, want server without prefix", res)
+		}
+	})
+	want := obs.Counters{
+		LookupsChannel: 1, LookupsServer: 3,
+		HitsServerAssist: 1,
+		FloodMsgsChannel: 2, FloodMsgsServer: 1,
+		TTLExhausted:     1,
+		Hops1:            1,
+		RequestsPeer:     1, RequestsServer: 2,
+		PrefetchMisses: 3,
+		OverlayJoins:   2, OverlayLeaves: 1, OverlayFails: 1,
+	}
+	requireCounters(t, nt.ObsCounters().Snapshot(), want)
+}
+
+func TestPAVoDCounters(t *testing.T) {
+	pa, err := baseline.NewPAVoD(baseline.PAVoDConfig{Seed: 1}, tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChurn(pa, func() {
+		// A requests v0: nobody watches it yet, the server serves.
+		if res := pa.Request(nodeA, v0); res.Source != vod.SourceServer {
+			t.Fatalf("A req v0 = %+v, want server", res)
+		}
+		// B requests v0 while A still watches it: server-directed
+		// assist from the concurrent watcher.
+		if res := pa.Request(nodeB, v0); res.Source != vod.SourcePeer || res.Provider != nodeA {
+			t.Fatalf("B req v0 = %+v, want watcher A", res)
+		}
+		pa.Finish(nodeA, v0)
+		// B requests v1: no watchers (PA-VoD has no cache), server again.
+		if res := pa.Request(nodeB, v1); res.Source != vod.SourceServer {
+			t.Fatalf("B req v1 = %+v, want server", res)
+		}
+	})
+	want := obs.Counters{
+		LookupsServer: 3, FloodMsgsServer: 3,
+		HitsServerAssist: 1,
+		Hops1:            1,
+		RequestsPeer:     1, RequestsServer: 2,
+		PrefetchMisses: 3,
+		OverlayJoins:   2, OverlayLeaves: 1, OverlayFails: 1,
+	}
+	requireCounters(t, pa.ObsCounters().Snapshot(), want)
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer serves live counter snapshots as JSON at /metrics
+// (expvar-style: one JSON object per GET) and, when enabled, the standard
+// net/http/pprof endpoints under /debug/pprof/. It binds its own listener so
+// an emu cluster — or a real tracker/peer — can expose metrics without
+// touching the global default mux.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts a metrics server on addr (use "127.0.0.1:0" for an
+// ephemeral port). snapshot is called per /metrics request and its result is
+// rendered as indented JSON; it must be safe for concurrent use. When
+// pprofEnabled is true the /debug/pprof/ handlers are mounted too.
+func ServeMetrics(addr string, snapshot func() any, pprofEnabled bool) (*MetricsServer, error) {
+	if snapshot == nil {
+		return nil, fmt.Errorf("obs: nil metrics snapshot")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := json.MarshalIndent(snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(buf, '\n'))
+	})
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s := &MetricsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

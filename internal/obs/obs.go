@@ -1,0 +1,144 @@
+// Package obs is the zero-overhead-when-disabled observability layer: dense
+// protocol counters, an event tracer and a tiny HTTP metrics server. The
+// protocols (internal/core, internal/baseline), the experiment engine
+// (internal/exp) and the TCP emulation (internal/emu) all report through the
+// types in this package so every run can explain *why* it produced its
+// numbers — hop counts, TTL exhaustion, prefetch hits versus server
+// fallbacks, overlay churn.
+//
+// Design rules:
+//
+//   - Counters are a plain struct of uint64 fields. The single-threaded
+//     simulator increments them with ordinary ++; the multi-goroutine
+//     emulation uses atomic.AddUint64 on the same fields. Snapshot reads
+//     every field atomically, so a snapshot taken while an emulation runs is
+//     field-wise consistent.
+//   - Tracing is an interface with nil meaning disabled. Call sites guard
+//     every Emit with a nil check, so a disabled tracer costs one predictable
+//     branch and zero allocations on the hot paths (guarded by
+//     BenchmarkRequestTraced and the alloc tests).
+package obs
+
+import (
+	"reflect"
+	"sync/atomic"
+)
+
+// Counters is the dense per-protocol counter block. Field order is the JSON
+// field order (encoding/json emits struct fields in declaration order), so
+// marshalled snapshots are byte-stable across runs — a requirement of the
+// figure runner's determinism tests.
+//
+// Lookup levels follow the paper's hierarchy: a request first floods the
+// node's channel overlay (channel level), then its interest-category cluster
+// (category level), and finally consults the server (server level), which
+// may still rescue the request with a recommended peer ("server assist")
+// before serving the video itself. For the baselines the levels degenerate:
+// NetTube's cross-overlay flood counts as channel level and its
+// server-directed provider lookup as server level; PA-VoD only ever has
+// server-level lookups.
+type Counters struct {
+	// Lookup attempts and hits by hierarchy level.
+	LookupsChannel   uint64 `json:"lookupsChannel"`
+	LookupsCategory  uint64 `json:"lookupsCategory"`
+	LookupsServer    uint64 `json:"lookupsServer"`
+	HitsChannel      uint64 `json:"hitsChannel"`
+	HitsCategory     uint64 `json:"hitsCategory"`
+	HitsServerAssist uint64 `json:"hitsServerAssist"`
+	// Flood message volume by level, plus floods that ran out of TTL (or
+	// of reachable neighbours) without a match.
+	FloodMsgsChannel  uint64 `json:"floodMsgsChannel"`
+	FloodMsgsCategory uint64 `json:"floodMsgsCategory"`
+	FloodMsgsServer   uint64 `json:"floodMsgsServer"`
+	TTLExhausted      uint64 `json:"ttlExhausted"`
+	// Hops histogram of successful peer lookups (AddHops).
+	Hops1    uint64 `json:"hops1"`
+	Hops2    uint64 `json:"hops2"`
+	Hops3    uint64 `json:"hops3"`
+	Hops4    uint64 `json:"hops4"`
+	HopsMore uint64 `json:"hopsMore"`
+	// Request outcomes by source.
+	RequestsCache  uint64 `json:"requestsCache"`
+	RequestsPeer   uint64 `json:"requestsPeer"`
+	RequestsServer uint64 `json:"requestsServer"`
+	// Prefetching: requests that arrived with/without the first chunk
+	// already local, and prefixes stored by Finish.
+	PrefetchHits   uint64 `json:"prefetchHits"`
+	PrefetchMisses uint64 `json:"prefetchMisses"`
+	PrefetchStored uint64 `json:"prefetchStored"`
+	// Overlay churn and maintenance.
+	OverlayJoins  uint64 `json:"overlayJoins"`
+	OverlayLeaves uint64 `json:"overlayLeaves"`
+	OverlayFails  uint64 `json:"overlayFails"`
+	LinksPruned   uint64 `json:"linksPruned"`
+	ProbeMsgs     uint64 `json:"probeMsgs"`
+	// Chunk delivery split, filled by the driver that knows chunk counts
+	// (the experiment runner or the emu tracker/peers).
+	ChunksPeer   uint64 `json:"chunksPeer"`
+	ChunksServer uint64 `json:"chunksServer"`
+}
+
+// AddHops records one successful peer lookup at the given hop distance.
+func (c *Counters) AddHops(h int) {
+	switch {
+	case h <= 1:
+		c.Hops1++
+	case h == 2:
+		c.Hops2++
+	case h == 3:
+		c.Hops3++
+	case h == 4:
+		c.Hops4++
+	default:
+		c.HopsMore++
+	}
+}
+
+// Snapshot returns a copy of the counters with every field read atomically —
+// safe to call while emu goroutines keep incrementing. Not a hot path.
+func (c *Counters) Snapshot() Counters {
+	var out Counters
+	src := reflect.ValueOf(c).Elem()
+	dst := reflect.ValueOf(&out).Elem()
+	for i := 0; i < src.NumField(); i++ {
+		p := src.Field(i).Addr().Interface().(*uint64)
+		dst.Field(i).SetUint(atomic.LoadUint64(p))
+	}
+	return out
+}
+
+// CounterRow is one (name, value) pair of a counter snapshot.
+type CounterRow struct {
+	Name  string
+	Value uint64
+}
+
+// Rows returns the counters as (name, value) pairs in declaration order,
+// named by their JSON tags — the stable row order the figure summaries use.
+// Values are read non-atomically; call on a Snapshot when racing writers.
+func (c *Counters) Rows() []CounterRow {
+	v := reflect.ValueOf(c).Elem()
+	t := v.Type()
+	out := make([]CounterRow, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		out = append(out, CounterRow{
+			Name:  t.Field(i).Tag.Get("json"),
+			Value: v.Field(i).Uint(),
+		})
+	}
+	return out
+}
+
+// Instrumented is implemented by protocols that expose dense counters.
+type Instrumented interface {
+	// ObsCounters returns the protocol's live counter block. The pointer
+	// stays valid for the protocol's lifetime; drivers may add their own
+	// accounting (e.g. chunk counts) through it.
+	ObsCounters() *Counters
+}
+
+// Traceable is implemented by components that accept an event tracer.
+type Traceable interface {
+	// SetTracer installs the tracer (nil disables tracing).
+	SetTracer(Tracer)
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Kind discriminates trace events.
+type Kind string
+
+// Event kinds.
+const (
+	// KindFlood is one flood search at one hierarchy level.
+	KindFlood Kind = "flood"
+	// KindServe is the outcome of one video request.
+	KindServe Kind = "serve"
+	// KindPrefetch is one first-chunk prefix stored by prefetching.
+	KindPrefetch Kind = "prefetch"
+	// KindJoin / KindLeave / KindFail are session churn events.
+	KindJoin  Kind = "join"
+	KindLeave Kind = "leave"
+	KindFail  Kind = "fail"
+	// KindProbe is one maintenance round of a node.
+	KindProbe Kind = "probe"
+)
+
+// Hierarchy levels for KindFlood events.
+const (
+	LevelChannel  = "channel"
+	LevelCategory = "category"
+	LevelServer   = "server"
+)
+
+// Event is one trace record. Every field is fixed-size or a constant string,
+// so constructing and emitting an Event allocates nothing. T, Proto, Kind,
+// Node, Video and Provider are always emitted (Video/Provider are -1 when
+// not applicable, because 0 is a valid id); the rest are omitted when empty.
+type Event struct {
+	// T is the virtual time of the event in nanoseconds.
+	T        int64  `json:"t"`
+	Proto    string `json:"proto"`
+	Kind     Kind   `json:"kind"`
+	Node     int    `json:"node"`
+	Video    int64  `json:"video"`    // -1 when not applicable
+	Provider int    `json:"provider"` // -1 when none
+	// Level is the hierarchy level of a flood (channel|category|server).
+	Level string `json:"level,omitempty"`
+	// Source is the serve outcome (cache|peer|server).
+	Source string `json:"source,omitempty"`
+	Hops   int    `json:"hops,omitempty"`
+	Msgs   int    `json:"msgs,omitempty"`
+	OK     bool   `json:"ok,omitempty"`
+}
+
+// String renders the event human-readably — the format `socialtube-sim
+// -trace-print` and `make trace-demo` display.
+func (e Event) String() string {
+	at := time.Duration(e.T).Round(time.Millisecond)
+	switch e.Kind {
+	case KindFlood:
+		return fmt.Sprintf("%-12v %-10s node %-5d flood %-8s video %-6d ok=%-5v hops=%d msgs=%d",
+			at, e.Proto, e.Node, e.Level, e.Video, e.OK, e.Hops, e.Msgs)
+	case KindServe:
+		return fmt.Sprintf("%-12v %-10s node %-5d serve %-8s video %-6d provider=%-5d hops=%d msgs=%d",
+			at, e.Proto, e.Node, e.Source, e.Video, e.Provider, e.Hops, e.Msgs)
+	case KindPrefetch:
+		return fmt.Sprintf("%-12v %-10s node %-5d prefetch video %d", at, e.Proto, e.Node, e.Video)
+	case KindProbe:
+		return fmt.Sprintf("%-12v %-10s node %-5d probe msgs=%d", at, e.Proto, e.Node, e.Msgs)
+	default:
+		return fmt.Sprintf("%-12v %-10s node %-5d %s", at, e.Proto, e.Node, e.Kind)
+	}
+}
+
+// Tracer receives protocol events. Implementations must be safe for
+// concurrent Emit calls: the parallel figure runner shares one tracer across
+// simulations. A nil Tracer means tracing is disabled; call sites nil-check
+// before constructing the event, which keeps disabled tracing free.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Nop is the package-level no-op tracer: Emit discards the event. It exists
+// for the hot-path guard benchmarks, which install it to prove that the
+// tracing seam itself (nil check passed, event constructed, dynamic call
+// made) does not allocate.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+func (nopTracer) Emit(Event) {}
+
+// Ring is a bounded in-memory tracer: it keeps the most recent capacity
+// events, overwriting the oldest. The buffer is allocated up front, so a
+// steady-state Emit allocates nothing (it takes a mutex and copies one
+// struct).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring tracer holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were emitted over the ring's lifetime.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events oldest-first (a copy).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// JSONL is a tracer that appends one JSON object per line to a writer — the
+// `-trace-out` format. Writes are buffered; call Close (or Flush) to ensure
+// everything reaches the underlying writer. Write errors are sticky and
+// reported by Err/Close rather than panicking mid-simulation.
+type JSONL struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	c     io.Closer
+	total uint64
+	err   error
+}
+
+// NewJSONL returns a JSONL tracer writing to w. If w is an io.Closer, Close
+// closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// OpenJSONL creates (or truncates) the file at path and returns a JSONL
+// tracer writing to it.
+func OpenJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace out: %w", err)
+	}
+	return NewJSONL(f), nil
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+		j.total++
+	}
+	j.mu.Unlock()
+}
+
+// Total returns how many events were written.
+func (j *JSONL) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush forces buffered events to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes and closes the underlying writer (when it is closeable). It
+// returns the first error the tracer encountered.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Pretty reads JSONL trace events from r and writes up to max (0 = all) of
+// them human-readably to w, returning how many events it printed.
+func Pretty(r io.Reader, w io.Writer, max int) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	for max <= 0 || n < max {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return n, fmt.Errorf("trace event %d: %w", n+1, err)
+		}
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

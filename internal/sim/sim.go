@@ -63,6 +63,25 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	// hwm is the largest queue length ever reached — the heap's
+	// high-water mark, reported via Stats.
+	hwm int
+}
+
+// Stats is the engine's lifetime accounting, reported alongside protocol
+// counters in experiment results. Field order is the JSON order.
+type Stats struct {
+	// EventsFired counts events executed.
+	EventsFired uint64 `json:"eventsFired"`
+	// EventsScheduled counts events ever pushed (the sequence counter).
+	EventsScheduled uint64 `json:"eventsScheduled"`
+	// HeapHighWater is the maximum number of simultaneously queued events.
+	HeapHighWater int `json:"heapHighWater"`
+}
+
+// Stats returns the engine's accounting snapshot.
+func (e *Engine) Stats() Stats {
+	return Stats{EventsFired: e.fired, EventsScheduled: e.seq, HeapHighWater: e.hwm}
 }
 
 // NewEngine returns an engine with an empty queue at virtual time zero.
@@ -91,6 +110,9 @@ func (e *Engine) At(at time.Duration, fn Event) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fire: fn})
+	if len(e.queue) > e.hwm {
+		e.hwm = len(e.queue)
+	}
 }
 
 // After schedules fn to run delay after the current virtual time.

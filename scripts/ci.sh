@@ -17,8 +17,18 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== observability package (vet + race, explicitly) =="
+go vet ./internal/obs/...
+go test -race -count=1 ./internal/obs/...
+
 echo "== short benchmarks (allocations) =="
 go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
 go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/
+
+echo "== trace schema (end-to-end golden validation) =="
+tracetmp=$(mktemp -d)
+trap 'rm -rf "$tracetmp"' EXIT
+go run ./cmd/socialtube-sim -fig 16a -trace-out "$tracetmp/run.jsonl" > /dev/null
+go run ./cmd/socialtube-sim -trace-check "$tracetmp/run.jsonl"
 
 echo "CI OK"
