@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper emu trace-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper emu faults-demo trace-demo cover clean
 
 all: build test
 
@@ -37,6 +37,12 @@ figures-paper:
 # Run the TCP emulation at the paper's 250-node PlanetLab scale.
 emu:
 	$(GO) run ./cmd/socialtube-emu -fig all -peers 250 -sessions 2 -videos 6 -watch 30ms
+
+# Drive the emulated cluster through the standard tracker-outage plan (a
+# crash wave, then the tracker dark for one session cycle) and print the
+# per-protocol resilience comparison. Seconds, not minutes.
+faults-demo:
+	$(GO) run ./cmd/socialtube-emu -fig outage -peers 32 -sessions 2 -videos 6 -watch 20ms
 
 # Record a JSONL event trace from the Fig. 17(a) run, validate it against
 # the golden schema, then pretty-print the first events.

@@ -193,6 +193,20 @@ func BenchmarkFig18aMaintenanceSim(b *testing.B) {
 	}
 }
 
+func BenchmarkFigChurnResilienceSim(b *testing.B) {
+	s := benchScale()
+	tr := benchTrace(b)
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.FigChurn(s, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
 // --- Section V TCP emulation (PlanetLab substitute) ---
 
 func benchEmuScale() figures.EmuScale {
@@ -247,6 +261,23 @@ func BenchmarkFig18bMaintenanceEmu(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		tb, err := figures.Fig18b(s, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+func BenchmarkFigOutageResilienceEmu(b *testing.B) {
+	s := benchEmuScale()
+	tr, err := s.EmuTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.FigOutage(s, tr)
 		if err != nil {
 			b.Fatal(err)
 		}

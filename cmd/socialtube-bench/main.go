@@ -1,7 +1,8 @@
 // Command socialtube-bench regenerates every table and figure of the
 // paper's evaluation in one run: the Section III trace analysis (Figs.
 // 2–13), the analytical models (Fig. 15, §IV-B), the simulation evaluation
-// (Figs. 16a/17a/18a, Table I) and the TCP emulation (Figs. 16b/17b/18b).
+// (Figs. 16a/17a/18a, Table I, churn resilience) and the TCP emulation
+// (Figs. 16b/17b/18b, tracker-outage resilience).
 //
 // Usage:
 //
@@ -103,6 +104,11 @@ func run(args []string) (retErr error) {
 		return err
 	}
 	fmt.Println(t18)
+	tc, err := figures.FigChurn(s, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tc)
 
 	if !*skipEmu {
 		fmt.Println("---- Section V: TCP emulation (PlanetLab substitute) ----")
@@ -127,6 +133,11 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Println(e18)
+		eo, err := figures.FigOutage(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eo)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(begin).Round(time.Millisecond))
 	return nil

@@ -1,6 +1,7 @@
 // Command socialtube-emu runs the real-network TCP emulation (the PlanetLab
-// experiments): Figs. 16(b), 17(b) and 18(b). Every peer is a real TCP node
-// on loopback with injected WAN latency and loss.
+// experiments): Figs. 16(b), 17(b), 18(b) and the tracker-outage
+// resilience comparison. Every peer is a real TCP node on loopback with
+// injected WAN latency and loss.
 //
 // Usage:
 //
@@ -27,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("socialtube-emu", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b or all")
+		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage or all")
 		peers    = fs.Int("peers", 24, "number of TCP peers")
 		sessions = fs.Int("sessions", 2, "sessions per peer")
 		videos   = fs.Int("videos", 6, "videos per session")
@@ -75,13 +76,19 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Println(t)
+		case "outage":
+			t, err := figures.FigOutage(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
 		default:
-			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b or all)", id)
+			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b, outage or all)", id)
 		}
 		return nil
 	}
 	if *fig == "all" {
-		for _, id := range []string{"16b", "17b", "18b"} {
+		for _, id := range []string{"16b", "17b", "18b", "outage"} {
 			if err := show(id); err != nil {
 				return err
 			}

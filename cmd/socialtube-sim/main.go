@@ -1,5 +1,6 @@
 // Command socialtube-sim runs the trace-driven simulation evaluation (the
-// PeerSim experiments): Figs. 16(a), 17(a), 18(a) and Table I.
+// PeerSim experiments): Figs. 16(a), 17(a), 18(a), Table I and the
+// churn-resilience comparison.
 //
 // Usage:
 //
@@ -68,7 +69,7 @@ func checkTrace(path string) error {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, table1 or all")
+		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, table1 or all")
 		scale      = fs.String("scale", "small", "workload scale: small or paper")
 		seed       = fs.Int64("seed", 1, "experiment seed")
 		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
@@ -156,15 +157,21 @@ func run(args []string) (retErr error) {
 				return err
 			}
 			fmt.Println(t)
+		case "churn":
+			t, err := figures.FigChurn(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
 		case "table1":
 			fmt.Println(figures.Table1(s, tr))
 		default:
-			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, table1 or all)", id)
+			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, table1 or all)", id)
 		}
 		return nil
 	}
 	if *fig == "all" {
-		for _, id := range []string{"table1", "15", "16a", "17a", "18a"} {
+		for _, id := range []string{"table1", "15", "16a", "17a", "18a", "churn"} {
 			if err := show(id); err != nil {
 				return err
 			}

@@ -16,6 +16,39 @@ import (
 // operation, with tracing disabled AND with the no-op tracer installed.
 // (The threshold is <1 alloc on average: cache-map growth inside the
 // protocol itself amortizes to ~0 but is not exactly 0 on every run.)
+// TestRequestAllocFreeAfterRepair pins that the fault layer costs the
+// request hot path nothing when no plan is active: even after a churn
+// episode (abrupt failures, active repair, rejoin + reseed), Request
+// stays below 1 alloc/op on average.
+func TestRequestAllocFreeAfterRepair(t *testing.T) {
+	sys, tr := benchSystem(t)
+	// A churn episode over a slice of the population.
+	for id := 0; id < 50 && id < len(tr.Users); id++ {
+		sys.Fail(id)
+		sys.RepairNeighbors(id)
+	}
+	for id := 0; id < 50 && id < len(tr.Users); id++ {
+		sys.Join(id)
+		sys.Reseed(id)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		i++
+		u := tr.Users[i%len(tr.Users)]
+		if len(u.Subscriptions) == 0 {
+			return
+		}
+		ch := tr.Channel(u.Subscriptions[0])
+		if ch == nil || len(ch.Videos) == 0 {
+			return
+		}
+		sys.Request(int(u.ID), ch.Videos[(i+1)%len(ch.Videos)])
+	})
+	if avg >= 1 {
+		t.Fatalf("request path allocates %.2f allocs/op after a repair episode, want <1", avg)
+	}
+}
+
 func TestRequestStaysAllocFree(t *testing.T) {
 	for _, tc := range []struct {
 		name   string

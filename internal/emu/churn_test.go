@@ -1,0 +1,281 @@
+package emu
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/faults"
+)
+
+func fastClusterConfig(mode Mode) ClusterConfig {
+	cfg := DefaultClusterConfig(mode)
+	cfg.Peers = 8
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.WatchTime = 2 * time.Millisecond
+	cfg.MeanOffTime = 2 * time.Millisecond
+	cfg.Conditions = fastConditions()
+	return cfg
+}
+
+// waitGoroutines polls until the goroutine count returns to near its
+// baseline, failing the test if lingering handlers never wind down.
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestRunClusterCtxCancelReleasesEverything pins the shutdown fix:
+// cancelling the context mid-run returns context.Canceled promptly and
+// leaves no tracker, peer, probe or fault-driver goroutine behind.
+func TestRunClusterCtxCancelReleasesEverything(t *testing.T) {
+	tr := emuTrace(t)
+	before := runtime.NumGoroutine()
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.Sessions = 50 // far more work than the test allows to finish
+	cfg.WatchTime = 20 * time.Millisecond
+	cfg.Faults = &faults.Plan{
+		Seed:    1,
+		Outages: []faults.Outage{{At: time.Hour, Duration: time.Minute}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := RunClusterCtx(ctx, cfg, tr)
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunClusterCtx did not return after cancellation")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestRunClusterEarlyErrorReleasesEverything forces an error after the
+// tracker and all peers have started (a bad metrics address) and checks
+// they are all shut down on the early-return path.
+func TestRunClusterEarlyErrorReleasesEverything(t *testing.T) {
+	tr := emuTrace(t)
+	before := runtime.NumGoroutine()
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.MetricsAddr = "definitely:not:an:addr"
+	if _, err := RunCluster(cfg, tr); err == nil {
+		t.Fatal("bad metrics address accepted")
+	}
+	waitGoroutines(t, before)
+}
+
+func TestRunClusterCtxAlreadyCancelled(t *testing.T) {
+	tr := emuTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunClusterCtx(ctx, fastClusterConfig(ModeSocialTube), tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunClusterRejectsBadPlan(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.Faults = &faults.Plan{Waves: []faults.ChurnWave{{At: time.Second}}}
+	if _, err := RunCluster(cfg, tr); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+}
+
+// TestClusterChurnCrashesAndRejoins runs a churn wave against a live
+// cluster: crashed peers stop answering, rejoin, and every request is
+// still accounted for.
+func TestClusterChurnCrashesAndRejoins(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.Sessions = 2
+	cfg.VideosPerSession = 4
+	cfg.WatchTime = 5 * time.Millisecond
+	cfg.Faults = &faults.Plan{
+		Seed: 7,
+		Waves: []faults.ChurnWave{
+			{At: 5 * time.Millisecond, Fraction: 0.25, DownFor: 15 * time.Millisecond},
+		},
+	}
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("churn wave crashed nobody")
+	}
+	if res.Rejoins != res.Crashes {
+		t.Fatalf("crashes=%d but rejoins=%d (every wave sets DownFor)", res.Crashes, res.Rejoins)
+	}
+	total := res.CacheHits + res.PeerHits + res.ServerHits
+	want := int64(cfg.Peers * cfg.Sessions * cfg.VideosPerSession)
+	if total != want {
+		t.Fatalf("requests lost to churn: %d accounted of %d", total, want)
+	}
+}
+
+// TestClusterTrackerOutage pins the emu outage model: requests issued
+// while the tracker is down either ride out the retry budget or fail,
+// but the per-source hit counts still sum to the request total
+// (failed requests are contained in ServerHits).
+func TestClusterTrackerOutage(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.Peers = 6
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.WatchTime = 5 * time.Millisecond
+	cfg.RPCTimeout = 30 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = 2 * time.Millisecond
+	cfg.Faults = &faults.Plan{
+		Seed:    3,
+		Outages: []faults.Outage{{At: 0, Duration: 300 * time.Millisecond}},
+	}
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutageRequests == 0 {
+		t.Fatal("no requests overlapped the outage window")
+	}
+	if res.FailedRequests == 0 {
+		t.Fatal("a 300ms outage with a ~60ms retry budget failed no requests")
+	}
+	if res.FailedRequests > res.ServerHits {
+		t.Fatalf("failed requests (%d) not contained in server hits (%d)", res.FailedRequests, res.ServerHits)
+	}
+	if res.OutageServed > res.OutageRequests {
+		t.Fatalf("outage served %d of only %d outage requests", res.OutageServed, res.OutageRequests)
+	}
+	total := res.CacheHits + res.PeerHits + res.ServerHits
+	want := int64(cfg.Peers * cfg.Sessions * cfg.VideosPerSession)
+	if total != want {
+		t.Fatalf("requests lost during outage: %d accounted of %d", total, want)
+	}
+}
+
+// TestPeerCrashRejoin drives the crash primitive directly: a crashed
+// peer answers nothing (not even probes); a rejoined one answers again.
+func TestPeerCrashRejoin(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	tk := startTracker(t, tr, cond)
+	p := startPeer(t, tr, tk, 0, ModeSocialTube, cond)
+
+	if _, err := rpc(p.Addr(), &Message{Type: MsgProbe, From: 99}, time.Second); err != nil {
+		t.Fatalf("healthy peer refused a probe: %v", err)
+	}
+	p.Crash()
+	if !p.IsCrashed() {
+		t.Fatal("Crash did not mark the peer crashed")
+	}
+	if _, err := rpc(p.Addr(), &Message{Type: MsgProbe, From: 99}, 200*time.Millisecond); err == nil {
+		t.Fatal("crashed peer answered a probe")
+	}
+	p.Rejoin()
+	if p.IsCrashed() {
+		t.Fatal("Rejoin left the peer crashed")
+	}
+	if _, err := rpc(p.Addr(), &Message{Type: MsgProbe, From: 99}, time.Second); err != nil {
+		t.Fatalf("rejoined peer refused a probe: %v", err)
+	}
+	// Rejoin on a healthy peer is a no-op.
+	p.Rejoin()
+}
+
+// TestTrackerOutageAndBrownout exercises SetDown and SetCapacityFactor
+// against a live tracker.
+func TestTrackerOutageAndBrownout(t *testing.T) {
+	tr := emuTrace(t)
+	tk := startTracker(t, tr, fastConditions())
+
+	reg := &Message{Type: MsgRegister, From: 1, Addr: "127.0.0.1:1"}
+	if _, err := rpc(tk.Addr(), reg, time.Second); err != nil {
+		t.Fatalf("healthy tracker refused a register: %v", err)
+	}
+	tk.SetDown(true)
+	if !tk.Down() {
+		t.Fatal("SetDown(true) not visible")
+	}
+	if _, err := rpc(tk.Addr(), reg, 200*time.Millisecond); err == nil {
+		t.Fatal("down tracker answered a request")
+	}
+	tk.SetDown(false)
+	if _, err := rpc(tk.Addr(), reg, time.Second); err != nil {
+		t.Fatalf("recovered tracker refused a register: %v", err)
+	}
+
+	// A brownout stretches the chunk transmission time by 1/factor.
+	serve := &Message{Type: MsgServe, From: 1, Video: int(tr.Videos[0].ID), Chunk: 0}
+	healthyStart := time.Now()
+	if _, err := rpc(tk.Addr(), serve, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	healthy := time.Since(healthyStart)
+	tk.SetCapacityFactor(0.05)
+	slowStart := time.Now()
+	if _, err := rpc(tk.Addr(), serve, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(slowStart)
+	tk.SetCapacityFactor(1)
+	if slow <= healthy {
+		t.Fatalf("brownout did not slow the server: healthy=%v brownout=%v", healthy, slow)
+	}
+	// Out-of-range factors restore full capacity rather than exploding.
+	tk.SetCapacityFactor(-3)
+	if f := tk.capacityFactor(); f != 1 {
+		t.Fatalf("negative capacity factor stored as %v", f)
+	}
+}
+
+// TestConditionsBurst pins the burst window: latency scales by the
+// factor, loss rises to the burst probability, and clearing restores
+// the baseline. Nil receivers must not panic (the fault driver calls
+// unconditionally).
+func TestConditionsBurst(t *testing.T) {
+	c := fastConditions()
+	base := c.Latency(1, 2)
+	if base <= 0 {
+		t.Fatal("baseline latency is zero; the test is vacuous")
+	}
+	c.SetBurst(3, 0)
+	if got := c.Latency(1, 2); got < 2*base {
+		t.Fatalf("burst latency %v did not scale from %v", got, base)
+	}
+	c.SetBurst(0.5, 1) // factor clamps up to 1, loss caps at 1
+	if got := c.Latency(1, 2); got != base {
+		t.Fatalf("clamped factor changed latency: %v != %v", got, base)
+	}
+	if !c.Drop() {
+		t.Fatal("lossP=1 burst did not drop")
+	}
+	c.ClearBurst()
+	if c.Drop() {
+		t.Fatal("cleared burst still dropping with LossP=0")
+	}
+	if got := c.Latency(1, 2); got != base {
+		t.Fatalf("cleared burst changed latency: %v != %v", got, base)
+	}
+	var nilC *Conditions
+	nilC.SetBurst(2, 0.5)
+	nilC.ClearBurst()
+}

@@ -18,6 +18,11 @@ type Record struct {
 	Messages int
 	// PrefixCached reports a prefetch hit.
 	PrefixCached bool
+	// Failed reports that neither peers nor the server delivered the
+	// video (a tracker outage outlasted the retry budget). Failed
+	// requests still carry SourceServer so hit counts sum to the
+	// request total.
+	Failed bool
 	// Links is the peer's link count right after the request.
 	Links int
 }
@@ -167,9 +172,9 @@ func (p *Peer) paVoDRequest(v trace.VideoID, rec *Record) {
 	p.watching = v
 	p.mu.Unlock()
 	rec.Messages++
-	resp, err := rpc(p.trackerAddr, &Message{
+	resp, err := p.rpcRetry(p.trackerAddr, &Message{
 		Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
-	}, p.cfg.RPCTimeout)
+	})
 	if err == nil && resp.Type == MsgOK && resp.Provider >= 0 {
 		info := PeerInfo{ID: resp.Provider, Addr: resp.ProviderAddr}
 		if p.fetchFromPeer(v, info, rec) {
@@ -219,15 +224,27 @@ func (p *Peer) fetchFromPeer(v trace.VideoID, provider PeerInfo, rec *Record) bo
 	return true
 }
 
-// fetchFromServer downloads all chunks from the tracker.
+// fetchFromServer downloads all chunks from the tracker, retrying each
+// within the peer's retry budget. When even the first chunk never arrives
+// (the tracker outage outlasted every retry) the request is marked Failed
+// and the remaining chunks are skipped — the player gave up.
 func (p *Peer) fetchFromServer(v trace.VideoID, rec *Record) {
+	served := false
 	for c := 0; c < vod.DefaultChunksPerVideo; c++ {
-		rpc(p.trackerAddr, &Message{
+		resp, err := p.rpcRetry(p.trackerAddr, &Message{
 			Type: MsgServe, From: p.cfg.ID, Video: int(v), Chunk: c,
-		}, p.cfg.RPCTimeout)
+		})
+		if err != nil || resp.Type != MsgOK {
+			if c == 0 {
+				break
+			}
+			continue
+		}
+		served = true
 	}
 	if rec.Source != vod.SourcePeer {
 		rec.Source = vod.SourceServer
+		rec.Failed = !served
 	}
 }
 
@@ -252,9 +269,9 @@ func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
 	if subscribed {
 		member = 1 // ride the membership flag in TTL
 	}
-	resp, err := rpc(p.trackerAddr, &Message{
+	resp, err := p.rpcRetry(p.trackerAddr, &Message{
 		Type: MsgJoin, From: p.cfg.ID, Addr: p.Addr(), Channel: int(ch), TTL: member,
-	}, p.cfg.RPCTimeout)
+	})
 	if err != nil || resp.Type != MsgJoinOK {
 		return nil
 	}
@@ -337,9 +354,9 @@ func (p *Peer) connectTo(info PeerInfo, link string, channel, video int) bool {
 // to up to LinksPerOverlay members (NetTube). It returns the members the
 // tracker recommended.
 func (p *Peer) joinVideoOverlay(v trace.VideoID, provider *PeerInfo) []PeerInfo {
-	resp, err := rpc(p.trackerAddr, &Message{
+	resp, err := p.rpcRetry(p.trackerAddr, &Message{
 		Type: MsgJoinVideo, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
-	}, p.cfg.RPCTimeout)
+	})
 	p.mu.Lock()
 	if p.perVideo[v] == nil {
 		p.perVideo[v] = make(map[int]PeerInfo)
@@ -393,9 +410,9 @@ func (p *Peer) socialTubePrefetch(ch trace.ChannelID, watched trace.VideoID) {
 	if p.cfg.PrefetchCount <= 0 {
 		return
 	}
-	resp, err := rpc(p.trackerAddr, &Message{
+	resp, err := p.rpcRetry(p.trackerAddr, &Message{
 		Type: MsgTopList, From: p.cfg.ID, Channel: int(ch), TTL: p.cfg.PrefetchCount + 1,
-	}, p.cfg.RPCTimeout)
+	})
 	if err != nil || resp.Type != MsgOK {
 		return
 	}

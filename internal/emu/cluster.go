@@ -1,11 +1,14 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/faults"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
@@ -42,6 +45,18 @@ type ClusterConfig struct {
 	Tracker TrackerConfig
 	// Conditions injects latency and loss (nil = pristine loopback).
 	Conditions *Conditions
+	// Faults, when non-nil, compiles to a deterministic schedule whose
+	// event times are wall-clock offsets from the start of the workload
+	// (scale them to WatchTime/MeanOffTime). The same plan drives the
+	// simulator, so sim and emu replay identical fault sequences.
+	Faults *faults.Plan
+	// RPCTimeout, MaxRetries and RetryBackoff override every peer's
+	// RPC/retry policy when positive (zero keeps the peer defaults).
+	// Outage experiments want a short timeout so a down tracker costs
+	// milliseconds, not the default 3s per attempt.
+	RPCTimeout   time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
 	// MetricsAddr, when non-empty, serves live run metrics as JSON on
 	// GET <addr>/metrics for the duration of the run ("127.0.0.1:0" picks
 	// an ephemeral port).
@@ -88,6 +103,13 @@ func (c ClusterConfig) Validate() error {
 		return fmt.Errorf("%w: negative durations", dist.ErrBadParameter)
 	case c.PrefetchCount < 0:
 		return fmt.Errorf("%w: prefetchCount=%d", dist.ErrBadParameter, c.PrefetchCount)
+	case c.RPCTimeout < 0 || c.MaxRetries < 0 || c.RetryBackoff < 0:
+		return fmt.Errorf("%w: negative retry policy", dist.ErrBadParameter)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.Behavior.Validate()
 }
@@ -113,6 +135,21 @@ type ClusterResult struct {
 	// ServerBytes / PeerBytes shipped.
 	ServerBytes int64
 	PeerBytes   int64
+	// FailedRequests counts requests nobody could complete (a tracker
+	// outage outlasted the retry budget). They are included in
+	// ServerHits, so hit counts still sum to the request total.
+	FailedRequests int64
+	// OutageRequests / OutageServed measure service while the tracker
+	// was down: requests issued during the outage, and how many of
+	// those were still delivered (by cache, peers, or late retries).
+	OutageRequests int64
+	OutageServed   int64
+	// Crashes / Rejoins count applied churn events.
+	Crashes int64
+	Rejoins int64
+	// Obs is the tracker's protocol-counter snapshot at the end of the
+	// run.
+	Obs obs.Counters
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -155,6 +192,123 @@ func liveMetrics(cfg ClusterConfig, tracker *Tracker, res *ClusterResult, resMu 
 // RunCluster starts a tracker and peers, drives the session workload to
 // completion, shuts everything down and returns aggregated metrics.
 func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
+	return RunClusterCtx(context.Background(), cfg, tr)
+}
+
+// faultDriver is the wall-clock fault scheduler's shared state. Peer
+// session loops consult it for outage accounting and for the "no rejoin
+// is coming" signal; a nil driver (no plan) answers false everywhere.
+type faultDriver struct {
+	outage atomic.Bool
+	// done closes when the last scheduled event has fired (or the run
+	// stopped), so a crashed peer whose rejoin will never come can give
+	// up instead of waiting forever.
+	done chan struct{}
+}
+
+func (f *faultDriver) duringOutage() bool {
+	return f != nil && f.outage.Load()
+}
+
+// waitRejoin blocks while p is crashed. It returns false when the caller
+// should abandon the peer's workload: the run stopped, or the fault
+// schedule drained with the peer still down (a permanent departure).
+func (f *faultDriver) waitRejoin(p *Peer, stop <-chan struct{}) bool {
+	for p.IsCrashed() {
+		var drained <-chan struct{}
+		if f != nil {
+			drained = f.done
+		}
+		select {
+		case <-stop:
+			return false
+		case <-drained:
+			return !p.IsCrashed()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return true
+}
+
+// drive replays the compiled schedule against the live cluster on
+// wall-clock offsets from begin. Repair events are deliberately skipped:
+// in the emulator the probe loop is the failure detector, so repair
+// happens organically when probes time out on the crashed peer.
+func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan struct{},
+	peers []*Peer, tracker *Tracker, cond *Conditions, res *ClusterResult, resMu *sync.Mutex) {
+	defer close(f.done)
+	for _, ev := range sched.Events {
+		if !sleepUntil(begin.Add(ev.At), stop) {
+			return
+		}
+		switch ev.Kind {
+		case faults.KindCrash:
+			if ev.Node >= 0 && ev.Node < len(peers) {
+				peers[ev.Node].Crash()
+				resMu.Lock()
+				res.Crashes++
+				resMu.Unlock()
+			}
+		case faults.KindRejoin:
+			if ev.Node >= 0 && ev.Node < len(peers) {
+				peers[ev.Node].Rejoin()
+				resMu.Lock()
+				res.Rejoins++
+				resMu.Unlock()
+			}
+		case faults.KindRepair:
+			// Probing detects and repairs; nothing to do centrally.
+		case faults.KindBurstStart:
+			cond.SetBurst(ev.LatencyFactor, ev.LossP)
+		case faults.KindBurstEnd:
+			cond.ClearBurst()
+		case faults.KindOutageStart:
+			f.outage.Store(true)
+			tracker.SetDown(true)
+		case faults.KindOutageEnd:
+			f.outage.Store(false)
+			tracker.SetDown(false)
+		case faults.KindBrownoutStart:
+			tracker.SetCapacityFactor(ev.CapacityFactor)
+		case faults.KindBrownoutEnd:
+			tracker.SetCapacityFactor(1)
+		}
+	}
+}
+
+// sleepUntil sleeps until the deadline, returning false if stop closed
+// first.
+func sleepUntil(deadline time.Time, stop <-chan struct{}) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// sleepOrStop sleeps for d, returning false if stop closed first.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	return sleepUntil(time.Now().Add(d), stop)
+}
+
+// RunClusterCtx is RunCluster with cancellation and fault injection: a
+// cancelled context stops the workload, the fault driver and every
+// tracker/peer goroutine before returning ctx.Err(). With a fault plan,
+// the compiled schedule is replayed on wall-clock offsets while the
+// workload runs.
+func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster config: %w", err)
 	}
@@ -164,9 +318,22 @@ func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 	if cfg.Peers > len(tr.Users) {
 		return nil, fmt.Errorf("%w: %d peers but only %d users in trace", dist.ErrBadParameter, cfg.Peers, len(tr.Users))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	picker, err := vod.NewPicker(tr, cfg.Behavior)
 	if err != nil {
 		return nil, err
+	}
+	var sched *faults.Schedule
+	if cfg.Faults != nil {
+		sched, err = cfg.Faults.Compile(cfg.Peers)
+		if err != nil {
+			return nil, fmt.Errorf("cluster faults: %w", err)
+		}
 	}
 
 	tracker, err := NewTracker(cfg.Tracker, tr, cfg.Conditions)
@@ -188,6 +355,15 @@ func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 		pc := DefaultPeerConfig(i, cfg.Mode)
 		pc.PrefetchCount = cfg.PrefetchCount
 		pc.Seed = cfg.Seed + int64(i)*7919
+		if cfg.RPCTimeout > 0 {
+			pc.RPCTimeout = cfg.RPCTimeout
+		}
+		if cfg.MaxRetries > 0 {
+			pc.MaxRetries = cfg.MaxRetries
+		}
+		if cfg.RetryBackoff > 0 {
+			pc.RetryBackoff = cfg.RetryBackoff
+		}
 		p, err := NewPeer(pc, tr, tracker.Addr(), cfg.Conditions)
 		if err != nil {
 			return nil, err
@@ -217,33 +393,70 @@ func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 		}
 	}
 
+	// stop fans the shutdown signal out to the session loops and the
+	// fault driver; it closes on context cancellation or normal
+	// completion.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	defer halt()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			halt()
+		case <-watchDone:
+		}
+	}()
+
 	begin := time.Now()
+
+	var fd *faultDriver
+	var faultWG sync.WaitGroup
+	if sched != nil {
+		fd = &faultDriver{done: make(chan struct{})}
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			fd.drive(sched, begin, stop, peers, tracker, cfg.Conditions, res, &resMu)
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for i, p := range peers {
 		wg.Add(1)
 		go func(idx int, p *Peer) {
 			defer wg.Done()
-			runPeerSessions(cfg, tr, picker, p, idx, res, &resMu)
+			runPeerSessions(cfg, tr, picker, p, idx, res, &resMu, stop, fd)
 		}(i, p)
 	}
 	wg.Wait()
+	halt()
+	faultWG.Wait()
 
 	res.Elapsed = time.Since(begin)
 	res.ServerBytes = tracker.ServedBytes()
 	for _, p := range peers {
 		res.PeerBytes += p.ServedBytes()
 	}
+	res.Obs = tracker.Counters()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // runPeerSessions drives one peer through its sessions, mirroring the
-// simulator's workload loop over real time.
-func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *Peer, idx int, res *ClusterResult, resMu *sync.Mutex) {
+// simulator's workload loop over real time. It returns early when stop
+// closes or when the peer crashed permanently (no rejoin scheduled).
+func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *Peer, idx int,
+	res *ClusterResult, resMu *sync.Mutex, stop <-chan struct{}, fd *faultDriver) {
 	g := dist.NewRNG(cfg.Seed*1_000_003 + int64(idx))
 	user := tr.Users[idx]
 
-	// Optional probe loop for the peer's whole lifetime.
+	// Optional probe loop for the peer's whole lifetime (a crashed host
+	// does not probe).
 	probeStop := make(chan struct{})
 	var probeWG sync.WaitGroup
 	if cfg.ProbeInterval > 0 {
@@ -255,7 +468,9 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 			for {
 				select {
 				case <-ticker.C:
-					p.Probe()
+					if !p.IsCrashed() {
+						p.Probe()
+					}
 				case <-probeStop:
 					return
 				}
@@ -268,10 +483,24 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 	}()
 
 	peerVideos, totalVideos := 0, 0
+	defer func() {
+		if totalVideos > 0 {
+			resMu.Lock()
+			res.PeerBandwidth.Add(float64(peerVideos) / float64(totalVideos))
+			resMu.Unlock()
+		}
+	}()
 	for s := 0; s < cfg.Sessions; s++ {
+		if !fd.waitRejoin(p, stop) {
+			return
+		}
 		p.SetOnline(true)
 		plan := picker.PlanSession(g, user, cfg.VideosPerSession, cfg.MeanOffTime)
 		for i, v := range plan.Videos {
+			if !fd.waitRejoin(p, stop) {
+				return
+			}
+			outage := fd.duringOutage()
 			rec := p.RequestVideo(v)
 			resMu.Lock()
 			res.Messages += int64(rec.Messages)
@@ -292,9 +521,22 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 					res.PrefixHits++
 				}
 			}
+			if rec.Failed {
+				res.FailedRequests++
+			}
+			if outage {
+				res.OutageRequests++
+				if !rec.Failed {
+					res.OutageServed++
+				}
+			}
 			resMu.Unlock()
-			time.Sleep(cfg.WatchTime)
-			p.FinishVideo(v)
+			if !sleepOrStop(cfg.WatchTime, stop) {
+				return
+			}
+			if !p.IsCrashed() {
+				p.FinishVideo(v)
+			}
 			resMu.Lock()
 			if i < len(res.LinksByVideoIndex) {
 				res.LinksByVideoIndex[i].Add(float64(p.Links()))
@@ -302,14 +544,13 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 			resMu.Unlock()
 		}
 		p.SetOnline(false)
-		p.LeaveOverlays()
-		if s+1 < cfg.Sessions {
-			time.Sleep(time.Duration(dist.Exponential(g, float64(cfg.MeanOffTime))))
+		if !p.IsCrashed() {
+			p.LeaveOverlays()
 		}
-	}
-	if totalVideos > 0 {
-		resMu.Lock()
-		res.PeerBandwidth.Add(float64(peerVideos) / float64(totalVideos))
-		resMu.Unlock()
+		if s+1 < cfg.Sessions {
+			if !sleepOrStop(time.Duration(dist.Exponential(g, float64(cfg.MeanOffTime))), stop) {
+				return
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,11 @@ type Conditions struct {
 	Regions int
 
 	lossCounter atomic.Uint64
+	// burstLatBits / burstLossBits hold a transient degradation window
+	// (float64 bits; 0 means inactive) set by the fault driver: a
+	// latency multiplier ≥ 1 and an extra loss probability.
+	burstLatBits  atomic.Uint64
+	burstLossBits atomic.Uint64
 }
 
 // DefaultConditions returns WAN-like conditions scaled for fast local runs.
@@ -55,14 +61,51 @@ func (c *Conditions) Latency(a, b int) time.Duration {
 	if span < 0 {
 		span = 0
 	}
-	if c.Regions > 1 {
+	var d time.Duration
+	switch {
+	case c.Regions > 1 && c.region(a) == c.region(b):
+		d = c.MinLatency + time.Duration(g.Float64()*float64(span/4))
+	case c.Regions > 1:
 		quarter := span / 4
-		if c.region(a) == c.region(b) {
-			return c.MinLatency + time.Duration(g.Float64()*float64(quarter))
-		}
-		return c.MinLatency + quarter + time.Duration(g.Float64()*float64(span-quarter))
+		d = c.MinLatency + quarter + time.Duration(g.Float64()*float64(span-quarter))
+	default:
+		d = c.MinLatency + time.Duration(g.Float64()*float64(span))
 	}
-	return c.MinLatency + time.Duration(g.Float64()*float64(span))
+	if bits := c.burstLatBits.Load(); bits != 0 {
+		if f := math.Float64frombits(bits); f > 1 {
+			d = time.Duration(float64(d) * f)
+		}
+	}
+	return d
+}
+
+// SetBurst opens a degradation window: every latency is multiplied by
+// latencyFactor (clamped to ≥ 1) and messages are additionally dropped
+// with probability lossP. Nil receivers and out-of-range values are
+// tolerated so the fault driver can call this unconditionally.
+func (c *Conditions) SetBurst(latencyFactor, lossP float64) {
+	if c == nil {
+		return
+	}
+	if latencyFactor < 1 {
+		latencyFactor = 1
+	}
+	if lossP < 0 {
+		lossP = 0
+	} else if lossP > 1 {
+		lossP = 1
+	}
+	c.burstLatBits.Store(math.Float64bits(latencyFactor))
+	c.burstLossBits.Store(math.Float64bits(lossP))
+}
+
+// ClearBurst closes the degradation window.
+func (c *Conditions) ClearBurst() {
+	if c == nil {
+		return
+	}
+	c.burstLatBits.Store(0)
+	c.burstLossBits.Store(0)
 }
 
 // region assigns a node (tracker included) to a geographic cluster.
@@ -77,10 +120,19 @@ func (c *Conditions) region(n int) int {
 // use; the decision sequence is deterministic under the seed, though its
 // interleaving across goroutines is not.
 func (c *Conditions) Drop() bool {
-	if c == nil || c.LossP <= 0 {
+	if c == nil {
 		return false
+	}
+	p := c.LossP
+	if bits := c.burstLossBits.Load(); bits != 0 {
+		if bp := math.Float64frombits(bits); bp > p {
+			p = bp
+		}
+	}
+	if p <= 0 {
+		return false // no counter draw: healthy runs stay deterministic
 	}
 	n := c.lossCounter.Add(1)
 	g := dist.NewRNG(int64(n) + c.Seed*15_485_863)
-	return g.Float64() < c.LossP
+	return g.Float64() < p
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
@@ -62,6 +63,11 @@ type PeerConfig struct {
 	ChunkPayload int
 	// RPCTimeout bounds each peer-to-peer RPC.
 	RPCTimeout time.Duration
+	// MaxRetries bounds additional attempts for tracker-path RPCs
+	// (0 disables retrying); RetryBackoff is the initial delay between
+	// attempts, doubled per retry.
+	MaxRetries   int
+	RetryBackoff time.Duration
 	// Seed drives the peer's random choices.
 	Seed int64
 }
@@ -80,6 +86,8 @@ func DefaultPeerConfig(id int, mode Mode) PeerConfig {
 		UplinkBps:       4_000_000,
 		ChunkPayload:    8 << 10,
 		RPCTimeout:      3 * time.Second,
+		MaxRetries:      2,
+		RetryBackoff:    5 * time.Millisecond,
 		Seed:            int64(id) + 1,
 	}
 }
@@ -99,6 +107,8 @@ func (c PeerConfig) Validate() error {
 		return fmt.Errorf("%w: uplink/payload", dist.ErrBadParameter)
 	case c.RPCTimeout <= 0:
 		return fmt.Errorf("%w: rpcTimeout=%v", dist.ErrBadParameter, c.RPCTimeout)
+	case c.MaxRetries < 0 || c.RetryBackoff < 0:
+		return fmt.Errorf("%w: retry policy", dist.ErrBadParameter)
 	}
 	return nil
 }
@@ -113,6 +123,10 @@ type Peer struct {
 	ln          net.Listener
 	wg          sync.WaitGroup
 	closeCh     chan struct{}
+	// crashed marks an abrupt failure: the process is alive but drops
+	// every incoming message, exactly like a host that lost power —
+	// neighbors keep dangling links until their probes time out.
+	crashed atomic.Bool
 
 	mu     sync.Mutex
 	g      *dist.RNG
@@ -277,7 +291,64 @@ func (p *Peer) SetOnline(v bool) {
 	p.online = v
 }
 
+// Crash takes the peer down abruptly: unlike SetOnline(false) + LeaveOverlays
+// it sends no Bye and no Leave, so the tracker and every neighbor keep stale
+// references to it until probing notices. The listener stays bound (the port
+// is held) but every incoming message is dropped on the floor.
+func (p *Peer) Crash() {
+	p.crashed.Store(true)
+}
+
+// IsCrashed reports whether the peer is currently crashed.
+func (p *Peer) IsCrashed() bool {
+	return p.crashed.Load()
+}
+
+// Rejoin brings a crashed peer back: its link state is gone (a restarted
+// process holds no sockets) but its cache survived on disk. The peer
+// re-registers with the tracker and, under SocialTube, re-seeds its prefetch
+// prefixes from its home channel's popularity list (§IV-B re-seeding).
+func (p *Peer) Rejoin() {
+	if !p.crashed.Swap(false) {
+		return
+	}
+	p.mu.Lock()
+	home := p.home
+	p.inner = make(map[int]PeerInfo)
+	p.inter = make(map[int]PeerInfo)
+	p.perVideo = make(map[trace.VideoID]map[int]PeerInfo)
+	p.home = -1
+	p.mu.Unlock()
+	p.rpcRetry(p.trackerAddr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()})
+	if p.cfg.Mode == ModeSocialTube && home >= 0 {
+		p.socialTubePrefetch(home, -1)
+	}
+}
+
+// rpcRetry performs one RPC with up to MaxRetries additional attempts and
+// exponential backoff, aborting early when the peer stops. It is used on the
+// tracker path, where a transient outage should degrade service gracefully
+// instead of losing the request outright.
+func (p *Peer) rpcRetry(addr string, req *Message) (*Message, error) {
+	backoff := p.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := rpc(addr, req, p.cfg.RPCTimeout)
+		if err == nil || attempt >= p.cfg.MaxRetries {
+			return resp, err
+		}
+		select {
+		case <-p.closeCh:
+			return nil, err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
 func (p *Peer) dispatch(req *Message) *Message {
+	if p.crashed.Load() {
+		return nil // a crashed host answers nothing at all
+	}
 	p.mu.Lock()
 	up := p.online
 	p.mu.Unlock()

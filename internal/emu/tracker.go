@@ -2,6 +2,7 @@ package emu
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,13 @@ type Tracker struct {
 	// ctr is updated with atomics (some handlers touch it outside t.mu)
 	// and read lock-free by MetricsSnapshot while the run is live.
 	ctr obs.Counters
+
+	// down simulates a tracker outage: requests are read and then
+	// dropped without a response, so clients see timeouts, not resets.
+	down atomic.Bool
+	// capacityBits holds a float64 uplink scale in (0,1] (0 means 1),
+	// the server-brownout knob.
+	capacityBits atomic.Uint64
 
 	mu    sync.Mutex
 	g     *dist.RNG
@@ -141,6 +149,40 @@ func (t *Tracker) Stop() {
 	t.wg.Wait()
 }
 
+// SetDown starts (true) or ends (false) a simulated outage. While down the
+// tracker accepts connections and reads requests but never answers — the
+// failure mode a request timeout plus retry is designed for.
+func (t *Tracker) SetDown(v bool) {
+	t.down.Store(v)
+}
+
+// Down reports whether the tracker is in a simulated outage.
+func (t *Tracker) Down() bool {
+	return t.down.Load()
+}
+
+// SetCapacityFactor scales the server's uplink by f in (0,1] — a brownout.
+// Values outside (0,1] restore full capacity.
+func (t *Tracker) SetCapacityFactor(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	t.capacityBits.Store(math.Float64bits(f))
+}
+
+func (t *Tracker) capacityFactor() float64 {
+	b := t.capacityBits.Load()
+	if b == 0 {
+		return 1
+	}
+	return math.Float64frombits(b)
+}
+
+// Counters returns a snapshot of the tracker's protocol counters.
+func (t *Tracker) Counters() obs.Counters {
+	return t.ctr.Snapshot()
+}
+
 // ServedBytes returns the bytes shipped by the server so far.
 func (t *Tracker) ServedBytes() int64 {
 	t.mu.Lock()
@@ -174,6 +216,9 @@ func (t *Tracker) handle(conn net.Conn) {
 	req, err := ReadMessage(conn)
 	if err != nil {
 		return
+	}
+	if t.down.Load() {
+		return // simulated outage: the request vanishes
 	}
 	if t.cond.Drop() {
 		return // simulated loss: no response
@@ -365,7 +410,11 @@ func (t *Tracker) handleServe(req *Message) *Message {
 	if t.tr.Video(trace.VideoID(req.Video)) == nil {
 		return &Message{Type: MsgMiss, From: -1}
 	}
-	tx := time.Duration(float64(t.cfg.ChunkPayload*8) / float64(t.cfg.UplinkBps) * float64(time.Second))
+	bps := float64(t.cfg.UplinkBps) * t.capacityFactor()
+	if bps < 1 {
+		bps = 1
+	}
+	tx := time.Duration(float64(t.cfg.ChunkPayload*8) / bps * float64(time.Second))
 	t.mu.Lock()
 	now := time.Now()
 	start := now

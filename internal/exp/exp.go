@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,6 +152,9 @@ type Result struct {
 	Obs obs.Counters `json:"obs"`
 	// Engine is the discrete-event engine's accounting.
 	Engine sim.Stats `json:"engine"`
+	// Resilience aggregates the fault layer's degradation metrics; every
+	// field is zero when no fault plan was installed.
+	Resilience Resilience `json:"resilience"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -188,11 +192,34 @@ type runner struct {
 	serverChunks []int64
 	sessionsLeft []int
 	online       []bool
+	// gen is a per-node session generation: a crash abandons the
+	// session chain, and the generation check stops its still-queued
+	// finish events from resurrecting after a rejoin.
+	gen []uint64
+	// Fault-injection state (internal/faults). All of it stays
+	// zero-valued without a plan, so a healthy run pays only cheap
+	// comparisons on the hot path and draws no extra randomness.
+	crashed       []bool
+	crashedCount  int
+	windows       int // open burst/outage/brownout windows
+	latencyFactor float64
+	burstLossP    float64
+	outageUntil   time.Duration
+	repairer      Repairer
+	reseeder      Reseeder
 }
 
 // Run drives the protocol over the trace and returns aggregated metrics.
 // The protocol must be driven by at most one Run at a time.
 func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg, tr, proto, netCfg, Options{})
+}
+
+// RunCtx is Run with cooperative cancellation and cross-cutting options:
+// a deterministic fault plan and/or a tracer. A healthy RunCtx (zero
+// Options) is bit-identical to Run — fault support draws no randomness
+// and schedules no events unless a plan is installed.
+func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("exp config: %w", err)
 	}
@@ -222,10 +249,13 @@ func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) 
 			Protocol:          proto.Name(),
 			LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
 		},
-		peerChunks:   make([]int64, len(tr.Users)),
-		serverChunks: make([]int64, len(tr.Users)),
-		sessionsLeft: make([]int, len(tr.Users)),
-		online:       make([]bool, len(tr.Users)),
+		peerChunks:    make([]int64, len(tr.Users)),
+		serverChunks:  make([]int64, len(tr.Users)),
+		sessionsLeft:  make([]int, len(tr.Users)),
+		online:        make([]bool, len(tr.Users)),
+		gen:           make([]uint64, len(tr.Users)),
+		crashed:       make([]bool, len(tr.Users)),
+		latencyFactor: 1,
 	}
 	if timed, ok := proto.(Timed); ok {
 		r.timed = timed
@@ -234,6 +264,11 @@ func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) 
 		r.ctr = inst.ObsCounters()
 	} else {
 		r.ctr = &obs.Counters{}
+	}
+	if opts.Tracer != nil {
+		if traceable, ok := proto.(obs.Traceable); ok {
+			traceable.SetTracer(opts.Tracer)
+		}
 	}
 	for i := range tr.Users {
 		r.sessionsLeft[i] = cfg.Sessions
@@ -245,7 +280,20 @@ func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) 
 	if m, ok := proto.(Maintainer); ok {
 		r.engine.After(cfg.ProbeInterval, func(now time.Duration) { r.probeAll(m, now) })
 	}
-	if err := r.engine.Run(cfg.Horizon, 0); err != nil {
+	if opts.Faults != nil {
+		sched, err := opts.Faults.Compile(len(tr.Users))
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		if rp, ok := proto.(Repairer); ok {
+			r.repairer = rp
+		}
+		if rs, ok := proto.(Reseeder); ok {
+			r.reseeder = rs
+		}
+		r.scheduleFaults(sched)
+	}
+	if err := r.engine.RunCtx(ctx, cfg.Horizon, 0); err != nil {
 		return nil, err
 	}
 	r.finalize()
@@ -260,21 +308,30 @@ func (r *runner) tick(now time.Duration) {
 }
 
 func (r *runner) startSession(node int, now time.Duration) {
-	if r.sessionsLeft[node] <= 0 {
+	// A crashed node's wake-up events are swallowed until it rejoins;
+	// an online guard stops a late wake-up (consumed by an earlier
+	// rejoin) from nesting a second session. Neither can trigger
+	// without a fault plan.
+	if r.sessionsLeft[node] <= 0 || r.crashed[node] || r.online[node] {
 		return
 	}
 	r.tick(now)
 	r.sessionsLeft[node]--
 	r.online[node] = true
+	r.gen[node]++
 	r.proto.Join(node)
 	user := r.tr.Users[node]
 	plan := r.picker.PlanSession(r.g, user, r.cfg.VideosPerSession, r.cfg.MeanOffTime)
-	r.watch(node, plan, 0, now)
+	r.watch(node, plan, 0, r.gen[node], now)
 }
 
 // watch requests plan.Videos[idx], accounts its delivery, and schedules the
-// next step after playback.
-func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duration) {
+// next step after playback. gen is the session generation the chain
+// belongs to; a crash+rejoin supersedes it and orphans the old chain.
+func (r *runner) watch(node int, plan vod.SessionPlan, idx int, gen uint64, now time.Duration) {
+	if r.gen[node] != gen {
+		return
+	}
 	if idx >= len(plan.Videos) || !r.online[node] {
 		r.endSession(node, plan.OffTime)
 		return
@@ -285,6 +342,7 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duratio
 	res := r.proto.Request(node, v)
 	r.res.Requests++
 	r.res.Messages.Addn(int64(res.Messages))
+	r.accountFaults(&res)
 
 	// Chunk sizes scale with WatchScale so compressed timelines offer the
 	// server a proportionally compressed load; otherwise time compression
@@ -302,7 +360,15 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duratio
 		r.ctr.ChunksPeer += uint64(r.cfg.ChunksPerVideo)
 	case vod.SourceServer:
 		r.res.ServerHits.Inc()
-		ready = r.deliver(node, simnet.ServerID, res, chunkBytes, now)
+		at := now
+		if r.outageUntil > now {
+			// The server is dark: the request retries until the
+			// outage lifts, then is served (graceful fallback). The
+			// wait shows up as startup delay.
+			at = r.outageUntil
+			r.res.Resilience.ServerDeferred++
+		}
+		ready = r.deliver(node, simnet.ServerID, res, chunkBytes, at)
 		r.serverChunks[node] += int64(r.cfg.ChunksPerVideo)
 		r.ctr.ChunksServer += uint64(r.cfg.ChunksPerVideo)
 	default:
@@ -318,7 +384,7 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duratio
 	playback := time.Duration(float64(video.Length) * r.cfg.WatchScale)
 	finishAt := ready + playback
 	r.engine.At(finishAt, func(at time.Duration) {
-		if !r.online[node] {
+		if !r.online[node] || r.gen[node] != gen {
 			return
 		}
 		r.tick(at)
@@ -326,7 +392,7 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, now time.Duratio
 		if idx < len(r.res.LinksByVideoIndex) {
 			r.res.LinksByVideoIndex[idx].Add(float64(r.proto.Links(node)))
 		}
-		r.watch(node, plan, idx+1, at)
+		r.watch(node, plan, idx+1, gen, at)
 	})
 }
 
@@ -340,6 +406,10 @@ func (r *runner) deliver(node int, from simnet.NodeID, res vod.RequestResult, ch
 	// Query path: one one-way latency per overlay hop (server requests
 	// pay one round trip to the server).
 	lat := r.net.Latency(from, to)
+	if r.latencyFactor > 1 {
+		// A link burst is open: propagation is degraded everywhere.
+		lat = time.Duration(float64(lat) * r.latencyFactor)
+	}
 	queryDelay := time.Duration(res.Hops+1) * lat
 	start := now + queryDelay
 
@@ -381,9 +451,10 @@ func (r *runner) probeAll(m Maintainer, now time.Duration) {
 			r.res.ProbeMessages.Addn(int64(m.Probe(node)))
 		}
 	}
-	// Keep probing while any session work remains.
+	// Keep probing while any session work remains. A permanently
+	// crashed node (a wave with DownFor 0) no longer counts as work.
 	for node := range r.sessionsLeft {
-		if r.sessionsLeft[node] > 0 || r.online[node] {
+		if (r.sessionsLeft[node] > 0 && !r.crashed[node]) || r.online[node] {
 			r.engine.After(r.cfg.ProbeInterval, func(at time.Duration) { r.probeAll(m, at) })
 			return
 		}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// testPlan stresses a quickConfig workload: the churn wave, outage and
+// burst all land inside the first hour, where sessions are dense.
+func testPlan(seed int64) *faults.Plan {
+	return faults.ChurnPlan(seed, 4*time.Minute)
+}
+
+func runWithPlan(t *testing.T, tr *trace.Trace, proto vod.Protocol, plan *faults.Plan) *Result {
+	t.Helper()
+	res, err := RunCtx(context.Background(), quickConfig(), tr, proto, simnet.DefaultConfig(), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultPlanDeterministic pins the acceptance criterion: the same
+// seed and plan produce a bit-identical Result (counter snapshot
+// included) run over run.
+func TestFaultPlanDeterministic(t *testing.T) {
+	tr := expTrace(t)
+	a := runWithPlan(t, tr, socialTube(t, tr), testPlan(5))
+	b := runWithPlan(t, tr, socialTube(t, tr), testPlan(5))
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("same plan+seed produced different results:\n%s\nvs\n%s", ja, jb)
+	}
+	if a.Obs != b.Obs {
+		t.Fatal("counter snapshots diverged")
+	}
+	if a.Resilience.Crashes == 0 {
+		t.Fatal("plan applied no crashes; the determinism check is vacuous")
+	}
+}
+
+// TestHealthyRunUnchangedByFaultSupport pins that RunCtx with zero
+// Options is bit-identical to the legacy Run path.
+func TestHealthyRunUnchangedByFaultSupport(t *testing.T) {
+	tr := expTrace(t)
+	legacy := runProto(t, tr, socialTube(t, tr))
+	ctxed, err := RunCtx(context.Background(), quickConfig(), tr, socialTube(t, tr), simnet.DefaultConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, _ := json.Marshal(legacy)
+	jc, _ := json.Marshal(ctxed)
+	if string(jl) != string(jc) {
+		t.Fatal("healthy RunCtx diverged from Run")
+	}
+	rz := legacy.Resilience
+	if rz.Crashes != 0 || rz.RequestsDuringFaults != 0 || rz.RepairLatencyMs.Len() != 0 {
+		t.Fatal("healthy run recorded resilience activity")
+	}
+}
+
+// TestFaultsDegradeAndRepair checks the fault machinery end to end on
+// SocialTube: crashes and rejoins happen, repair rounds run, repair
+// latency is sampled and fault-time hit rate is measured.
+func TestFaultsDegradeAndRepair(t *testing.T) {
+	tr := expTrace(t)
+	res := runWithPlan(t, tr, socialTube(t, tr), testPlan(5))
+	rz := res.Resilience
+	if rz.Crashes == 0 || rz.Rejoins == 0 {
+		t.Fatalf("no churn applied: %+v", rz)
+	}
+	if rz.Rejoins > rz.Crashes {
+		t.Fatalf("more rejoins (%d) than crashes (%d)", rz.Rejoins, rz.Crashes)
+	}
+	if rz.RepairRounds == 0 {
+		t.Fatal("SocialTube ran no repair rounds")
+	}
+	if rz.RepairMsgs == 0 {
+		t.Fatal("repair rounds exchanged no messages")
+	}
+	if rz.RepairLatencyMs.Len() == 0 {
+		t.Fatal("no repair latency samples")
+	}
+	if maxMs := rz.RepairLatencyMs.Max(); maxMs > float64(testPlan(5).DetectDelay/time.Millisecond) {
+		t.Fatalf("repair latency %v ms exceeds the plan's detection delay", maxMs)
+	}
+	if rz.RequestsDuringFaults == 0 {
+		t.Fatal("no requests overlapped the fault windows; plan timing is off")
+	}
+	if hr := rz.HitRateUnderFaults(); hr <= 0 || hr > 1 {
+		t.Fatalf("hit rate under faults %v outside (0,1]", hr)
+	}
+	if res.Obs.RepairCalls == 0 || res.Obs.OverlayFails == 0 {
+		t.Fatalf("protocol counters missed the churn: %+v", res.Obs)
+	}
+}
+
+// TestBaselineRunsUnderSamePlan ensures protocols without repair hooks
+// survive the identical plan (they recover via probing alone).
+func TestBaselineRunsUnderSamePlan(t *testing.T) {
+	tr := expTrace(t)
+	for _, proto := range []vod.Protocol{netTube(t, tr), paVoD(t, tr)} {
+		res := runWithPlan(t, tr, proto, testPlan(5))
+		rz := res.Resilience
+		if rz.Crashes == 0 {
+			t.Fatalf("%s: no crashes applied", proto.Name())
+		}
+		if rz.RepairRounds != 0 || rz.RepairMsgs != 0 {
+			t.Fatalf("%s: baseline reported repair work: %+v", proto.Name(), rz)
+		}
+		if rz.OrphanFraction.Len() == 0 {
+			t.Fatalf("%s: orphan fraction never sampled", proto.Name())
+		}
+	}
+}
+
+// TestOutageDefersServerRequests pins the graceful-fallback model: an
+// outage window defers (never drops) server requests.
+func TestOutageDefersServerRequests(t *testing.T) {
+	tr := expTrace(t)
+	plan := &faults.Plan{
+		Seed:    3,
+		Outages: []faults.Outage{{At: 2 * time.Minute, Duration: 20 * time.Minute}},
+	}
+	res := runWithPlan(t, tr, socialTube(t, tr), plan)
+	if res.Resilience.ServerDeferred == 0 {
+		t.Fatal("20-minute outage deferred no server requests")
+	}
+	total := res.CacheHits.Value() + res.PeerHits.Value() + res.ServerHits.Value()
+	if total != res.Requests {
+		t.Fatalf("requests lost during outage: %d served of %d", total, res.Requests)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	tr := expTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, quickConfig(), tr, socialTube(t, tr), simnet.DefaultConfig(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunCtxRejectsBadPlan(t *testing.T) {
+	tr := expTrace(t)
+	bad := &faults.Plan{Waves: []faults.ChurnWave{{At: time.Second}}}
+	if _, err := RunCtx(context.Background(), quickConfig(), tr, socialTube(t, tr), simnet.DefaultConfig(), Options{Faults: bad}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -1,0 +1,339 @@
+// Package faults is the deterministic fault-injection layer: a seeded
+// Plan of adversarial conditions (churn waves, correlated regional
+// departures, link latency/loss bursts, tracker outages, server
+// brownouts) compiles into a flat, time-ordered Schedule of events.
+//
+// The same compiled Schedule drives both halves of the evaluation: the
+// discrete-event simulator applies each event at its virtual timestamp
+// (internal/exp), and the TCP emulation replays the identical event
+// list over wall-clock offsets (internal/emu). Compilation is a pure
+// function of (Plan, nodes): every random choice — which nodes a wave
+// takes down, the jitter inside a wave's spread, the per-crash
+// detection delay — comes from one dist.RNG seeded with Plan.Seed, so
+// one seed replays bit-identically everywhere.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+)
+
+// ChurnWave takes a batch of nodes down (crash, not graceful leave)
+// around the same time — the paper's node-dynamism stressor.
+type ChurnWave struct {
+	// At is when the wave begins.
+	At time.Duration
+	// Spread jitters each crash uniformly over [At, At+Spread].
+	Spread time.Duration
+	// Fraction of eligible nodes to crash (used when Count is 0).
+	Fraction float64
+	// Count of nodes to crash; overrides Fraction when positive.
+	Count int
+	// DownFor is how long each crashed node stays gone before it
+	// rejoins; 0 means it never comes back.
+	DownFor time.Duration
+	// Region, when positive, restricts the wave to one latency region
+	// (a correlated regional departure, e.g. an ISP failure). Regions
+	// are 1-based here: Region r targets nodes with node%Regions ==
+	// r-1, matching emu.Conditions region assignment. 0 means any.
+	Region int
+}
+
+// LinkBurst degrades every link for a window: latencies multiply by
+// LatencyFactor and peer fetches fail with probability LossP.
+type LinkBurst struct {
+	At       time.Duration
+	Duration time.Duration
+	// LatencyFactor scales link latency during the burst (≥1; values
+	// below 1 are treated as 1).
+	LatencyFactor float64
+	// LossP is the probability a located provider is unreachable
+	// through the degraded links, forcing server fallback.
+	LossP float64
+}
+
+// Outage takes the tracker/server fully offline for a window: requests
+// to it go unanswered until the window closes.
+type Outage struct {
+	At       time.Duration
+	Duration time.Duration
+}
+
+// Brownout throttles the server uplink to CapacityFactor×nominal for a
+// window without taking it offline.
+type Brownout struct {
+	At       time.Duration
+	Duration time.Duration
+	// CapacityFactor is the remaining fraction of server capacity,
+	// in (0, 1).
+	CapacityFactor float64
+}
+
+// Plan is a declarative, seeded description of every fault a run
+// suffers. The zero value is a healthy run.
+type Plan struct {
+	// Seed drives every random choice made during compilation.
+	Seed int64
+	// Regions is the number of latency regions nodes are spread over
+	// (matching emu.Conditions.Regions); only consulted when a wave
+	// targets a specific region. Nodes map to regions as node%Regions.
+	Regions int
+	// DetectDelay bounds how long neighbors take to notice a crash:
+	// each crash schedules a repair event a uniform (0, DetectDelay]
+	// later. 0 disables repair events (recovery rides probes alone).
+	DetectDelay time.Duration
+	Waves       []ChurnWave
+	Bursts      []LinkBurst
+	Outages     []Outage
+	Brownouts   []Brownout
+}
+
+// Kind identifies what a compiled fault event does.
+type Kind uint8
+
+const (
+	// KindCrash takes one node down abruptly.
+	KindCrash Kind = iota + 1
+	// KindRejoin brings a crashed node back.
+	KindRejoin
+	// KindRepair fires when the dead node's neighbors have detected
+	// the crash and run replacement-link selection.
+	KindRepair
+	// KindBurstStart / KindBurstEnd bracket a link degradation window.
+	KindBurstStart
+	KindBurstEnd
+	// KindOutageStart / KindOutageEnd bracket a tracker/server outage.
+	KindOutageStart
+	KindOutageEnd
+	// KindBrownoutStart / KindBrownoutEnd bracket a server capacity
+	// throttle window.
+	KindBrownoutStart
+	KindBrownoutEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRejoin:
+		return "rejoin"
+	case KindRepair:
+		return "repair"
+	case KindBurstStart:
+		return "burst-start"
+	case KindBurstEnd:
+		return "burst-end"
+	case KindOutageStart:
+		return "outage-start"
+	case KindOutageEnd:
+		return "outage-end"
+	case KindBrownoutStart:
+		return "brownout-start"
+	case KindBrownoutEnd:
+		return "brownout-end"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one compiled fault action. Consumers switch on Kind; fields
+// beyond At/Kind are populated only where meaningful.
+type Event struct {
+	At   time.Duration `json:"at"`
+	Kind Kind          `json:"kind"`
+	// Node is the target of crash/rejoin/repair events; -1 for
+	// window events.
+	Node int `json:"node"`
+	// CrashedAt, on a repair event, is when the node it repairs went
+	// down (repair latency = At - CrashedAt).
+	CrashedAt time.Duration `json:"crashedAt,omitempty"`
+	// Until, on a *Start event, is when the window closes.
+	Until time.Duration `json:"until,omitempty"`
+	// LatencyFactor and LossP carry a burst's parameters.
+	LatencyFactor float64 `json:"latencyFactor,omitempty"`
+	LossP         float64 `json:"lossP,omitempty"`
+	// CapacityFactor carries a brownout's remaining capacity.
+	CapacityFactor float64 `json:"capacityFactor,omitempty"`
+}
+
+// Schedule is a compiled plan: events sorted by At (insertion order
+// breaks ties), ready to be replayed by either runtime.
+type Schedule struct {
+	Events []Event
+	// Crashes counts the KindCrash events, for quick sanity checks.
+	Crashes int
+}
+
+// Validate rejects plans that cannot compile into a sane schedule.
+func (p *Plan) Validate() error {
+	if p.Regions < 0 {
+		return fmt.Errorf("faults: Regions %d negative", p.Regions)
+	}
+	if p.DetectDelay < 0 {
+		return fmt.Errorf("faults: DetectDelay %v negative", p.DetectDelay)
+	}
+	for i, w := range p.Waves {
+		switch {
+		case w.At < 0 || w.Spread < 0 || w.DownFor < 0:
+			return fmt.Errorf("faults: wave %d has a negative time", i)
+		case w.Count < 0:
+			return fmt.Errorf("faults: wave %d Count %d negative", i, w.Count)
+		case w.Fraction < 0 || w.Fraction > 1:
+			return fmt.Errorf("faults: wave %d Fraction %g outside [0,1]", i, w.Fraction)
+		case w.Count == 0 && w.Fraction == 0:
+			return fmt.Errorf("faults: wave %d selects no nodes (Count and Fraction both zero)", i)
+		case w.Region < 0:
+			return fmt.Errorf("faults: wave %d Region %d negative (regions are 1-based, 0 = any)", i, w.Region)
+		case w.Region > 0 && p.Regions == 0:
+			return fmt.Errorf("faults: wave %d targets region %d but the plan has no Regions", i, w.Region)
+		case w.Region > p.Regions:
+			return fmt.Errorf("faults: wave %d region %d out of range [1,%d]", i, w.Region, p.Regions)
+		}
+	}
+	for i, b := range p.Bursts {
+		switch {
+		case b.At < 0 || b.Duration <= 0:
+			return fmt.Errorf("faults: burst %d needs At ≥ 0 and Duration > 0", i)
+		case b.LossP < 0 || b.LossP > 1:
+			return fmt.Errorf("faults: burst %d LossP %g outside [0,1]", i, b.LossP)
+		case b.LatencyFactor < 0:
+			return fmt.Errorf("faults: burst %d LatencyFactor %g negative", i, b.LatencyFactor)
+		}
+	}
+	for i, o := range p.Outages {
+		if o.At < 0 || o.Duration <= 0 {
+			return fmt.Errorf("faults: outage %d needs At ≥ 0 and Duration > 0", i)
+		}
+	}
+	for i, b := range p.Brownouts {
+		switch {
+		case b.At < 0 || b.Duration <= 0:
+			return fmt.Errorf("faults: brownout %d needs At ≥ 0 and Duration > 0", i)
+		case b.CapacityFactor <= 0 || b.CapacityFactor >= 1:
+			return fmt.Errorf("faults: brownout %d CapacityFactor %g outside (0,1)", i, b.CapacityFactor)
+		}
+	}
+	return nil
+}
+
+// Compile expands the plan against a population of nodes (ids
+// 0..nodes-1) into a time-ordered Schedule. Compilation is
+// deterministic: the same plan and node count always yield the same
+// event list, byte for byte.
+func (p *Plan) Compile(nodes int) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("faults: compile against %d nodes", nodes)
+	}
+	g := dist.NewRNG(p.Seed)
+	var evs []Event
+	crashes := 0
+	for _, w := range p.Waves {
+		var eligible []int
+		for n := 0; n < nodes; n++ {
+			if w.Region > 0 && p.Regions > 0 && n%p.Regions != w.Region-1 {
+				continue
+			}
+			eligible = append(eligible, n)
+		}
+		count := w.Count
+		if count == 0 {
+			count = int(math.Ceil(w.Fraction * float64(len(eligible))))
+		}
+		if count > len(eligible) {
+			count = len(eligible)
+		}
+		perm := g.Perm(len(eligible))
+		for _, pi := range perm[:count] {
+			node := eligible[pi]
+			at := w.At
+			if w.Spread > 0 {
+				at += time.Duration(g.Float64() * float64(w.Spread))
+			}
+			evs = append(evs, Event{At: at, Kind: KindCrash, Node: node})
+			crashes++
+			if p.DetectDelay > 0 {
+				detect := time.Duration(g.Float64()*float64(p.DetectDelay)) + 1
+				evs = append(evs, Event{At: at + detect, Kind: KindRepair, Node: node, CrashedAt: at})
+			}
+			if w.DownFor > 0 {
+				evs = append(evs, Event{At: at + w.DownFor, Kind: KindRejoin, Node: node})
+			}
+		}
+	}
+	for _, b := range p.Bursts {
+		f := b.LatencyFactor
+		if f < 1 {
+			f = 1
+		}
+		end := b.At + b.Duration
+		evs = append(evs,
+			Event{At: b.At, Kind: KindBurstStart, Node: -1, Until: end, LatencyFactor: f, LossP: b.LossP},
+			Event{At: end, Kind: KindBurstEnd, Node: -1})
+	}
+	for _, o := range p.Outages {
+		end := o.At + o.Duration
+		evs = append(evs,
+			Event{At: o.At, Kind: KindOutageStart, Node: -1, Until: end},
+			Event{At: end, Kind: KindOutageEnd, Node: -1})
+	}
+	for _, b := range p.Brownouts {
+		end := b.At + b.Duration
+		evs = append(evs,
+			Event{At: b.At, Kind: KindBrownoutStart, Node: -1, Until: end, CapacityFactor: b.CapacityFactor},
+			Event{At: end, Kind: KindBrownoutEnd, Node: -1})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return &Schedule{Events: evs, Crashes: crashes}, nil
+}
+
+// Span returns the timestamp of the last event, i.e. how long a replay
+// needs to run for the whole schedule to fire.
+func (s *Schedule) Span() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].At
+}
+
+// ChurnPlan is the standard churn-resilience stress used by the churn
+// figure and demos: a 30% crash wave that rejoins after two units, a
+// tracker outage, then a lossy high-latency burst, with neighbor crash
+// detection within a quarter unit. The unit sets the time base — pick
+// roughly one session cycle of the workload being stressed.
+func ChurnPlan(seed int64, unit time.Duration) *Plan {
+	return &Plan{
+		Seed:        seed,
+		DetectDelay: unit / 4,
+		Waves: []ChurnWave{
+			{At: unit, Spread: unit / 2, Fraction: 0.3, DownFor: 2 * unit},
+		},
+		Outages: []Outage{
+			{At: 2 * unit, Duration: unit / 2},
+		},
+		Bursts: []LinkBurst{
+			{At: 3 * unit, Duration: unit / 2, LatencyFactor: 3, LossP: 0.25},
+		},
+	}
+}
+
+// OutagePlan is a tracker-outage scenario with background churn: a
+// small crash wave, then the tracker goes dark for one unit starting at
+// 2×unit. Used by `make faults-demo` and the emu outage figure.
+func OutagePlan(seed int64, unit time.Duration) *Plan {
+	return &Plan{
+		Seed:        seed,
+		DetectDelay: unit / 4,
+		Waves: []ChurnWave{
+			{At: unit, Spread: unit / 2, Fraction: 0.2, DownFor: 2 * unit},
+		},
+		Outages: []Outage{
+			{At: 2 * unit, Duration: unit},
+		},
+	}
+}

@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func stressPlan(seed int64) *Plan {
+	return &Plan{
+		Seed:        seed,
+		Regions:     4,
+		DetectDelay: 30 * time.Second,
+		Waves: []ChurnWave{
+			{At: time.Minute, Spread: 30 * time.Second, Fraction: 0.3, DownFor: 2 * time.Minute},
+			{At: 5 * time.Minute, Count: 3, Region: 3},
+		},
+		Bursts:    []LinkBurst{{At: 3 * time.Minute, Duration: time.Minute, LatencyFactor: 3, LossP: 0.25}},
+		Outages:   []Outage{{At: 2 * time.Minute, Duration: time.Minute}},
+		Brownouts: []Brownout{{At: 6 * time.Minute, Duration: time.Minute, CapacityFactor: 0.5}},
+	}
+}
+
+// TestCompileDeterministic pins the core contract: the same plan and
+// node count compile to a byte-identical schedule every time.
+func TestCompileDeterministic(t *testing.T) {
+	a, err := stressPlan(7).Compile(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stressPlan(7).Compile(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed compiled to different schedules:\n%s\nvs\n%s", ja, jb)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("stress plan compiled to an empty schedule")
+	}
+}
+
+// TestCompileSeedMatters guards against the RNG being ignored.
+func TestCompileSeedMatters(t *testing.T) {
+	a, err := stressPlan(1).Compile(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stressPlan(2).Compile(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) == string(jb) {
+		t.Fatal("different seeds compiled to identical schedules")
+	}
+}
+
+func TestCompileOrderingAndPairing(t *testing.T) {
+	s, err := stressPlan(3).Compile(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := make(map[int]time.Duration)
+	var last time.Duration
+	for i, ev := range s.Events {
+		if ev.At < last {
+			t.Fatalf("event %d at %v fires before predecessor at %v", i, ev.At, last)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case KindCrash:
+			crashAt[ev.Node] = ev.At
+		case KindRejoin:
+			at, ok := crashAt[ev.Node]
+			if !ok {
+				t.Fatalf("node %d rejoins without crashing", ev.Node)
+			}
+			if ev.At <= at {
+				t.Fatalf("node %d rejoins at %v, before its crash at %v", ev.Node, ev.At, at)
+			}
+		case KindRepair:
+			at, ok := crashAt[ev.Node]
+			if !ok {
+				t.Fatalf("repair for node %d without a crash", ev.Node)
+			}
+			if ev.CrashedAt != at {
+				t.Fatalf("repair CrashedAt %v != crash time %v", ev.CrashedAt, at)
+			}
+			if ev.At <= at {
+				t.Fatalf("repair fires at %v, not after the crash at %v", ev.At, at)
+			}
+		case KindBurstStart, KindOutageStart, KindBrownoutStart:
+			if ev.Until <= ev.At {
+				t.Fatalf("%v window closes at %v, not after it opens at %v", ev.Kind, ev.Until, ev.At)
+			}
+		}
+	}
+	if s.Crashes == 0 {
+		t.Fatal("no crashes compiled")
+	}
+	if got := s.Span(); got != last {
+		t.Fatalf("Span %v != last event %v", got, last)
+	}
+}
+
+func TestCompileRegionFilter(t *testing.T) {
+	p := &Plan{
+		Seed:    1,
+		Regions: 4,
+		Waves:   []ChurnWave{{At: time.Second, Count: 5, Region: 3}},
+	}
+	s, err := p.Compile(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Crashes != 5 {
+		t.Fatalf("want 5 crashes, got %d", s.Crashes)
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == KindCrash && ev.Node%4 != 2 {
+			t.Fatalf("node %d crashed outside region 3 (node%%4 == 2)", ev.Node)
+		}
+	}
+}
+
+func TestCompileFractionCeil(t *testing.T) {
+	p := &Plan{Seed: 1, Waves: []ChurnWave{{At: time.Second, Fraction: 0.5}}}
+	s, err := p.Compile(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(0.5 * 7) = 4.
+	if s.Crashes != 4 {
+		t.Fatalf("want 4 crashes from Fraction 0.5 of 7 nodes, got %d", s.Crashes)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []*Plan{
+		{Regions: -1},
+		{DetectDelay: -time.Second},
+		{Waves: []ChurnWave{{At: -time.Second, Count: 1}}},
+		{Waves: []ChurnWave{{At: time.Second}}},                                    // no Count, no Fraction
+		{Waves: []ChurnWave{{At: time.Second, Fraction: 1.5}}},                     // Fraction > 1
+		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: 1}}},               // region without Regions
+		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: -1}}},              // negative region
+		{Regions: 2, Waves: []ChurnWave{{At: 0, Count: 1, Region: 3}}},             // region out of range
+		{Bursts: []LinkBurst{{At: time.Second}}},                                   // zero duration
+		{Bursts: []LinkBurst{{At: 0, Duration: time.Second, LossP: 2}}},            // LossP > 1
+		{Outages: []Outage{{At: 0}}},                                               // zero duration
+		{Brownouts: []Brownout{{At: 0, Duration: time.Second}}},                    // zero capacity
+		{Brownouts: []Brownout{{At: 0, Duration: time.Second, CapacityFactor: 1}}}, // no-op capacity
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+		if _, err := p.Compile(10); err == nil {
+			t.Errorf("bad plan %d compiled", i)
+		}
+	}
+	if _, err := (&Plan{Waves: []ChurnWave{{Count: 1}}}).Compile(0); err == nil {
+		t.Error("compile against zero nodes accepted")
+	}
+}
+
+func TestHelperPlansCompile(t *testing.T) {
+	for name, p := range map[string]*Plan{
+		"churn":  ChurnPlan(9, time.Minute),
+		"outage": OutagePlan(9, time.Minute),
+	} {
+		s, err := p.Compile(50)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Crashes == 0 || len(s.Events) <= s.Crashes {
+			t.Fatalf("%s: degenerate schedule (%d events, %d crashes)", name, len(s.Events), s.Crashes)
+		}
+	}
+}

@@ -1,10 +1,14 @@
 package figures
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/simnet"
 )
 
 // TestSimAndEmuAgreeOnWinner is the cross-environment check the paper makes
@@ -59,6 +63,55 @@ func TestSimAndEmuAgreeOnWinner(t *testing.T) {
 	const noise = 0.1
 	if emuST < emuPV-noise {
 		t.Fatalf("emulator disagrees with simulator beyond noise: SocialTube %.3f vs PA-VoD %.3f", emuST, emuPV)
+	}
+}
+
+// TestChurnResilienceOrdering is the headline claim of the churn figure:
+// under the standard ChurnPlan, SocialTube's interest-clustered overlay
+// plus active repair keeps serving from peers better than NetTube's
+// friend overlay, which in turn beats PA-VoD's ISP assistance; and the
+// repair hook — which only SocialTube implements — is what keeps its
+// orphan fraction an order of magnitude below the baselines'. The runs
+// are seeded and single-threaded, so the ordering is deterministic.
+func TestChurnResilienceOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three faulted simulations")
+	}
+	s := tinyScale()
+	tr := tinyTrace(t)
+	protos, err := s.Protocols(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(map[string]*exp.Resilience)
+	for name, p := range protos {
+		r, err := exp.RunCtx(context.Background(), s.expConfig(), tr, p,
+			simnet.DefaultConfig(), exp.Options{Faults: faults.ChurnPlan(s.Seed, s.churnUnit())})
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		res[name] = &r.Resilience
+	}
+	st, nt, pv := res["SocialTube"], res["NetTube"], res["PA-VoD"]
+	for name, r := range res {
+		if r.Crashes == 0 || r.Rejoins != r.Crashes {
+			t.Fatalf("%s: crashes=%d rejoins=%d, want a full crash/rejoin cycle", name, r.Crashes, r.Rejoins)
+		}
+	}
+	if st.HitRateUnderFaults() <= nt.HitRateUnderFaults() || nt.HitRateUnderFaults() <= pv.HitRateUnderFaults() {
+		t.Fatalf("fault-time hit rates out of order: SocialTube %.3f, NetTube %.3f, PA-VoD %.3f",
+			st.HitRateUnderFaults(), nt.HitRateUnderFaults(), pv.HitRateUnderFaults())
+	}
+	if st.OrphanFraction.Mean() >= nt.OrphanFraction.Mean() || nt.OrphanFraction.Mean() >= pv.OrphanFraction.Mean() {
+		t.Fatalf("orphan fractions out of order: SocialTube %.4f, NetTube %.4f, PA-VoD %.4f",
+			st.OrphanFraction.Mean(), nt.OrphanFraction.Mean(), pv.OrphanFraction.Mean())
+	}
+	if st.RepairedLinks == 0 {
+		t.Fatal("SocialTube's repair hook reattached no links under churn")
+	}
+	if nt.RepairedLinks != 0 || pv.RepairedLinks != 0 {
+		t.Fatalf("baselines report repaired links (NetTube %d, PA-VoD %d) but implement no repair hook",
+			nt.RepairedLinks, pv.RepairedLinks)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/faults"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/trace"
 )
@@ -131,6 +132,48 @@ func Fig17b(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
 		}
 		d := res.StartupDelay.Summary()
 		t.AddRow(variant.name, d.Mean, d.P50, d.P99)
+	}
+	return t, nil
+}
+
+// outageUnit derives the emu fault plan's time base from the workload:
+// one session of playback (the cluster sets MeanOffTime equal to
+// WatchTime), floored so the outage window stays wide enough to matter
+// against real socket timing.
+func (s EmuScale) outageUnit() time.Duration {
+	u := time.Duration(s.VideosPerSession) * 2 * s.WatchTime
+	if u < 100*time.Millisecond {
+		u = 100 * time.Millisecond
+	}
+	return u
+}
+
+// FigOutage measures service continuity through the standard OutagePlan
+// (a 20% crash wave, then the tracker dark for one unit) over the TCP
+// emulation. The retry policy is tightened so a request's budget is on
+// the order of the outage window: what survives did so via the local
+// cache, peer links formed before the outage, or a late retry.
+func FigOutage(s EmuScale, tr *trace.Trace) (*metrics.Table, error) {
+	unit := s.outageUnit()
+	t := metrics.NewTable(
+		fmt.Sprintf("Tracker outage resilience under OutagePlan(unit=%s) (TCP emulation)", unit),
+		"protocol", "outageReqs", "outageServed", "failed", "crashes", "rejoins", "serverHits")
+	for _, mode := range []emu.Mode{emu.ModePAVoD, emu.ModeSocialTube, emu.ModeNetTube} {
+		res, err := s.runMode(tr, mode, func(c *emu.ClusterConfig) {
+			c.Faults = faults.OutagePlan(s.Seed, unit)
+			c.RPCTimeout = 250 * time.Millisecond
+			c.MaxRetries = 1
+			c.RetryBackoff = 25 * time.Millisecond
+		})
+		if err != nil {
+			return nil, err
+		}
+		served := 0.0
+		if res.OutageRequests > 0 {
+			served = float64(res.OutageServed) / float64(res.OutageRequests)
+		}
+		t.AddRow(res.Protocol, res.OutageRequests, served, res.FailedRequests,
+			res.Crashes, res.Rejoins, res.ServerHits)
 	}
 	return t, nil
 }

@@ -93,6 +93,11 @@ func TestSimFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireRows(t, f18, "NetTube")
+	fc, err := FigChurn(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, fc, "repairMs")
 }
 
 func TestEmuFigures(t *testing.T) {
@@ -118,6 +123,11 @@ func TestEmuFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireRows(t, f18, "NetTube")
+	fo, err := FigOutage(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRows(t, fo, "outageServed")
 }
 
 func TestPaperScaleParameters(t *testing.T) {

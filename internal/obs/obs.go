@@ -76,6 +76,13 @@ type Counters struct {
 	// (the experiment runner or the emu tracker/peers).
 	ChunksPeer   uint64 `json:"chunksPeer"`
 	ChunksServer uint64 `json:"chunksServer"`
+	// Active self-repair under fault injection (internal/faults):
+	// repair rounds run after detected crashes, replacement links
+	// created by those rounds, and prefetch prefixes re-seeded when a
+	// crashed node rejoins.
+	RepairCalls     uint64 `json:"repairCalls"`
+	RepairedLinks   uint64 `json:"repairedLinks"`
+	PrefetchReseeds uint64 `json:"prefetchReseeds"`
 }
 
 // AddHops records one successful peer lookup at the given hop distance.

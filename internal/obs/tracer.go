@@ -27,6 +27,9 @@ const (
 	KindFail  Kind = "fail"
 	// KindProbe is one maintenance round of a node.
 	KindProbe Kind = "probe"
+	// KindRepair is one active self-repair round after a detected
+	// crash: the dead node's neighbors replace their lost links.
+	KindRepair Kind = "repair"
 )
 
 // Hierarchy levels for KindFlood events.
@@ -72,6 +75,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%-12v %-10s node %-5d prefetch video %d", at, e.Proto, e.Node, e.Video)
 	case KindProbe:
 		return fmt.Sprintf("%-12v %-10s node %-5d probe msgs=%d", at, e.Proto, e.Node, e.Msgs)
+	case KindRepair:
+		return fmt.Sprintf("%-12v %-10s node %-5d repair links=%d msgs=%d", at, e.Proto, e.Node, e.Hops, e.Msgs)
 	default:
 		return fmt.Sprintf("%-12v %-10s node %-5d %s", at, e.Proto, e.Node, e.Kind)
 	}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"time"
 )
@@ -158,4 +159,40 @@ func (e *Engine) Run(horizon time.Duration, maxEvents uint64) error {
 		e.fired++
 	}
 	return nil
+}
+
+// ctxCheckInterval is how many events RunCtx fires between context
+// checks: frequent enough for prompt cancellation, rare enough to keep
+// the check off the per-event fast path.
+const ctxCheckInterval = 256
+
+// RunCtx is Run with cooperative cancellation: it executes the same
+// schedule with identical semantics, checking ctx between batches of
+// events (every ctxCheckInterval fires). On cancellation it returns
+// ctx.Err(), leaving the remaining schedule intact like every other
+// early return. A nil ctx behaves like context.Background().
+func (e *Engine) RunCtx(ctx context.Context, horizon time.Duration, maxEvents uint64) error {
+	if ctx == nil {
+		return e.Run(horizon, maxEvents)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := e.fired + ctxCheckInterval
+		if maxEvents > 0 && maxEvents < chunk {
+			chunk = maxEvents
+		}
+		if err := e.Run(horizon, chunk); err != nil {
+			return err
+		}
+		switch {
+		case len(e.queue) == 0:
+			return nil // drained
+		case e.fired < chunk:
+			return nil // horizon reached with budget to spare
+		case maxEvents > 0 && e.fired >= maxEvents:
+			return nil // lifetime event budget exhausted
+		}
+	}
 }

@@ -67,6 +67,9 @@ func (c Config) Validate() error {
 type Network struct {
 	cfg       Config
 	busyUntil map[NodeID]time.Duration
+	// serverFactor throttles the server uplink during a brownout
+	// window (0 or 1 = full capacity). See SetServerUplinkFactor.
+	serverFactor float64
 	// Stats.
 	serverBytes int64
 	peerBytes   int64
@@ -100,10 +103,27 @@ func (n *Network) Latency(a, b NodeID) time.Duration {
 	return n.cfg.MinLatency + time.Duration(g.Float64()*float64(span))
 }
 
+// SetServerUplinkFactor throttles the server uplink to factor×configured
+// capacity — the fault layer's brownout hook. Factors outside (0, 1]
+// restore full capacity. Transfers already reserved keep their slots;
+// only subsequent transfers see the reduced rate.
+func (n *Network) SetServerUplinkFactor(factor float64) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	n.serverFactor = factor
+}
+
 // uplinkBps returns the upload capacity of the given endpoint.
 func (n *Network) uplinkBps(id NodeID) int64 {
 	if id == ServerID {
-		return n.cfg.ServerUplinkBps
+		bps := n.cfg.ServerUplinkBps
+		if n.serverFactor > 0 && n.serverFactor < 1 {
+			if bps = int64(float64(bps) * n.serverFactor); bps < 1 {
+				bps = 1
+			}
+		}
+		return bps
 	}
 	return n.cfg.PeerUplinkBps
 }

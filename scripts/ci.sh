@@ -21,6 +21,10 @@ echo "== observability package (vet + race, explicitly) =="
 go vet ./internal/obs/...
 go test -race -count=1 ./internal/obs/...
 
+echo "== fault injection & shutdown paths (race, explicitly) =="
+go test -race -count=1 -run 'Fault|Churn|Outage|Crash|Burst|Ctx|Cancel|Scenario|Releases|Compile|Validate|HelperPlans' \
+	./internal/faults/ ./internal/emu/ ./internal/exp/ .
+
 echo "== short benchmarks (allocations) =="
 go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
 go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/

@@ -33,13 +33,44 @@
 //		socialtube.DefaultNetworkConfig())
 //	if err != nil { ... }
 //	p1, p50, p99 := res.NormalizedPeerBandwidthPercentiles()
+//
+// # Scenarios: context, fault injection and observability
+//
+// RunExperimentCtx and RunClusterCtx are the context-aware forms of the
+// two run entry points. Cross-cutting concerns — a deterministic fault
+// plan, a trace sink, a counter snapshot destination, a non-default
+// network — attach through functional options instead of extra
+// positional parameters:
+//
+//	var ctr socialtube.Counters
+//	res, err := socialtube.RunExperimentCtx(ctx,
+//		socialtube.DefaultExperimentConfig(), tr, sys,
+//		socialtube.WithFaults(socialtube.ChurnPlan(1, 4*time.Minute)),
+//		socialtube.WithCounters(&ctr))
+//	if err != nil { ... }
+//	fmt.Println(res.Resilience.HitRateUnderFaults(), ctr.RepairCalls)
+//
+// The same FaultPlan drives both engines: compiled once per run from its
+// seed, it replays identically in simulated time (RunExperimentCtx) and
+// on wall-clock offsets against live TCP nodes (RunClusterCtx).
+//
+// Migration note: the legacy four-positional-argument RunExperiment and
+// the two-argument RunCluster are retained as thin wrappers over the Ctx
+// forms with context.Background() and no options; healthy runs produce
+// bit-identical results through either entry point. New code should call
+// the Ctx forms.
 package socialtube
 
 import (
+	"context"
+	"time"
+
 	"github.com/socialtube/socialtube/internal/baseline"
 	"github.com/socialtube/socialtube/internal/core"
 	"github.com/socialtube/socialtube/internal/emu"
 	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/simnet"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -164,7 +195,99 @@ type (
 	ExperimentResult = exp.Result
 	// NetworkConfig sets the simulated network (bandwidths, latency).
 	NetworkConfig = simnet.Config
+	// Resilience aggregates a run's degradation-and-recovery metrics.
+	Resilience = exp.Resilience
 )
+
+// Observability layer: protocol counters and event tracing.
+type (
+	// Counters is the protocol-wide counter set a run snapshots.
+	Counters = obs.Counters
+	// Tracer receives protocol events when installed on a run.
+	Tracer = obs.Tracer
+	// TraceEvent is one emitted protocol event.
+	TraceEvent = obs.Event
+)
+
+// NopTracer discards every event; install it to measure tracing overhead.
+var NopTracer = obs.Nop
+
+// Fault layer: deterministic fault plans shared by sim and emu runs.
+type (
+	// FaultPlan is a seeded, declarative fault-injection plan.
+	FaultPlan = faults.Plan
+	// ChurnWave crashes a set of nodes around one instant.
+	ChurnWave = faults.ChurnWave
+	// LinkBurst degrades link latency/loss for a window.
+	LinkBurst = faults.LinkBurst
+	// Outage takes the tracker/server down for a window.
+	Outage = faults.Outage
+	// Brownout scales the server uplink down for a window.
+	Brownout = faults.Brownout
+	// FaultSchedule is a compiled, replayable fault event sequence.
+	FaultSchedule = faults.Schedule
+)
+
+// ChurnPlan returns a canonical churn-stress plan scaled by unit.
+func ChurnPlan(seed int64, unit time.Duration) *FaultPlan { return faults.ChurnPlan(seed, unit) }
+
+// OutagePlan returns a canonical tracker-outage plan scaled by unit.
+func OutagePlan(seed int64, unit time.Duration) *FaultPlan { return faults.OutagePlan(seed, unit) }
+
+// Scenario bundles a run's cross-cutting concerns: the network model,
+// emulated WAN conditions, a fault plan, a tracer and a counter sink.
+// Build one implicitly by passing RunOptions to RunExperimentCtx /
+// RunClusterCtx, or explicitly with NewScenario.
+type Scenario struct {
+	network    NetworkConfig
+	hasNetwork bool
+	conditions *Conditions
+	faults     *FaultPlan
+	tracer     Tracer
+	counters   *Counters
+}
+
+// RunOption configures one aspect of a Scenario.
+type RunOption func(*Scenario)
+
+// NewScenario applies the options to a fresh Scenario.
+func NewScenario(opts ...RunOption) *Scenario {
+	s := &Scenario{}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	return s
+}
+
+// WithNetwork sets the simulated network model (simulation runs only;
+// emulated clusters model the network with Conditions instead).
+func WithNetwork(net NetworkConfig) RunOption {
+	return func(s *Scenario) { s.network = net; s.hasNetwork = true }
+}
+
+// WithConditions sets the emulated WAN conditions (cluster runs only).
+func WithConditions(cond *Conditions) RunOption {
+	return func(s *Scenario) { s.conditions = cond }
+}
+
+// WithFaults attaches a deterministic fault plan to the run.
+func WithFaults(plan *FaultPlan) RunOption {
+	return func(s *Scenario) { s.faults = plan }
+}
+
+// WithTracer streams the run's protocol events to tr (simulation runs;
+// protocols that do not support tracing ignore it).
+func WithTracer(tr Tracer) RunOption {
+	return func(s *Scenario) { s.tracer = tr }
+}
+
+// WithCounters copies the run's final protocol-counter snapshot into dst
+// when the run completes successfully.
+func WithCounters(dst *Counters) RunOption {
+	return func(s *Scenario) { s.counters = dst }
+}
 
 // DefaultExperimentConfig returns Table I's workload parameters.
 func DefaultExperimentConfig() ExperimentConfig { return exp.DefaultConfig() }
@@ -173,9 +296,30 @@ func DefaultExperimentConfig() ExperimentConfig { return exp.DefaultConfig() }
 func DefaultNetworkConfig() NetworkConfig { return simnet.DefaultConfig() }
 
 // RunExperiment drives the protocol over the trace with churn and returns
-// the paper's three evaluation metrics.
+// the paper's three evaluation metrics. It is the legacy positional form
+// of RunExperimentCtx (background context, no faults, no tracing).
 func RunExperiment(cfg ExperimentConfig, tr *Trace, p Protocol, net NetworkConfig) (*ExperimentResult, error) {
-	return exp.Run(cfg, tr, p, net)
+	return RunExperimentCtx(context.Background(), cfg, tr, p, WithNetwork(net))
+}
+
+// RunExperimentCtx drives the protocol over the trace under ctx. Options
+// attach a fault plan, a tracer, a counter sink and a non-default
+// network model; with no options the result is bit-identical to
+// RunExperiment's.
+func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig, tr *Trace, p Protocol, opts ...RunOption) (*ExperimentResult, error) {
+	sc := NewScenario(opts...)
+	net := sc.network
+	if !sc.hasNetwork {
+		net = simnet.DefaultConfig()
+	}
+	res, err := exp.RunCtx(ctx, cfg, tr, p, net, exp.Options{Faults: sc.faults, Tracer: sc.tracer})
+	if err != nil {
+		return nil, err
+	}
+	if sc.counters != nil {
+		*sc.counters = res.Obs
+	}
+	return res, nil
 }
 
 // Emulation layer: the PlanetLab-style TCP evaluation.
@@ -231,7 +375,30 @@ func NewPeer(cfg PeerConfig, tr *Trace, trackerAddr string, cond *Conditions) (*
 }
 
 // RunCluster starts a tracker plus peers, drives the session workload and
-// returns aggregated metrics.
+// returns aggregated metrics. It is the legacy positional form of
+// RunClusterCtx (background context, no options).
 func RunCluster(cfg ClusterConfig, tr *Trace) (*ClusterResult, error) {
-	return emu.RunCluster(cfg, tr)
+	return RunClusterCtx(context.Background(), cfg, tr)
+}
+
+// RunClusterCtx runs the emulated cluster under ctx: cancellation stops
+// the workload and releases every tracker and peer goroutine before
+// returning ctx.Err(). WithConditions, WithFaults and WithCounters apply;
+// WithNetwork and WithTracer are simulation-only and are ignored here.
+func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *Trace, opts ...RunOption) (*ClusterResult, error) {
+	sc := NewScenario(opts...)
+	if sc.conditions != nil {
+		cfg.Conditions = sc.conditions
+	}
+	if sc.faults != nil {
+		cfg.Faults = sc.faults
+	}
+	res, err := emu.RunClusterCtx(ctx, cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if sc.counters != nil {
+		*sc.counters = res.Obs
+	}
+	return res, nil
 }
