@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper emu faults-demo trace-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper emu faults-demo trace-demo cover clean
 
 all: build test
 
@@ -17,10 +17,12 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Fast allocation-focused micro-benchmarks for the hot paths (flood search,
-# mesh maintenance, per-request work). Seconds, not minutes.
+# mesh maintenance, per-request work), plus the small-N scale-sweep smoke
+# (appends its points to BENCH_scale.json). Seconds, not minutes.
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchmem ./internal/overlay/
 	$(GO) test -run '^$$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchmem ./internal/core/
+	$(GO) run ./cmd/socialtube-sim -fig scale
 
 # Full gate: what CI runs (see scripts/ci.sh).
 ci:
@@ -33,6 +35,16 @@ figures:
 # Regenerate the simulation figures at the paper's Table I scale (minutes).
 figures-paper:
 	$(GO) run ./cmd/socialtube-sim -fig all -scale paper
+
+# Scalability sweep at smoke sizes: overhead-vs-N, hit-rate-vs-N and
+# bytes-per-user curves, appended to BENCH_scale.json. Seconds.
+scale-demo:
+	$(GO) run ./cmd/socialtube-sim -fig scale
+
+# The full 10k..1M-user sweep (the §IV-C constant-vs-linear maintenance
+# claim measured end to end). Minutes, single machine.
+scale-paper:
+	$(GO) run ./cmd/socialtube-sim -fig scale -scale paper
 
 # Run the TCP emulation at the paper's 250-node PlanetLab scale.
 emu:

@@ -31,10 +31,12 @@ func main() {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-bench", flag.ContinueOnError)
 	var (
-		scale    = fs.String("scale", "small", "workload scale: small or paper")
-		seed     = fs.Int64("seed", 1, "experiment seed")
-		skipEmu  = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
-		traceOut = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
+		scale     = fs.String("scale", "small", "workload scale: small or paper")
+		seed      = fs.Int64("seed", 1, "experiment seed")
+		skipEmu   = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
+		skipScale = fs.Bool("skip-scale", false, "skip the small-N scalability sweep")
+		benchOut  = fs.String("bench-out", "BENCH_scale.json", "append scale-sweep points to this JSONL file (empty disables)")
+		traceOut  = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,25 @@ func run(args []string) (retErr error) {
 		return err
 	}
 	fmt.Println(tc)
+
+	if !*skipScale {
+		// Always the smoke sizes: the full 10k..1M sweep is
+		// socialtube-sim -fig scale -scale paper territory.
+		fmt.Println("---- Section V: scalability sweep (smoke sizes) ----")
+		sw := figures.SmokeScaleSweep()
+		sw.Seed = *seed
+		fsc, err := figures.RunScaleSweep(sw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fsc)
+		if *benchOut != "" {
+			if err := figures.AppendScalePoints(*benchOut, fsc.Points); err != nil {
+				return err
+			}
+			fmt.Printf("appended %d scale points to %s\n\n", len(fsc.Points), *benchOut)
+		}
+	}
 
 	if !*skipEmu {
 		fmt.Println("---- Section V: TCP emulation (PlanetLab substitute) ----")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 )
 
@@ -20,7 +21,10 @@ func TestRunSmallSkipEmu(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full small-scale evaluation")
 	}
-	if err := run([]string{"-skip-emu"}); err != nil {
+	// Redirect the scale-sweep bench log so the test never writes
+	// BENCH_scale.json into the working tree.
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := run([]string{"-skip-emu", "-bench-out", out}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

@@ -156,7 +156,7 @@ func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string,
 		return err
 	}
 	g := dist.NewRNG(seed + int64(id))
-	user := tr.Users[id]
+	user := &tr.Users[id]
 	for s := 0; s < sessions; s++ {
 		p.SetOnline(true)
 		plan := picker.PlanSession(g, user, videos, watch)

@@ -19,6 +19,35 @@ import (
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
+// runScaleSweep runs the scalability sweep (-fig scale): the smoke sizes
+// at -scale small, 10k..1M users at -scale paper. Per-point results are
+// appended to the JSONL bench log when benchOut is non-empty.
+func runScaleSweep(scaleName string, seed int64, benchOut string) error {
+	var sw figures.ScaleSweep
+	switch scaleName {
+	case "small":
+		sw = figures.SmokeScaleSweep()
+	case "paper":
+		sw = figures.DefaultScaleSweep()
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", scaleName)
+	}
+	sw.Seed = seed
+	sw.Progress = func(msg string) { fmt.Println("# " + msg) }
+	f, err := figures.RunScaleSweep(sw)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f)
+	if benchOut != "" {
+		if err := figures.AppendScalePoints(benchOut, f.Points); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d points to %s\n", len(f.Points), benchOut)
+	}
+	return nil
+}
+
 // dumpJSON runs the three protocols through the standard workload and
 // prints one JSON object with their raw result summaries.
 func dumpJSON(s figures.Scale, tr *trace.Trace) error {
@@ -69,9 +98,10 @@ func checkTrace(path string) error {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, table1 or all")
+		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, scale, table1 or all")
 		scale      = fs.String("scale", "small", "workload scale: small or paper")
 		seed       = fs.Int64("seed", 1, "experiment seed")
+		benchOut   = fs.String("bench-out", "BENCH_scale.json", "with -fig scale, append per-point results to this JSONL file (empty disables)")
 		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
 		traceOut   = fs.String("trace-out", "", "write every protocol event as JSON Lines to this file")
 		tracePrint = fs.String("trace-print", "", "pretty-print an existing JSONL event trace and exit")
@@ -96,6 +126,11 @@ func run(args []string) (retErr error) {
 		}
 		fmt.Printf("# %d events\n", n)
 		return nil
+	}
+	// The scale sweep builds its own shard traces (one per population),
+	// so it branches off before the single-figure trace is generated.
+	if *fig == "scale" {
+		return runScaleSweep(*scale, *seed, *benchOut)
 	}
 	var s figures.Scale
 	switch *scale {
@@ -166,7 +201,7 @@ func run(args []string) (retErr error) {
 		case "table1":
 			fmt.Println(figures.Table1(s, tr))
 		default:
-			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, table1 or all)", id)
+			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, scale, table1 or all)", id)
 		}
 		return nil
 	}

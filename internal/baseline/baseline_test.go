@@ -437,7 +437,7 @@ func TestCachingBeatsNoCaching(t *testing.T) {
 	var seq []req
 	for i := 0; i < 2000; i++ {
 		node := int(tr.Users[g.Intn(len(tr.Users))].ID)
-		v := picker.First(g, tr.Users[node])
+		v := picker.First(g, &tr.Users[node])
 		seq = append(seq, req{node, v})
 	}
 	peerNT, peerPV := 0, 0

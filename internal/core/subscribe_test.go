@@ -15,7 +15,8 @@ func unsubscribedChannel(t *testing.T, tr *trace.Trace, node int) *trace.Channel
 	for _, ch := range tr.Users[node].Subscriptions {
 		subbed[ch] = true
 	}
-	for _, ch := range tr.Channels {
+	for i := range tr.Channels {
+		ch := &tr.Channels[i]
 		if !subbed[ch.ID] && len(ch.Videos) > 0 {
 			return ch
 		}
@@ -190,9 +191,9 @@ func TestNonSubscriberServedViaCategory(t *testing.T) {
 	s := newSystem(t, tr, nil)
 	// Seed: subscribers of some channel cache its top video.
 	var ch *trace.Channel
-	for _, cand := range tr.Channels {
-		if len(cand.Subscribers) >= 3 && len(cand.Videos) > 0 {
-			ch = cand
+	for i := range tr.Channels {
+		if len(tr.Channels[i].Subscribers) >= 3 && len(tr.Channels[i].Videos) > 0 {
+			ch = &tr.Channels[i]
 			break
 		}
 	}

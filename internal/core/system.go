@@ -102,10 +102,12 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 		subs:    make([]map[trace.ChannelID]bool, len(tr.Users)),
 		scratch: *overlay.NewFloodScratch(len(tr.Users)),
 	}
-	for _, ch := range tr.Channels {
+	for i := range tr.Channels {
+		ch := &tr.Channels[i]
 		s.byCat[ch.Primary] = append(s.byCat[ch.Primary], ch.ID)
 	}
-	for _, u := range tr.Users {
+	for i := range tr.Users {
+		u := &tr.Users[i]
 		node := int(u.ID)
 		s.nodes[node] = nodeState{
 			user:  u,

@@ -166,7 +166,7 @@ func TestLinkBoundsNeverExceeded(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		node := int(tr.Users[i%len(tr.Users)].ID)
 		s.Join(node)
-		v := picker.First(g, tr.Users[node])
+		v := picker.First(g, &tr.Users[node])
 		for k := 0; k < 4; k++ {
 			s.Request(node, v)
 			s.Finish(node, v)
@@ -431,7 +431,7 @@ func TestMeshesStaySymmetricUnderChurn(t *testing.T) {
 				s.Probe(node)
 			default:
 				if s.online(node) {
-					v := picker.First(g, tr.Users[node])
+					v := picker.First(g, &tr.Users[node])
 					s.Request(node, v)
 					s.Finish(node, v)
 				}

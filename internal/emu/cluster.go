@@ -171,9 +171,15 @@ type LiveMetrics struct {
 	PeerHits       int64           `json:"peerHits"`
 	ServerHits     int64           `json:"serverHits"`
 	Messages       int64           `json:"messages"`
+	// Mem reports the trace's deterministic memory footprint;
+	// HeapHighWater is the live heap peak, refreshed on every scrape
+	// (serialized here explicitly because MemUsage keeps environmental
+	// numbers out of its own JSON encoding).
+	Mem           obs.MemUsage `json:"mem"`
+	HeapHighWater uint64       `json:"heapHighWaterBytes"`
 }
 
-func liveMetrics(cfg ClusterConfig, tracker *Tracker, res *ClusterResult, resMu *sync.Mutex) LiveMetrics {
+func liveMetrics(cfg ClusterConfig, tracker *Tracker, res *ClusterResult, resMu *sync.Mutex, mem *obs.MemWatermark, traceBytes uint64, users int) LiveMetrics {
 	resMu.Lock()
 	m := LiveMetrics{
 		Protocol:       cfg.Mode.String(),
@@ -186,6 +192,11 @@ func liveMetrics(cfg ClusterConfig, tracker *Tracker, res *ClusterResult, resMu 
 	}
 	resMu.Unlock()
 	m.Tracker = tracker.MetricsSnapshot()
+	m.Mem = obs.MemUsage{
+		TraceBytes:   traceBytes,
+		BytesPerUser: float64(traceBytes) / float64(users),
+	}
+	m.HeapHighWater = mem.Sample()
 	return m
 }
 
@@ -381,8 +392,10 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 	var resMu sync.Mutex
 
 	if cfg.MetricsAddr != "" {
+		memW := obs.NewMemWatermark(1) // refreshed on every scrape
+		traceBytes := tr.Bytes()
 		srv, err := obs.ServeMetrics(cfg.MetricsAddr, func() any {
-			return liveMetrics(cfg, tracker, res, &resMu)
+			return liveMetrics(cfg, tracker, res, &resMu, memW, traceBytes, len(tr.Users))
 		}, cfg.PprofEnabled)
 		if err != nil {
 			return nil, fmt.Errorf("cluster metrics: %w", err)
@@ -453,7 +466,7 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *Peer, idx int,
 	res *ClusterResult, resMu *sync.Mutex, stop <-chan struct{}, fd *faultDriver) {
 	g := dist.NewRNG(cfg.Seed*1_000_003 + int64(idx))
-	user := tr.Users[idx]
+	user := &tr.Users[idx]
 
 	// Optional probe loop for the peer's whole lifetime (a crashed host
 	// does not probe).

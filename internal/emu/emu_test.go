@@ -169,9 +169,9 @@ func TestTrackerTopList(t *testing.T) {
 	tr := emuTrace(t)
 	tk := startTracker(t, tr, fastConditions())
 	var ch *trace.Channel
-	for _, c := range tr.Channels {
-		if len(c.Videos) >= 5 {
-			ch = c
+	for i := range tr.Channels {
+		if len(tr.Channels[i].Videos) >= 5 {
+			ch = &tr.Channels[i]
 			break
 		}
 	}

@@ -155,6 +155,11 @@ type Result struct {
 	// Resilience aggregates the fault layer's degradation metrics; every
 	// field is zero when no fault plan was installed.
 	Resilience Resilience `json:"resilience"`
+	// Mem is the run's memory accounting: deterministic trace footprint
+	// (bytes, bytes-per-user) plus the environmental heap high-water
+	// mark, which MemUsage keeps out of the JSON encoding so same-seed
+	// Results marshal byte-identically.
+	Mem obs.MemUsage `json:"mem"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -201,13 +206,24 @@ type runner struct {
 	// comparisons on the hot path and draws no extra randomness.
 	crashed       []bool
 	crashedCount  int
+	// rejoinsPending counts scheduled-but-unfired rejoin events, so the
+	// probe loop knows crashed nodes will come back (see probeAll).
+	rejoinsPending int
 	windows       int // open burst/outage/brownout windows
 	latencyFactor float64
 	burstLossP    float64
 	outageUntil   time.Duration
 	repairer      Repairer
 	reseeder      Reseeder
+	// mem samples the heap high-water mark once per watermarkEvery
+	// requests (power of two, so the hot path pays one mask test).
+	mem *obs.MemWatermark
 }
+
+// watermarkEvery is the request period between heap samples. ReadMemStats
+// stops the world, so the period trades watermark resolution against run
+// slowdown; 4096 keeps the cost invisible even at 1M users.
+const watermarkEvery = 4096
 
 // Run drives the protocol over the trace and returns aggregated metrics.
 // The protocol must be driven by at most one Run at a time.
@@ -220,50 +236,9 @@ func Run(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) 
 // Options) is bit-identical to Run — fault support draws no randomness
 // and schedules no events unless a plan is installed.
 func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config, opts Options) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("exp config: %w", err)
-	}
-	if tr == nil || len(tr.Users) == 0 {
-		return nil, fmt.Errorf("%w: experiment needs a non-empty trace", dist.ErrBadParameter)
-	}
-	if proto == nil {
-		return nil, fmt.Errorf("%w: nil protocol", dist.ErrBadParameter)
-	}
-	network, err := simnet.New(netCfg)
+	r, err := newRunner(cfg, tr, proto, netCfg)
 	if err != nil {
 		return nil, err
-	}
-	picker, err := vod.NewPicker(tr, cfg.Behavior)
-	if err != nil {
-		return nil, err
-	}
-	r := &runner{
-		cfg:    cfg,
-		tr:     tr,
-		proto:  proto,
-		net:    network,
-		engine: sim.NewEngine(),
-		g:      dist.NewRNG(cfg.Seed),
-		picker: picker,
-		res: &Result{
-			Protocol:          proto.Name(),
-			LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
-		},
-		peerChunks:    make([]int64, len(tr.Users)),
-		serverChunks:  make([]int64, len(tr.Users)),
-		sessionsLeft:  make([]int, len(tr.Users)),
-		online:        make([]bool, len(tr.Users)),
-		gen:           make([]uint64, len(tr.Users)),
-		crashed:       make([]bool, len(tr.Users)),
-		latencyFactor: 1,
-	}
-	if timed, ok := proto.(Timed); ok {
-		r.timed = timed
-	}
-	if inst, ok := proto.(obs.Instrumented); ok {
-		r.ctr = inst.ObsCounters()
-	} else {
-		r.ctr = &obs.Counters{}
 	}
 	if opts.Tracer != nil {
 		if traceable, ok := proto.(obs.Traceable); ok {
@@ -300,6 +275,59 @@ func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol
 	return r.res, nil
 }
 
+// newRunner validates the inputs and builds a fully wired runner with no
+// events scheduled yet. Split from RunCtx so lifecycle unit tests can
+// drive individual transitions (startSession/watch/endSession) directly.
+func newRunner(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Config) (*runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("exp config: %w", err)
+	}
+	if tr == nil || len(tr.Users) == 0 {
+		return nil, fmt.Errorf("%w: experiment needs a non-empty trace", dist.ErrBadParameter)
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("%w: nil protocol", dist.ErrBadParameter)
+	}
+	network, err := simnet.New(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	picker, err := vod.NewPicker(tr, cfg.Behavior)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:    cfg,
+		tr:     tr,
+		proto:  proto,
+		net:    network,
+		engine: sim.NewEngine(),
+		g:      dist.NewRNG(cfg.Seed),
+		picker: picker,
+		res: &Result{
+			Protocol:          proto.Name(),
+			LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
+		},
+		peerChunks:    make([]int64, len(tr.Users)),
+		serverChunks:  make([]int64, len(tr.Users)),
+		sessionsLeft:  make([]int, len(tr.Users)),
+		online:        make([]bool, len(tr.Users)),
+		gen:           make([]uint64, len(tr.Users)),
+		crashed:       make([]bool, len(tr.Users)),
+		latencyFactor: 1,
+		mem:           obs.NewMemWatermark(watermarkEvery),
+	}
+	if timed, ok := proto.(Timed); ok {
+		r.timed = timed
+	}
+	if inst, ok := proto.(obs.Instrumented); ok {
+		r.ctr = inst.ObsCounters()
+	} else {
+		r.ctr = &obs.Counters{}
+	}
+	return r, nil
+}
+
 // tick forwards the virtual clock to Timed protocols.
 func (r *runner) tick(now time.Duration) {
 	if r.timed != nil {
@@ -320,7 +348,7 @@ func (r *runner) startSession(node int, now time.Duration) {
 	r.online[node] = true
 	r.gen[node]++
 	r.proto.Join(node)
-	user := r.tr.Users[node]
+	user := &r.tr.Users[node]
 	plan := r.picker.PlanSession(r.g, user, r.cfg.VideosPerSession, r.cfg.MeanOffTime)
 	r.watch(node, plan, 0, r.gen[node], now)
 }
@@ -341,6 +369,7 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, gen uint64, now 
 	r.tick(now)
 	res := r.proto.Request(node, v)
 	r.res.Requests++
+	r.mem.Tick()
 	r.res.Messages.Addn(int64(res.Messages))
 	r.accountFaults(&res)
 
@@ -430,15 +459,24 @@ func (r *runner) deliver(node int, from simnet.NodeID, res vod.RequestResult, ch
 	return bufferDone
 }
 
+// endSession closes a node's session chain. The usual caller is watch()
+// on an online node that ran out of videos; the departure (graceful or
+// abrupt) is announced to the protocol there. watch() can also land here
+// with the node already offline — its online flag dropped mid-chain —
+// and in that case the departure already happened, but the remaining
+// sessionsLeft must still be rescheduled or the node is stranded
+// forever. Crashed nodes are the exception: their restart belongs to
+// the pending rejoin event, so rescheduling here would double-book.
 func (r *runner) endSession(node int, offTime time.Duration) {
-	if !r.online[node] {
+	if r.online[node] {
+		r.online[node] = false
+		if r.g.Bool(r.cfg.AbruptLeaveP) {
+			r.proto.Fail(node)
+		} else {
+			r.proto.Leave(node)
+		}
+	} else if r.crashed[node] {
 		return
-	}
-	r.online[node] = false
-	if r.g.Bool(r.cfg.AbruptLeaveP) {
-		r.proto.Fail(node)
-	} else {
-		r.proto.Leave(node)
 	}
 	if r.sessionsLeft[node] > 0 {
 		r.engine.After(offTime, func(now time.Duration) { r.startSession(node, now) })
@@ -452,9 +490,14 @@ func (r *runner) probeAll(m Maintainer, now time.Duration) {
 		}
 	}
 	// Keep probing while any session work remains. A permanently
-	// crashed node (a wave with DownFor 0) no longer counts as work.
+	// crashed node (a wave with DownFor 0) no longer counts as work —
+	// but while rejoin events are still pending, crashed nodes with
+	// sessions left will come back, so the probe loop must stay alive.
+	// (Without that clause a probe tick landing while the whole
+	// population is down ends maintenance for the rest of the run.)
+	rejoinable := r.rejoinsPending > 0
 	for node := range r.sessionsLeft {
-		if (r.sessionsLeft[node] > 0 && !r.crashed[node]) || r.online[node] {
+		if r.online[node] || (r.sessionsLeft[node] > 0 && (!r.crashed[node] || rejoinable)) {
 			r.engine.After(r.cfg.ProbeInterval, func(at time.Duration) { r.probeAll(m, at) })
 			return
 		}
@@ -474,4 +517,9 @@ func (r *runner) finalize() {
 	r.res.SimulatedTime = r.engine.Now()
 	r.res.Obs = r.ctr.Snapshot()
 	r.res.Engine = r.engine.Stats()
+	r.res.Mem = obs.MemUsage{
+		TraceBytes:    r.tr.Bytes(),
+		HeapHighWater: r.mem.Sample(),
+	}
+	r.res.Mem.BytesPerUser = float64(r.res.Mem.TraceBytes) / float64(len(r.tr.Users))
 }

@@ -87,7 +87,11 @@ func (r *runner) scheduleFaults(sched *faults.Schedule) {
 		case faults.KindCrash:
 			r.engine.At(ev.At, func(now time.Duration) { r.applyCrash(ev.Node, now) })
 		case faults.KindRejoin:
-			r.engine.At(ev.At, func(now time.Duration) { r.applyRejoin(ev.Node, now) })
+			r.rejoinsPending++
+			r.engine.At(ev.At, func(now time.Duration) {
+				r.rejoinsPending--
+				r.applyRejoin(ev.Node, now)
+			})
 		case faults.KindRepair:
 			r.engine.At(ev.At, func(now time.Duration) { r.applyRepair(ev, now) })
 		case faults.KindBurstStart:

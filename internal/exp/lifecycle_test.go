@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// joinCounter wraps a protocol and counts Join calls per node — one Join
+// per started session, so completed-session accounting is exact.
+type joinCounter struct {
+	vod.Protocol
+	joins []int
+}
+
+func (p *joinCounter) Join(node int) { p.joins[node]++; p.Protocol.Join(node) }
+
+// Probe forwards maintenance rounds so wrapping a protocol does not
+// hide its Maintainer interface from the runner.
+func (p *joinCounter) Probe(node int) int {
+	if m, ok := p.Protocol.(Maintainer); ok {
+		return m.Probe(node)
+	}
+	return 0
+}
+
+// TestProbesSurviveFullPopulationCrash pins the probeAll starvation fix:
+// when a probe tick lands while the entire population is crashed, the
+// probe loop used to stop rescheduling itself, so maintenance probing
+// never resumed after the nodes rejoined — ProbeMessages stayed at zero
+// for the rest of the run, silently zeroing the paper's headline
+// maintenance-overhead measurement. With Spread 0 the whole wave crashes
+// at exactly 1m and rejoins at exactly 11m; the first probe tick at 2m
+// therefore sees zero online nodes.
+func TestProbesSurviveFullPopulationCrash(t *testing.T) {
+	tr := expTrace(t)
+	cfg := quickConfig()
+	cfg.Sessions = 3
+	cfg.VideosPerSession = 4
+	cfg.ProbeInterval = 2 * time.Minute
+	cfg.Horizon = 0 // run until every session has completed
+	plan := &faults.Plan{
+		Seed: 7,
+		Waves: []faults.ChurnWave{
+			{At: time.Minute, Fraction: 1.0, DownFor: 10 * time.Minute},
+		},
+	}
+	p := &joinCounter{Protocol: socialTube(t, tr), joins: make([]int, len(tr.Users))}
+	res, err := RunCtx(context.Background(), cfg, tr, p, simnet.DefaultConfig(), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ProbeMessages.Value(); got == 0 {
+		t.Fatalf("probe loop starved: 0 probe messages over %v with all rejoins pending", res.SimulatedTime)
+	}
+	for node, got := range p.joins {
+		if got != cfg.Sessions {
+			t.Errorf("node %d ran %d sessions, want %d", node, got, cfg.Sessions)
+		}
+	}
+}
+
+// TestSessionsCompleteUnderChurn counts completed sessions under an
+// aggressive multi-wave churn plan (repeated full-population crashes
+// with staggered rejoins): no leave/crash/rejoin interleaving may
+// strand a node's remaining sessionsLeft.
+func TestSessionsCompleteUnderChurn(t *testing.T) {
+	tr := expTrace(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := quickConfig()
+		cfg.Seed = seed
+		cfg.Sessions = 3
+		cfg.VideosPerSession = 4
+		cfg.Horizon = 0
+		plan := &faults.Plan{
+			Seed:        seed,
+			DetectDelay: 30 * time.Second,
+			Waves: []faults.ChurnWave{
+				{At: 2 * time.Minute, Spread: 4 * time.Minute, Fraction: 1.0, DownFor: 90 * time.Second},
+				{At: 5 * time.Minute, Spread: 4 * time.Minute, Fraction: 1.0, DownFor: 45 * time.Second},
+				{At: 8 * time.Minute, Spread: 8 * time.Minute, Fraction: 1.0, DownFor: 2 * time.Minute},
+				{At: 20 * time.Minute, Fraction: 1.0, DownFor: 70 * time.Second},
+			},
+		}
+		p := &joinCounter{Protocol: socialTube(t, tr), joins: make([]int, len(tr.Users))}
+		if _, err := RunCtx(context.Background(), cfg, tr, p, simnet.DefaultConfig(), Options{Faults: plan}); err != nil {
+			t.Fatal(err)
+		}
+		stranded := 0
+		for _, got := range p.joins {
+			if got < cfg.Sessions {
+				stranded++
+			}
+		}
+		if stranded > 0 {
+			t.Errorf("seed %d: %d nodes stranded with sessions left", seed, stranded)
+		}
+	}
+}
+
+// TestEndSessionOfflineReschedules pins the endSession offline path at
+// the unit level: a node whose online flag dropped mid-chain (without a
+// crash) still owns its remaining sessionsLeft, so endSession must
+// schedule the off-time wake-up instead of returning early and
+// stranding the node forever.
+func TestEndSessionOfflineReschedules(t *testing.T) {
+	tr := expTrace(t)
+	cfg := quickConfig()
+	cfg.Sessions = 2
+	cfg.VideosPerSession = 2
+	p := &joinCounter{Protocol: socialTube(t, tr), joins: make([]int, len(tr.Users))}
+	r, err := newRunner(cfg, tr, p, simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const node = 0
+	r.sessionsLeft[node] = cfg.Sessions
+	// The node is offline and not crashed — the state watch() sees when
+	// it ends a chain whose online flag was dropped out from under it.
+	r.engine.At(0, func(time.Duration) { r.endSession(node, time.Minute) })
+	if err := r.engine.RunCtx(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.sessionsLeft[node] != 0 {
+		t.Fatalf("node stranded: %d sessions left after engine drained", r.sessionsLeft[node])
+	}
+	if p.joins[node] != cfg.Sessions {
+		t.Fatalf("node ran %d sessions, want %d", p.joins[node], cfg.Sessions)
+	}
+	// A crashed node's restart belongs to its rejoin event: endSession
+	// must NOT double-book a wake-up for it.
+	r2, err := newRunner(cfg, tr, socialTube(t, tr), simnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.sessionsLeft[node] = cfg.Sessions
+	r2.crashed[node] = true
+	r2.engine.At(0, func(time.Duration) { r2.endSession(node, time.Minute) })
+	if err := r2.engine.RunCtx(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r2.sessionsLeft[node] != cfg.Sessions {
+		t.Fatalf("crashed node consumed %d sessions via endSession; rejoin owns the restart",
+			cfg.Sessions-r2.sessionsLeft[node])
+	}
+}

@@ -37,6 +37,11 @@ type Scale struct {
 	// MeanOffTime overrides the between-session off period (0 keeps the
 	// Table I default of 500 s).
 	MeanOffTime time.Duration
+	// ProbeInterval overrides the maintenance probe period (0 keeps the
+	// Table I default of 10 min). Compressed-time workloads need a
+	// proportionally compressed period or sessions end before the first
+	// probe round ever fires.
+	ProbeInterval time.Duration
 	// VideoCountMultiplier scales the catalog toward the paper's 101k
 	// videos (see trace.Config.VideoCountMultiplier).
 	VideoCountMultiplier float64
@@ -121,6 +126,9 @@ func (s Scale) expConfig() exp.Config {
 	}
 	if s.MeanOffTime > 0 {
 		cfg.MeanOffTime = s.MeanOffTime
+	}
+	if s.ProbeInterval > 0 {
+		cfg.ProbeInterval = s.ProbeInterval
 	}
 	return cfg
 }
@@ -292,31 +300,45 @@ func (s Scale) pavodConfig() baseline.PAVoDConfig {
 	return cfg
 }
 
+// Protocol builds one comparison system by name ("SocialTube", "NetTube"
+// or "PA-VoD") over a trace at this scale, tracer attached. The scale
+// sweep builds protocols one at a time through this so each run's node
+// state can be released before the next protocol's is allocated.
+func (s Scale) Protocol(name string, tr *trace.Trace) (vod.Protocol, error) {
+	var (
+		p   vod.Protocol
+		err error
+	)
+	switch name {
+	case "SocialTube":
+		cfg := core.DefaultConfig()
+		cfg.Seed = s.Seed
+		p, err = core.New(cfg, tr)
+	case "NetTube":
+		cfg := baseline.DefaultNetTubeConfig()
+		cfg.Seed = s.Seed
+		p, err = baseline.NewNetTube(cfg, tr)
+	case "PA-VoD":
+		p, err = baseline.NewPAVoD(s.pavodConfig(), tr)
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.attach(p)
+	return p, nil
+}
+
 // Protocols builds the three comparison systems over a trace at this scale.
 func (s Scale) Protocols(tr *trace.Trace) (map[string]vod.Protocol, error) {
-	stCfg := core.DefaultConfig()
-	stCfg.Seed = s.Seed
-	st, err := core.New(stCfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	ntCfg := baseline.DefaultNetTubeConfig()
-	ntCfg.Seed = s.Seed
-	nt, err := baseline.NewNetTube(ntCfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	pv, err := baseline.NewPAVoD(s.pavodConfig(), tr)
-	if err != nil {
-		return nil, err
-	}
-	protos := map[string]vod.Protocol{
-		"SocialTube": st,
-		"NetTube":    nt,
-		"PA-VoD":     pv,
-	}
-	for _, p := range protos {
-		s.attach(p)
+	protos := make(map[string]vod.Protocol, len(protoOrder))
+	for _, name := range protoOrder {
+		p, err := s.Protocol(name, tr)
+		if err != nil {
+			return nil, err
+		}
+		protos[name] = p
 	}
 	return protos, nil
 }

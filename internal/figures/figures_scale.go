@@ -1,0 +1,341 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/simnet"
+)
+
+// ScaleSweep configures the scalability sweep: the §IV-C / Fig. 15
+// "constant-vs-linear maintenance" claim measured end to end rather than
+// modelled. The user population grows across Sizes while the catalog
+// (channels, videos) stays fixed, so a growing audience shares a fixed
+// content base. Under that regime NetTube's per-video overlays densify
+// with N — every extra concurrent watcher is another neighbour candidate,
+// so per-node links and probe traffic grow — while SocialTube's per-node
+// link budget (N_l inner + N_h inter) is a protocol constant, so its
+// per-node maintenance must stay flat.
+type ScaleSweep struct {
+	// Sizes are the user populations, one shard per entry.
+	Sizes []int
+	// Channels / Categories / VideoCountMultiplier fix the catalog
+	// shared by every shard.
+	Channels             int
+	Categories           int
+	VideoCountMultiplier float64
+	// Sessions / VideosPerSession / WatchScale size the per-point
+	// workload. The sweep default is deliberately small per user — the
+	// total is Sizes summed, times three protocols.
+	Sessions         int
+	VideosPerSession int
+	WatchScale       float64
+	// ProbeInterval is the maintenance period, compressed to match
+	// WatchScale so every session sees several probe rounds.
+	ProbeInterval time.Duration
+	// Seed drives every shard (trace and workload).
+	Seed int64
+	// Progress, when non-nil, receives one line per trace build and per
+	// completed point; paper-size sweeps run for minutes.
+	Progress func(msg string)
+}
+
+// DefaultScaleSweep is the paper-scale sweep: 10k to 1M users over the
+// Table I catalog (545 channels, ~100k videos).
+func DefaultScaleSweep() ScaleSweep {
+	return ScaleSweep{
+		Sizes:                []int{10_000, 50_000, 100_000, 500_000, 1_000_000},
+		Channels:             545,
+		Categories:           18,
+		VideoCountMultiplier: 4.4,
+		Sessions:             1,
+		VideosPerSession:     3,
+		WatchScale:           0.05,
+		ProbeInterval:        time.Minute,
+		Seed:                 1,
+	}
+}
+
+// SmokeScaleSweep is the seconds-long variant for unit tests, CI and
+// bench-short: same shape, toy populations.
+func SmokeScaleSweep() ScaleSweep {
+	return ScaleSweep{
+		Sizes:            []int{200, 400, 800},
+		Channels:         60,
+		Categories:       8,
+		Sessions:         1,
+		VideosPerSession: 3,
+		WatchScale:       0.05,
+		ProbeInterval:    time.Minute,
+		Seed:             1,
+	}
+}
+
+// scaleFor assembles the per-shard Scale: the sweep's fixed catalog with
+// one entry of Sizes as the population.
+func (sw ScaleSweep) scaleFor(users int) Scale {
+	return Scale{
+		TraceChannels:        sw.Channels,
+		TraceUsers:           users,
+		Categories:           sw.Categories,
+		Sessions:             sw.Sessions,
+		VideosPerSession:     sw.VideosPerSession,
+		WatchScale:           sw.WatchScale,
+		VideoCountMultiplier: sw.VideoCountMultiplier,
+		ProbeInterval:        sw.ProbeInterval,
+		Seed:                 sw.Seed,
+	}
+}
+
+func (sw ScaleSweep) progress(msg string) {
+	if sw.Progress != nil {
+		sw.Progress(msg)
+	}
+}
+
+// ScaleEnv carries a point's environmental measurements — real heap and
+// wall clock. They are recorded in BENCH_scale.json next to the
+// deterministic fields but never enter the figure tables, so same-seed
+// sweeps render identical tables.
+type ScaleEnv struct {
+	HeapHighWaterBytes uint64  `json:"heapHighWaterBytes"`
+	WallMs             float64 `json:"wallMs"`
+}
+
+// ScalePoint is one (population, protocol) cell of the sweep. Every field
+// except Env is deterministic under a fixed seed.
+type ScalePoint struct {
+	Users    int    `json:"users"`
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	Requests int64  `json:"requests"`
+	// Hit rates by source, as fractions of all requests.
+	CacheHitRate  float64 `json:"cacheHitRate"`
+	PeerHitRate   float64 `json:"peerHitRate"`
+	ServerHitRate float64 `json:"serverHitRate"`
+	// Per-node overhead: query messages, maintenance probe messages
+	// (run total and per probe round — the round rate is the Fig. 15
+	// y-axis, independent of how long the run happened to last), and the
+	// mean link count right after a session's last video.
+	MessagesPerNode    float64 `json:"messagesPerNode"`
+	ProbesPerNode      float64 `json:"probesPerNode"`
+	ProbesPerNodeRound float64 `json:"probesPerNodeRound"`
+	MeanLinks          float64 `json:"meanLinks"`
+	// Memory accounting from the dense trace layout.
+	TraceBytes   uint64  `json:"traceBytes"`
+	BytesPerUser float64 `json:"bytesPerUser"`
+
+	Env ScaleEnv `json:"env"`
+}
+
+// Canonical returns the point with its environmental block zeroed — the
+// form determinism comparisons use.
+func (p ScalePoint) Canonical() ScalePoint {
+	p.Env = ScaleEnv{}
+	return p
+}
+
+// sweepPoint reduces one run result to its sweep cell. probeInterval is
+// the run's maintenance period, used to convert the probe total into a
+// per-node per-round rate.
+func sweepPoint(users int, protocol string, seed int64, probeInterval time.Duration, res *exp.Result, wall time.Duration) ScalePoint {
+	p := ScalePoint{
+		Users:        users,
+		Protocol:     protocol,
+		Seed:         seed,
+		Requests:     res.Requests,
+		TraceBytes:   res.Mem.TraceBytes,
+		BytesPerUser: res.Mem.BytesPerUser,
+		Env: ScaleEnv{
+			HeapHighWaterBytes: res.Mem.HeapHighWater,
+			WallMs:             float64(wall.Nanoseconds()) / 1e6,
+		},
+	}
+	if res.Requests > 0 {
+		p.CacheHitRate = float64(res.CacheHits.Value()) / float64(res.Requests)
+		p.PeerHitRate = float64(res.PeerHits.Value()) / float64(res.Requests)
+		p.ServerHitRate = float64(res.ServerHits.Value()) / float64(res.Requests)
+	}
+	if users > 0 {
+		p.MessagesPerNode = float64(res.Messages.Value()) / float64(users)
+		p.ProbesPerNode = float64(res.ProbeMessages.Value()) / float64(users)
+		if rounds := float64(res.SimulatedTime) / float64(probeInterval); rounds > 0 {
+			p.ProbesPerNodeRound = p.ProbesPerNode / rounds
+		}
+	}
+	if k := len(res.LinksByVideoIndex); k > 0 {
+		p.MeanLinks = res.LinksByVideoIndex[k-1].Mean()
+	}
+	return p
+}
+
+// FigScale bundles the sweep's output: the overhead-vs-N and
+// hit-rate-vs-N curves, the memory curve, and the raw per-cell points
+// (environmental block included) for BENCH_scale.json.
+type FigScale struct {
+	Overhead *metrics.Table
+	HitRates *metrics.Table
+	Memory   *metrics.Table
+	Points   []ScalePoint
+}
+
+// String renders the three curve tables.
+func (f *FigScale) String() string {
+	return f.Overhead.String() + "\n" + f.HitRates.String() + "\n" + f.Memory.String()
+}
+
+// RunScaleSweep executes the sweep. Shards run strictly one population at
+// a time — the sweep's live heap is bounded by its largest shard, not the
+// sum — while the protocols inside a shard share one read-only trace and
+// go through the GOMAXPROCS-bounded worker pool. Each cell is an
+// independent single-threaded deterministic simulation, so the tables and
+// the points' deterministic fields are bit-identical run over run.
+func RunScaleSweep(sw ScaleSweep) (*FigScale, error) {
+	if len(sw.Sizes) == 0 {
+		return nil, fmt.Errorf("scale sweep: no sizes")
+	}
+	points := make([]ScalePoint, 0, len(sw.Sizes)*len(protoOrder))
+	for _, n := range sw.Sizes {
+		shard, err := sw.runShard(n)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, shard...)
+	}
+	return &FigScale{
+		Overhead: scaleOverheadTable(points),
+		HitRates: scaleHitRateTable(points),
+		Memory:   scaleMemoryTable(points),
+		Points:   points,
+	}, nil
+}
+
+// runShard builds one shard's trace and runs every protocol over it,
+// returning the cells in protoOrder. Protocols are built inside their
+// worker so each one's node state is released as soon as its run ends.
+func (sw ScaleSweep) runShard(users int) ([]ScalePoint, error) {
+	s := sw.scaleFor(users)
+	begin := time.Now()
+	tr, err := s.BuildTrace()
+	if err != nil {
+		return nil, fmt.Errorf("scale %d: trace: %w", users, err)
+	}
+	tb := tr.Bytes()
+	sw.progress(fmt.Sprintf("N=%d: trace %d channels / %d videos, %d bytes (%.1f/user), built in %v",
+		users, len(tr.Channels), len(tr.Videos), tb, float64(tb)/float64(users),
+		time.Since(begin).Round(time.Millisecond)))
+
+	// The server's capacity keeps Table I's per-capita ratio (50 Mbps
+	// per 10k users) as the population grows. With a fixed uplink the
+	// queue at the server stretches the virtual timeline linearly in N,
+	// and every per-run total inflates with it — the sweep would measure
+	// server meltdown, not overlay scale. Server offload at fixed N is
+	// Fig. 16's experiment, not this one's.
+	netCfg := simnet.DefaultConfig()
+	if users > 10_000 {
+		netCfg.ServerUplinkBps = netCfg.ServerUplinkBps * int64(users) / 10_000
+	}
+	expCfg := s.expConfig()
+	pts := make([]ScalePoint, len(protoOrder))
+	err = runConcurrently(len(protoOrder), func(i int) error {
+		name := protoOrder[i]
+		proto, err := s.Protocol(name, tr)
+		if err != nil {
+			return fmt.Errorf("scale %d: build %s: %w", users, name, err)
+		}
+		start := time.Now()
+		res, err := exp.Run(expCfg, tr, proto, netCfg)
+		if err != nil {
+			return fmt.Errorf("scale %d: run %s: %w", users, name, err)
+		}
+		pts[i] = sweepPoint(users, name, sw.Seed, expCfg.ProbeInterval, res, time.Since(start))
+		sw.progress(fmt.Sprintf("N=%d %s: %d requests, peer %.3f, probes/node %.2f, heap %.1f MB, %v",
+			users, name, pts[i].Requests, pts[i].PeerHitRate, pts[i].ProbesPerNode,
+			float64(pts[i].Env.HeapHighWaterBytes)/1e6, time.Since(start).Round(time.Millisecond)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// cell returns the sweep point for (users, protocol); the runner emits
+// every cell, so a miss is a bug.
+func cell(points []ScalePoint, users int, protocol string) ScalePoint {
+	for _, p := range points {
+		if p.Users == users && p.Protocol == protocol {
+			return p
+		}
+	}
+	return ScalePoint{Users: users, Protocol: protocol}
+}
+
+// sizesOf lists the distinct populations in first-seen (ascending) order.
+func sizesOf(points []ScalePoint) []int {
+	var sizes []int
+	for _, p := range points {
+		if len(sizes) == 0 || sizes[len(sizes)-1] != p.Users {
+			sizes = append(sizes, p.Users)
+		}
+	}
+	return sizes
+}
+
+func scaleOverheadTable(points []ScalePoint) *metrics.Table {
+	t := metrics.NewTable(
+		"Scale sweep — per-node maintenance vs N (probe msgs/node/round; links after last video)",
+		"users", "st.probes", "nt.probes", "st.links", "nt.links", "st.msgs", "nt.msgs")
+	for _, n := range sizesOf(points) {
+		st := cell(points, n, "SocialTube")
+		nt := cell(points, n, "NetTube")
+		t.AddRow(n, st.ProbesPerNodeRound, nt.ProbesPerNodeRound, st.MeanLinks, nt.MeanLinks,
+			st.MessagesPerNode, nt.MessagesPerNode)
+	}
+	return t
+}
+
+func scaleHitRateTable(points []ScalePoint) *metrics.Table {
+	t := metrics.NewTable("Scale sweep — hit rates vs N",
+		"users", "st.peer", "nt.peer", "pv.peer", "st.server", "nt.server", "pv.server")
+	for _, n := range sizesOf(points) {
+		st := cell(points, n, "SocialTube")
+		nt := cell(points, n, "NetTube")
+		pv := cell(points, n, "PA-VoD")
+		t.AddRow(n, st.PeerHitRate, nt.PeerHitRate, pv.PeerHitRate,
+			st.ServerHitRate, nt.ServerHitRate, pv.ServerHitRate)
+	}
+	return t
+}
+
+func scaleMemoryTable(points []ScalePoint) *metrics.Table {
+	t := metrics.NewTable("Scale sweep — dense trace memory vs N",
+		"users", "traceBytes", "bytesPerUser")
+	for _, n := range sizesOf(points) {
+		p := cell(points, n, "SocialTube")
+		t.AddRow(n, p.TraceBytes, p.BytesPerUser)
+	}
+	return t
+}
+
+// AppendScalePoints appends one JSON line per point to path — the
+// BENCH_scale.json convention: a grow-only JSONL log of sweep cells,
+// environmental fields included, one run appended after another.
+func AppendScalePoints(path string, points []ScalePoint) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,146 @@
+package figures
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/socialtube/socialtube/internal/core"
+)
+
+// testSweep trims the smoke sweep to two shards so the determinism test's
+// two full executions stay inside the unit-test budget.
+func testSweep() ScaleSweep {
+	sw := SmokeScaleSweep()
+	sw.Sizes = []int{150, 450}
+	return sw
+}
+
+// TestScaleSweepDeterministic pins the acceptance criterion: at a fixed
+// seed the sweep's tables and every deterministic point field are
+// bit-identical run over run (only the Env block — wall clock, heap — may
+// differ).
+func TestScaleSweepDeterministic(t *testing.T) {
+	a, err := RunScaleSweep(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaleSweep(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same-seed sweeps rendered different tables:\n%s\nvs\n%s", a, b)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		ja, _ := json.Marshal(a.Points[i].Canonical())
+		jb, _ := json.Marshal(b.Points[i].Canonical())
+		if string(ja) != string(jb) {
+			t.Fatalf("point %d differs across same-seed sweeps:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+}
+
+// TestScaleSweepShape pins the sweep's structural invariants: every
+// (population, protocol) cell present in order, full workloads completing,
+// memory accounting consistent, and the protocols' maintenance fingerprints
+// (SocialTube's link budget bounded by N_l+N_h, PA-VoD with no overlay at
+// all, NetTube's links growing with the audience on a fixed catalog).
+func TestScaleSweepShape(t *testing.T) {
+	sw := testSweep()
+	f, err := RunScaleSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sw.Sizes) * len(protoOrder); len(f.Points) != want {
+		t.Fatalf("%d points, want %d", len(f.Points), want)
+	}
+	budget := float64(core.DefaultConfig().InnerLinks + core.DefaultConfig().InterLinks)
+	for i, p := range f.Points {
+		wantUsers := sw.Sizes[i/len(protoOrder)]
+		wantProto := protoOrder[i%len(protoOrder)]
+		if p.Users != wantUsers || p.Protocol != wantProto {
+			t.Fatalf("point %d is (%d, %s), want (%d, %s)", i, p.Users, p.Protocol, wantUsers, wantProto)
+		}
+		if want := int64(p.Users * sw.Sessions * sw.VideosPerSession); p.Requests != want {
+			t.Errorf("(%d, %s): %d requests, want %d", p.Users, p.Protocol, p.Requests, want)
+		}
+		if p.TraceBytes == 0 || p.BytesPerUser != float64(p.TraceBytes)/float64(p.Users) {
+			t.Errorf("(%d, %s): inconsistent memory accounting: %d bytes, %f/user",
+				p.Users, p.Protocol, p.TraceBytes, p.BytesPerUser)
+		}
+		if sum := p.CacheHitRate + p.PeerHitRate + p.ServerHitRate; sum < 0.999 || sum > 1.001 {
+			t.Errorf("(%d, %s): hit rates sum to %f", p.Users, p.Protocol, sum)
+		}
+		switch p.Protocol {
+		case "SocialTube":
+			if p.MeanLinks > budget {
+				t.Errorf("N=%d: SocialTube mean links %f exceed the N_l+N_h budget %f",
+					p.Users, p.MeanLinks, budget)
+			}
+			if p.ProbesPerNode == 0 {
+				t.Errorf("N=%d: SocialTube ran no maintenance probes", p.Users)
+			}
+			if p.ProbesPerNodeRound == 0 {
+				t.Errorf("N=%d: SocialTube per-round probe rate not normalized", p.Users)
+			}
+		case "PA-VoD":
+			if p.ProbesPerNode != 0 || p.MeanLinks != 0 {
+				t.Errorf("N=%d: PA-VoD has overlay maintenance (probes %f, links %f)",
+					p.Users, p.ProbesPerNode, p.MeanLinks)
+			}
+		}
+	}
+	// The sweep's reason to exist: on a fixed catalog, NetTube's per-node
+	// links grow with the audience.
+	small := cell(f.Points, sw.Sizes[0], "NetTube")
+	large := cell(f.Points, sw.Sizes[len(sw.Sizes)-1], "NetTube")
+	if large.MeanLinks <= small.MeanLinks {
+		t.Errorf("NetTube links did not grow with N: %f at N=%d, %f at N=%d",
+			small.MeanLinks, small.Users, large.MeanLinks, large.Users)
+	}
+}
+
+// TestAppendScalePoints pins the BENCH_scale.json convention: one JSON
+// line per point, appended across runs, decodable back into points.
+func TestAppendScalePoints(t *testing.T) {
+	pts := []ScalePoint{
+		{Users: 100, Protocol: "SocialTube", Seed: 1, Requests: 300},
+		{Users: 100, Protocol: "NetTube", Seed: 1, Requests: 300},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := AppendScalePoints(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendScalePoints(path, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	var got []ScalePoint
+	sc := bufio.NewScanner(file)
+	for sc.Scan() {
+		var p ScalePoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d: %v", len(got), err)
+		}
+		got = append(got, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d lines after two appends, want 3", len(got))
+	}
+	if got[2].Protocol != "SocialTube" || got[1].Protocol != "NetTube" {
+		t.Fatalf("append order lost: %+v", got)
+	}
+}

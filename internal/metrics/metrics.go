@@ -15,14 +15,19 @@ import (
 // Sample accumulates float64 observations and answers percentile queries.
 // The zero value is ready to use.
 type Sample struct {
+	// values stays in insertion order for the Sample's whole life:
+	// Values() must not depend on whether a percentile was queried
+	// first.
 	values []float64
-	sorted bool
+	// sorted is an ascending copy of values, built lazily on the first
+	// percentile query and invalidated by Add.
+	sorted []float64
 }
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // AddDuration records a duration observation in milliseconds.
@@ -50,25 +55,25 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return math.NaN()
 	}
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+	if len(s.sorted) != len(s.values) {
+		s.sorted = append(s.sorted[:0], s.values...)
+		sort.Float64s(s.sorted)
 	}
 	q := p / 100
 	if q <= 0 {
-		return s.values[0]
+		return s.sorted[0]
 	}
 	if q >= 1 {
-		return s.values[len(s.values)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	pos := q * float64(len(s.values)-1)
+	pos := q * float64(len(s.sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s.values[lo]
+		return s.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // Min returns the smallest observation, or NaN when empty.

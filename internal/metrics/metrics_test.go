@@ -62,6 +62,39 @@ func TestSampleAddAfterPercentile(t *testing.T) {
 	}
 }
 
+// TestSampleValuesStableAcrossPercentile pins the call-order
+// independence of Values(): Percentile used to sort the observations in
+// place, so Values() silently switched from insertion order to sorted
+// order after the first percentile query.
+func TestSampleValuesStableAcrossPercentile(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	before := s.Values()
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("Percentile(50) = %v, want 2", got)
+	}
+	after := s.Values()
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if before[i] != want[i] {
+			t.Fatalf("Values() before percentile = %v, want %v", before, want)
+		}
+		if after[i] != want[i] {
+			t.Fatalf("Values() after percentile = %v, want %v (insertion order lost)", after, want)
+		}
+	}
+	// Percentiles stay correct when observations arrive after a query.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("Min after re-add = %v, want 0", got)
+	}
+	if got := s.Values()[3]; got != 0 {
+		t.Fatalf("Values()[3] = %v, want the appended 0 last", got)
+	}
+}
+
 func TestSampleAddDuration(t *testing.T) {
 	var s Sample
 	s.AddDuration(1500 * time.Millisecond)

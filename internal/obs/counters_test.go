@@ -23,21 +23,21 @@ import (
 // tinyTrace is one category, one channel with two videos (ids 0 and 1, most
 // popular first), and two users A=0 and B=1, both subscribed to the channel.
 func tinyTrace() *trace.Trace {
-	mkVideo := func(id trace.VideoID, rank int) *trace.Video {
-		return &trace.Video{
+	mkVideo := func(id trace.VideoID, rank int) trace.Video {
+		return trace.Video{
 			ID: id, Channel: 0, Category: 0,
 			Views: int64(100 / rank), Length: 4 * time.Minute, Rank: rank,
 		}
 	}
 	return &trace.Trace{
 		Categories: 1,
-		Channels: []*trace.Channel{{
+		Channels: []trace.Channel{{
 			ID: 0, Primary: 0, Categories: []trace.CategoryID{0},
 			Videos:      []trace.VideoID{0, 1},
 			Subscribers: []trace.UserID{0, 1},
 		}},
-		Videos: []*trace.Video{mkVideo(0, 1), mkVideo(1, 2)},
-		Users: []*trace.User{
+		Videos: []trace.Video{mkVideo(0, 1), mkVideo(1, 2)},
+		Users: []trace.User{
 			{ID: 0, Interests: []trace.CategoryID{0}, Subscriptions: []trace.ChannelID{0}},
 			{ID: 1, Interests: []trace.CategoryID{0}, Subscriptions: []trace.ChannelID{0}},
 		},

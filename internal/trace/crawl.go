@@ -67,27 +67,30 @@ func subTrace(tr *Trace, users []UserID, chans map[ChannelID]bool) (*Trace, erro
 		End:        tr.End,
 	}
 	// Channels in ascending old-id order for determinism.
-	for _, ch := range tr.Channels {
+	for i := range tr.Channels {
+		ch := &tr.Channels[i]
 		if !chans[ch.ID] {
 			continue
 		}
 		chanIdx[ch.ID] = ChannelID(len(out.Channels))
-		out.Channels = append(out.Channels, &Channel{
+		out.Channels = append(out.Channels, Channel{
 			ID:         chanIdx[ch.ID],
 			Primary:    ch.Primary,
 			Categories: append([]CategoryID(nil), ch.Categories...),
 		})
 	}
 	videoIdx := make(map[VideoID]VideoID)
-	for _, ch := range tr.Channels {
+	for i := range tr.Channels {
+		ch := &tr.Channels[i]
 		if !chans[ch.ID] {
 			continue
 		}
-		newCh := out.Channels[chanIdx[ch.ID]]
+		newCh := &out.Channels[chanIdx[ch.ID]]
 		for _, vid := range ch.Videos {
 			v := tr.Video(vid)
-			nv := &Video{
-				ID:        VideoID(len(out.Videos)),
+			id := VideoID(len(out.Videos))
+			out.Videos = append(out.Videos, Video{
+				ID:        id,
 				Channel:   newCh.ID,
 				Category:  v.Category,
 				Views:     v.Views,
@@ -95,15 +98,14 @@ func subTrace(tr *Trace, users []UserID, chans map[ChannelID]bool) (*Trace, erro
 				Uploaded:  v.Uploaded,
 				Length:    v.Length,
 				Rank:      v.Rank,
-			}
-			videoIdx[vid] = nv.ID
-			out.Videos = append(out.Videos, nv)
-			newCh.Videos = append(newCh.Videos, nv.ID)
+			})
+			videoIdx[vid] = id
+			newCh.Videos = append(newCh.Videos, id)
 		}
 	}
 	for _, uid := range users {
 		u := tr.User(uid)
-		nu := &User{
+		nu := User{
 			ID:        userIdx[uid],
 			Interests: append([]CategoryID(nil), u.Interests...),
 		}
@@ -122,6 +124,7 @@ func subTrace(tr *Trace, users []UserID, chans map[ChannelID]bool) (*Trace, erro
 		}
 		out.Users = append(out.Users, nu)
 	}
+	out.Compact()
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("crawl produced inconsistent trace: %w", err)
 	}

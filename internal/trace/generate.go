@@ -107,6 +107,33 @@ type generator struct {
 	catWeights []float64
 	chanPop    []float64     // per-channel popularity weight
 	byCat      [][]ChannelID // channels indexed by primary category
+	zipfCache  map[zipfKey]*dist.Zipf
+}
+
+type zipfKey struct {
+	n int
+	s float64
+}
+
+// zipfFor returns a cached Zipf sampler for (n, s). Constructing a
+// sampler is O(n) and draws nothing from the RNG, so caching keeps the
+// generation stream bit-identical while turning the per-favourite
+// construction from quadratic to linear at paper scale (1M users drawing
+// from channels holding hundreds of videos each).
+func (gen *generator) zipfFor(n int, s float64) (*dist.Zipf, error) {
+	k := zipfKey{n, s}
+	if z, ok := gen.zipfCache[k]; ok {
+		return z, nil
+	}
+	z, err := dist.NewZipf(n, s)
+	if err != nil {
+		return nil, err
+	}
+	if gen.zipfCache == nil {
+		gen.zipfCache = make(map[zipfKey]*dist.Zipf)
+	}
+	gen.zipfCache[k] = z
+	return z, nil
 }
 
 // Generate builds a synthetic trace from the configuration. The same
@@ -132,14 +159,22 @@ func Generate(cfg Config) (*Trace, error) {
 	// Users (and their subscriptions) come before videos so channel view
 	// counts can scale with real subscriber counts — the strong positive
 	// correlation of Fig. 5.
-	gen.users()
+	if err := gen.users(); err != nil {
+		return nil, err
+	}
 	if err := gen.videos(); err != nil {
 		return nil, err
 	}
-	for _, u := range gen.tr.Users {
-		gen.favorites(u)
+	for i := range gen.tr.Users {
+		u := &gen.tr.Users[i]
+		if err := gen.favorites(u); err != nil {
+			return nil, err
+		}
 		gen.deriveInterests(u)
 	}
+	// Pack the per-object lists into shared arenas: from here on the
+	// trace is read-only for every consumer.
+	gen.tr.Compact()
 	return gen.tr, nil
 }
 
@@ -192,7 +227,7 @@ func (gen *generator) channels() error {
 		return err
 	}
 	cfg, g, tr := gen.cfg, gen.g, gen.tr
-	tr.Channels = make([]*Channel, 0, cfg.Channels)
+	tr.Channels = make([]Channel, 0, cfg.Channels)
 	gen.chanPop = make([]float64, 0, cfg.Channels)
 	gen.byCat = make([][]ChannelID, cfg.Categories)
 	for i := 0; i < cfg.Channels; i++ {
@@ -206,14 +241,13 @@ func (gen *generator) channels() error {
 		if nCats > cfg.Categories {
 			nCats = cfg.Categories
 		}
-		ch := &Channel{
+		tr.Channels = append(tr.Channels, Channel{
 			ID:         ChannelID(i),
 			Primary:    primary,
 			Categories: pickCategories(g, cfg.Categories, int(primary), nCats),
-		}
-		tr.Channels = append(tr.Channels, ch)
+		})
 		gen.chanPop = append(gen.chanPop, popDist.Sample(g))
-		gen.byCat[primary] = append(gen.byCat[primary], ch.ID)
+		gen.byCat[primary] = append(gen.byCat[primary], ChannelID(i))
 	}
 	return nil
 }
@@ -248,7 +282,8 @@ func (gen *generator) videos() error {
 		return err
 	}
 	spanSec := cfg.Span.Seconds()
-	for ci, ch := range tr.Channels {
+	for ci := range tr.Channels {
+		ch := &tr.Channels[ci]
 		mult := cfg.VideoCountMultiplier
 		if mult <= 0 {
 			mult = 1
@@ -257,7 +292,7 @@ func (gen *generator) videos() error {
 		if nVideos < 1 {
 			nVideos = 1
 		}
-		zipf, err := dist.NewZipf(nVideos, cfg.ZipfExponent)
+		zipf, err := gen.zipfFor(nVideos, cfg.ZipfExponent)
 		if err != nil {
 			return err
 		}
@@ -292,8 +327,9 @@ func (gen *generator) videos() error {
 			if length > 30*time.Minute {
 				length = 30 * time.Minute
 			}
-			v := &Video{
-				ID:        VideoID(len(tr.Videos)),
+			id := VideoID(len(tr.Videos))
+			tr.Videos = append(tr.Videos, Video{
+				ID:        id,
 				Channel:   ch.ID,
 				Category:  videoCategory(g, ch),
 				Views:     views,
@@ -301,9 +337,8 @@ func (gen *generator) videos() error {
 				Uploaded:  at,
 				Length:    length,
 				Rank:      r,
-			}
-			tr.Videos = append(tr.Videos, v)
-			ch.Videos = append(ch.Videos, v.ID)
+			})
+			ch.Videos = append(ch.Videos, id)
 		}
 	}
 	return nil
@@ -318,11 +353,11 @@ func videoCategory(g *dist.RNG, ch *Channel) CategoryID {
 	return ch.Categories[g.Intn(len(ch.Categories))]
 }
 
-func (gen *generator) users() {
+func (gen *generator) users() error {
 	cfg, g, tr := gen.cfg, gen.g, gen.tr
-	tr.Users = make([]*User, 0, cfg.Users)
+	tr.Users = make([]User, 0, cfg.Users)
 	for i := 0; i < cfg.Users; i++ {
-		u := &User{ID: UserID(i)}
+		u := User{ID: UserID(i)}
 		// Interests per user (Fig. 13): ~60% below 10, max ≈18.
 		nInterests := 1 + dist.Poisson(g, 6.5)
 		if nInterests > cfg.MaxInterestsPerUser {
@@ -333,7 +368,10 @@ func (gen *generator) users() {
 		nSubs := 1 + dist.Poisson(g, cfg.MeanSubscriptionsPerUser-1)
 		subscribed := make(map[ChannelID]bool, nSubs)
 		for s := 0; s < nSubs; s++ {
-			ch := gen.pickSubscription(u)
+			ch, err := gen.pickSubscription(&u)
+			if err != nil {
+				return err
+			}
 			if ch < 0 || subscribed[ch] {
 				continue
 			}
@@ -343,6 +381,7 @@ func (gen *generator) users() {
 		}
 		tr.Users = append(tr.Users, u)
 	}
+	return nil
 }
 
 // sampleInterests draws n distinct categories in preference order: the first
@@ -362,31 +401,44 @@ func sampleInterests(g *dist.RNG, catWeights []float64, n int) []CategoryID {
 	return out
 }
 
-func (gen *generator) pickSubscription(u *User) ChannelID {
+// interestZipfS is the Zipf exponent concentrating subscriptions on the
+// user's dominant interests (calibrated to Fig. 12's similarity median).
+const interestZipfS = 2.2
+
+func (gen *generator) pickSubscription(u *User) (ChannelID, error) {
 	g := gen.g
 	if len(u.Interests) > 0 && g.Bool(gen.cfg.InterestAlignedSubscriptionP) {
 		// Subscriptions concentrate on the user's dominant interests:
 		// a Zipf draw over the preference-ordered interest list. This
 		// concentration is what produces the per-category channel
-		// clusters of Fig. 10.
-		cat := u.Interests[0]
-		if z, err := dist.NewZipf(len(u.Interests), 2.2); err == nil {
-			cat = u.Interests[z.Sample(g)-1]
+		// clusters of Fig. 10. A single-interest user draws from a
+		// 1-element Zipf — always its one interest, but the draw is
+		// still consumed so the stream does not depend on list length.
+		z, err := gen.zipfFor(len(u.Interests), interestZipfS)
+		if err != nil {
+			// The interest list is non-empty and the exponent is a
+			// positive constant, so this is a programming error —
+			// surface it instead of silently mis-shaping Fig. 10.
+			return -1, fmt.Errorf("interest zipf (%d interests): %w", len(u.Interests), err)
 		}
+		cat := u.Interests[z.Sample(g)-1]
 		if chans := gen.byCat[cat]; len(chans) > 0 {
-			return gen.weightedChannel(chans)
+			return gen.weightedChannel(chans), nil
 		}
+		// Explicit fallback: no channel has this category as its
+		// primary, so the aligned draw cannot be honored — fall
+		// through to the global popularity-weighted draw.
 	}
 	if len(gen.tr.Channels) == 0 {
-		return -1
+		return -1, nil
 	}
-	// Fall back to a popularity-weighted global draw: users sometimes
-	// subscribe outside their interests.
+	// Popularity-weighted global draw: users sometimes subscribe
+	// outside their interests (1-InterestAlignedSubscriptionP of draws).
 	all := make([]ChannelID, len(gen.tr.Channels))
 	for i := range all {
 		all[i] = ChannelID(i)
 	}
-	return gen.weightedChannel(all)
+	return gen.weightedChannel(all), nil
 }
 
 func (gen *generator) weightedChannel(chans []ChannelID) ChannelID {
@@ -401,11 +453,11 @@ func (gen *generator) weightedChannel(chans []ChannelID) ChannelID {
 	return chans[idx]
 }
 
-func (gen *generator) favorites(u *User) {
+func (gen *generator) favorites(u *User) error {
 	cfg, g, tr := gen.cfg, gen.g, gen.tr
 	nFavs := dist.Poisson(g, cfg.MeanFavoritesPerUser)
 	if nFavs == 0 || len(tr.Videos) == 0 {
-		return
+		return nil
 	}
 	seen := make(map[VideoID]bool, nFavs)
 	for attempts := 0; len(u.Favorites) < nFavs && attempts < 20*nFavs; attempts++ {
@@ -419,9 +471,9 @@ func (gen *generator) favorites(u *User) {
 			if len(ch.Videos) == 0 {
 				continue
 			}
-			z, err := dist.NewZipf(len(ch.Videos), 1)
+			z, err := gen.zipfFor(len(ch.Videos), 1)
 			if err != nil {
-				continue
+				return fmt.Errorf("favourite zipf (%d videos): %w", len(ch.Videos), err)
 			}
 			vid = ch.Videos[z.Sample(g)-1]
 		} else {
@@ -433,4 +485,5 @@ func (gen *generator) favorites(u *User) {
 		seen[vid] = true
 		u.Favorites = append(u.Favorites, vid)
 	}
+	return nil
 }

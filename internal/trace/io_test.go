@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func ioTrace(t *testing.T) *Trace {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 17
+	cfg.Users = 300
+	cfg.Channels = 60
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// mustJSON canonicalizes a trace through the legacy document encoding:
+// two traces with identical exported content render identically.
+func mustJSON(t *testing.T, tr *Trace) string {
+	t.Helper()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestStreamRoundTrip pins the chunked codec against itself and the
+// legacy codec: the same seeded trace survives either encoding with
+// byte-identical JSON content and identical deterministic accounting.
+func TestStreamRoundTrip(t *testing.T) {
+	tr := ioTrace(t)
+	want := mustJSON(t, tr)
+
+	var legacy, stream bytes.Buffer
+	if err := tr.Save(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveStream(&stream); err != nil {
+		t.Fatal(err)
+	}
+	fromLegacy, err := Load(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStream, err := Load(&stream) // Load must sniff the stream header
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, fromLegacy); got != want {
+		t.Error("legacy round-trip changed the trace")
+	}
+	if got := mustJSON(t, fromStream); got != want {
+		t.Error("stream round-trip changed the trace")
+	}
+	if got, want := fromStream.Bytes(), fromLegacy.Bytes(); got != want {
+		t.Errorf("accounting differs across codecs: stream %d bytes, legacy %d", got, want)
+	}
+}
+
+// TestStreamDeterministic pins the encoding itself: one trace always
+// streams to the same bytes.
+func TestStreamDeterministic(t *testing.T) {
+	tr := ioTrace(t)
+	var a, b bytes.Buffer
+	if err := tr.SaveStream(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SaveStream(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two SaveStream runs of one trace differ")
+	}
+}
+
+// TestStreamTruncated covers the partial-file error paths: a missing
+// eof trailer and a cut mid-chunk must both fail loudly, never return a
+// silently smaller trace.
+func TestStreamTruncated(t *testing.T) {
+	tr := ioTrace(t)
+	var buf bytes.Buffer
+	if err := tr.SaveStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(full, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("stream has %d lines, want header+chunks+trailer", len(lines))
+	}
+
+	noTrailer := strings.Join(lines[:len(lines)-2], "")
+	if _, err := LoadStream(strings.NewReader(noTrailer)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("missing trailer: err = %v, want ErrTruncated", err)
+	}
+
+	midChunk := full[:len(full)/2]
+	if _, err := LoadStream(strings.NewReader(midChunk)); err == nil {
+		t.Error("cut mid-chunk loaded without error")
+	}
+
+	if _, err := LoadStream(strings.NewReader(lines[0])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("header only: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestStreamCorrupt covers malformed inputs: garbage chunk lines, a
+// wrong format tag, and header/stream count mismatches.
+func TestStreamCorrupt(t *testing.T) {
+	tr := ioTrace(t)
+	var buf bytes.Buffer
+	if err := tr.SaveStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+
+	corrupt := lines[0] + "{not json}\n"
+	if _, err := LoadStream(strings.NewReader(corrupt)); err == nil {
+		t.Error("garbage chunk line loaded without error")
+	}
+
+	badTag := strings.Replace(lines[0], StreamFormat, "socialtube-trace/v999", 1)
+	if _, err := LoadStream(strings.NewReader(badTag + strings.Join(lines[1:], ""))); err == nil {
+		t.Error("wrong format tag loaded without error")
+	}
+
+	// Understate the user count: the stream then carries more users
+	// than promised, which must be reported, not absorbed.
+	lied := strings.Replace(lines[0],
+		`"users":`+itoa(len(tr.Users)), `"users":`+itoa(len(tr.Users)-1), 1)
+	if lied == lines[0] {
+		t.Fatal("test bug: header rewrite did not change the user count")
+	}
+	if _, err := LoadStream(strings.NewReader(lied + strings.Join(lines[1:], ""))); !errors.Is(err, ErrTruncated) {
+		t.Errorf("count mismatch: err = %v, want ErrTruncated", err)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestLegacyLoadStillWorks pins the legacy path for documents that do
+// not start with the stream header.
+func TestLegacyLoadStillWorks(t *testing.T) {
+	tr := ioTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Users) != len(tr.Users) {
+		t.Fatalf("legacy load: %d users, want %d", len(loaded.Users), len(tr.Users))
+	}
+}

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"time"
+	"unsafe"
 )
 
 // CategoryID identifies an interest category (e.g. Gaming, Sports, Comedy).
@@ -75,23 +76,38 @@ type User struct {
 }
 
 // Trace is a complete synthetic crawl of the modelled social network.
+//
+// The layout is dense and index-addressed: objects live in value slices
+// (id == index, enforced by Validate), and after Compact() every
+// per-object variable-length list is a view into one of four shared
+// arenas. At paper scale (1M users) this removes millions of individual
+// allocations and pointer targets, cutting both the heap footprint and
+// GC scan time; the JSON encoding is unchanged.
 type Trace struct {
-	Seed       int64      `json:"seed"`
-	Categories int        `json:"categories"`
-	Channels   []*Channel `json:"channels"`
-	Videos     []*Video   `json:"videos"`
-	Users      []*User    `json:"users"`
+	Seed       int64     `json:"seed"`
+	Categories int       `json:"categories"`
+	Channels   []Channel `json:"channels"`
+	Videos     []Video   `json:"videos"`
+	Users      []User    `json:"users"`
 	// Start and End bound the upload dates in the trace.
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
+	// Arenas backing the per-object lists after Compact. Unexported:
+	// they are a storage detail, rebuilt on demand, never serialized.
+	catArena  []CategoryID
+	vidArena  []VideoID
+	userArena []UserID
+	chanArena []ChannelID
 }
 
 // Channel returns the channel with the given id, or nil when out of range.
+// The pointer aliases the trace's backing array: it stays valid as long
+// as the trace itself, with no per-call allocation.
 func (t *Trace) Channel(id ChannelID) *Channel {
 	if int(id) < 0 || int(id) >= len(t.Channels) {
 		return nil
 	}
-	return t.Channels[id]
+	return &t.Channels[id]
 }
 
 // Video returns the video with the given id, or nil when out of range.
@@ -99,7 +115,7 @@ func (t *Trace) Video(id VideoID) *Video {
 	if int(id) < 0 || int(id) >= len(t.Videos) {
 		return nil
 	}
-	return t.Videos[id]
+	return &t.Videos[id]
 }
 
 // User returns the user with the given id, or nil when out of range.
@@ -107,7 +123,7 @@ func (t *Trace) User(id UserID) *User {
 	if int(id) < 0 || int(id) >= len(t.Users) {
 		return nil
 	}
-	return t.Users[id]
+	return &t.Users[id]
 }
 
 // ChannelViews returns the total views across a channel's videos.
@@ -126,10 +142,105 @@ func (t *Trace) ChannelViews(id ChannelID) int64 {
 // ChannelsInCategory returns the ids of channels whose primary category is c.
 func (t *Trace) ChannelsInCategory(c CategoryID) []ChannelID {
 	var out []ChannelID
-	for _, ch := range t.Channels {
-		if ch.Primary == c {
-			out = append(out, ch.ID)
+	for i := range t.Channels {
+		if t.Channels[i].Primary == c {
+			out = append(out, t.Channels[i].ID)
 		}
 	}
 	return out
+}
+
+// Compact repacks every per-object variable-length list (a channel's
+// categories/videos/subscribers, a user's interests/subscriptions/
+// favourites) into four shared arenas, replacing millions of small
+// heap allocations with a handful of large ones. Each list becomes a
+// full-capacity three-index view arena[off:end:end], so a stray append
+// reallocates instead of bleeding into the next object's list. Safe to
+// call repeatedly; content is unchanged.
+func (t *Trace) Compact() {
+	var nCat, nVid, nUser, nChan int
+	for i := range t.Channels {
+		nCat += len(t.Channels[i].Categories)
+		nVid += len(t.Channels[i].Videos)
+		nUser += len(t.Channels[i].Subscribers)
+	}
+	for i := range t.Users {
+		nCat += len(t.Users[i].Interests)
+		nChan += len(t.Users[i].Subscriptions)
+		nVid += len(t.Users[i].Favorites)
+	}
+	t.catArena = make([]CategoryID, 0, nCat)
+	t.vidArena = make([]VideoID, 0, nVid)
+	t.userArena = make([]UserID, 0, nUser)
+	t.chanArena = make([]ChannelID, 0, nChan)
+	for i := range t.Channels {
+		ch := &t.Channels[i]
+		ch.Categories = packCat(&t.catArena, ch.Categories)
+		ch.Videos = packVid(&t.vidArena, ch.Videos)
+		ch.Subscribers = packUser(&t.userArena, ch.Subscribers)
+	}
+	for i := range t.Users {
+		u := &t.Users[i]
+		u.Interests = packCat(&t.catArena, u.Interests)
+		u.Subscriptions = packChan(&t.chanArena, u.Subscriptions)
+		u.Favorites = packVid(&t.vidArena, u.Favorites)
+	}
+}
+
+// The pack helpers append one list to its arena and return the
+// capacity-clamped view. (Go has no generics-free way to share one body
+// across element types without reflection; four tiny copies beat an
+// interface indirection on a million-element path.)
+
+func packCat(arena *[]CategoryID, list []CategoryID) []CategoryID {
+	off := len(*arena)
+	*arena = append(*arena, list...)
+	return (*arena)[off:len(*arena):len(*arena)]
+}
+
+func packVid(arena *[]VideoID, list []VideoID) []VideoID {
+	off := len(*arena)
+	*arena = append(*arena, list...)
+	return (*arena)[off:len(*arena):len(*arena)]
+}
+
+func packUser(arena *[]UserID, list []UserID) []UserID {
+	off := len(*arena)
+	*arena = append(*arena, list...)
+	return (*arena)[off:len(*arena):len(*arena)]
+}
+
+func packChan(arena *[]ChannelID, list []ChannelID) []ChannelID {
+	off := len(*arena)
+	*arena = append(*arena, list...)
+	return (*arena)[off:len(*arena):len(*arena)]
+}
+
+// Bytes returns the trace's in-memory footprint in bytes, computed from
+// the layout itself (struct sizes plus every list element) rather than
+// runtime heap sampling, so it is bit-identical across runs and
+// platforms with the same word size. It is the numerator of the
+// bytes-per-user figure the scale sweep reports.
+func (t *Trace) Bytes() uint64 {
+	const (
+		idSize   = uint64(unsafe.Sizeof(CategoryID(0)))
+		chSize   = uint64(unsafe.Sizeof(Channel{}))
+		vidSize  = uint64(unsafe.Sizeof(Video{}))
+		userSize = uint64(unsafe.Sizeof(User{}))
+	)
+	// len, not cap: the measure reflects content, not allocator growth
+	// slack, so it matches across codecs and runs.
+	b := uint64(unsafe.Sizeof(*t))
+	b += uint64(len(t.Channels)) * chSize
+	b += uint64(len(t.Videos)) * vidSize
+	b += uint64(len(t.Users)) * userSize
+	for i := range t.Channels {
+		ch := &t.Channels[i]
+		b += uint64(len(ch.Categories)+len(ch.Videos)+len(ch.Subscribers)) * idSize
+	}
+	for i := range t.Users {
+		u := &t.Users[i]
+		b += uint64(len(u.Interests)+len(u.Subscriptions)+len(u.Favorites)) * idSize
+	}
+	return b
 }

@@ -163,8 +163,8 @@ func (t *Trace) ChannelPopularityClass(quantile float64) *Channel {
 		views int64
 	}
 	ranked := make([]cv, len(t.Channels))
-	for i, ch := range t.Channels {
-		ranked[i] = cv{ch: ch, views: t.ChannelViews(ch.ID)}
+	for i := range t.Channels {
+		ranked[i] = cv{ch: &t.Channels[i], views: t.ChannelViews(t.Channels[i].ID)}
 	}
 	sort.Slice(ranked, func(i, j int) bool { return ranked[i].views < ranked[j].views })
 	idx := int(quantile * float64(len(ranked)-1))

@@ -191,9 +191,9 @@ func TestPickerFirstPrefersSubscriptions(t *testing.T) {
 	}
 	g := dist.NewRNG(1)
 	var u *trace.User
-	for _, cand := range tr.Users {
-		if len(cand.Subscriptions) > 0 {
-			u = cand
+	for i := range tr.Users {
+		if len(tr.Users[i].Subscriptions) > 0 {
+			u = &tr.Users[i]
 			break
 		}
 	}
@@ -226,9 +226,9 @@ func TestPickerNextFollows751510(t *testing.T) {
 	g := dist.NewRNG(2)
 	// Find a current video in a channel with several videos.
 	var cur *trace.Video
-	for _, v := range tr.Videos {
-		if len(tr.Channel(v.Channel).Videos) >= 10 {
-			cur = v
+	for i := range tr.Videos {
+		if len(tr.Channel(tr.Videos[i].Channel).Videos) >= 10 {
+			cur = &tr.Videos[i]
 			break
 		}
 	}
@@ -279,7 +279,7 @@ func TestPlanSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := dist.NewRNG(4)
-	u := tr.Users[0]
+	u := &tr.Users[0]
 	plan := p.PlanSession(g, u, 10, 500*time.Second)
 	if len(plan.Videos) != 10 {
 		t.Fatalf("session has %d videos, want 10", len(plan.Videos))
@@ -301,7 +301,7 @@ func TestPlanSessionZeroVideos(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := dist.NewRNG(5)
-	plan := p.PlanSession(g, tr.Users[0], 0, time.Second)
+	plan := p.PlanSession(g, &tr.Users[0], 0, time.Second)
 	if len(plan.Videos) != 0 {
 		t.Fatalf("zero-video session has %d videos", len(plan.Videos))
 	}
@@ -317,7 +317,7 @@ func TestSessionOffTimesExponential(t *testing.T) {
 	const n = 2000
 	var sum time.Duration
 	for i := 0; i < n; i++ {
-		plan := p.PlanSession(g, tr.Users[i%len(tr.Users)], 1, 500*time.Second)
+		plan := p.PlanSession(g, &tr.Users[i%len(tr.Users)], 1, 500*time.Second)
 		sum += plan.OffTime
 	}
 	mean := sum / n

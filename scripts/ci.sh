@@ -29,9 +29,14 @@ echo "== short benchmarks (allocations) =="
 go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
 go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/
 
-echo "== trace schema (end-to-end golden validation) =="
 tracetmp=$(mktemp -d)
 trap 'rm -rf "$tracetmp"' EXIT
+
+echo "== scale sweep smoke (small N) =="
+go run ./cmd/socialtube-sim -fig scale -bench-out "$tracetmp/BENCH_scale.json" > /dev/null
+test -s "$tracetmp/BENCH_scale.json" || { echo "scale sweep emitted no bench points"; exit 1; }
+
+echo "== trace schema (end-to-end golden validation) =="
 go run ./cmd/socialtube-sim -fig 16a -trace-out "$tracetmp/run.jsonl" > /dev/null
 go run ./cmd/socialtube-sim -trace-check "$tracetmp/run.jsonl"
 
