@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper emu faults-demo trace-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper emu faults-demo failover-demo fuzz-smoke trace-demo cover clean
 
 all: build test
 
@@ -55,6 +55,19 @@ emu:
 # per-protocol resilience comparison. Seconds, not minutes.
 faults-demo:
 	$(GO) run ./cmd/socialtube-emu -fig outage -peers 32 -sessions 2 -videos 6 -watch 20ms
+
+# Crash the provider serving chunk 0 on every third request and measure
+# how often each protocol still finishes without restarting delivery at
+# the server (mid-stream handoff along the ranked candidate list). The
+# deterministic points land in BENCH_failover.json. Seconds.
+failover-demo:
+	$(GO) run ./cmd/socialtube-emu -fig failover -bench-out BENCH_failover.json
+
+# Short fuzz passes over the wire layer: the frame decoder and the peer's
+# message handlers must survive arbitrary bytes without panicking.
+fuzz-smoke:
+	$(GO) test ./internal/emu -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime 30s
+	$(GO) test ./internal/emu -run '^$$' -fuzz '^FuzzHandleMessage$$' -fuzztime 30s
 
 # Record a JSONL event trace from the Fig. 17(a) run, validate it against
 # the golden schema, then pretty-print the first events.

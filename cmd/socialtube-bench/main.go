@@ -36,6 +36,7 @@ func run(args []string) (retErr error) {
 		skipEmu   = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
 		skipScale = fs.Bool("skip-scale", false, "skip the small-N scalability sweep")
 		benchOut  = fs.String("bench-out", "BENCH_scale.json", "append scale-sweep points to this JSONL file (empty disables)")
+		failOut   = fs.String("failover-out", "BENCH_failover.json", "append failover points to this JSONL file (empty disables)")
 		traceOut  = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -159,6 +160,17 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Println(eo)
+		ef, err := figures.FigFailover(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ef)
+		if *failOut != "" {
+			if err := figures.AppendFailoverPoints(*failOut, ef.Points); err != nil {
+				return err
+			}
+			fmt.Printf("appended %d failover points to %s\n\n", len(ef.Points), *failOut)
+		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(begin).Round(time.Millisecond))
 	return nil

@@ -28,7 +28,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("socialtube-emu", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage or all")
+		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage, failover or all")
+		benchOut = fs.String("bench-out", "", "append failover points to this JSONL file (empty disables)")
 		peers    = fs.Int("peers", 24, "number of TCP peers")
 		sessions = fs.Int("sessions", 2, "sessions per peer")
 		videos   = fs.Int("videos", 6, "videos per session")
@@ -82,13 +83,25 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Println(t)
+		case "failover":
+			f, err := figures.FigFailover(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			if *benchOut != "" {
+				if err := figures.AppendFailoverPoints(*benchOut, f.Points); err != nil {
+					return err
+				}
+				fmt.Printf("appended %d failover points to %s\n\n", len(f.Points), *benchOut)
+			}
 		default:
-			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b, outage or all)", id)
+			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b, outage, failover or all)", id)
 		}
 		return nil
 	}
 	if *fig == "all" {
-		for _, id := range []string{"16b", "17b", "18b", "outage"} {
+		for _, id := range []string{"16b", "17b", "18b", "outage", "failover"} {
 			if err := show(id); err != nil {
 				return err
 			}

@@ -49,6 +49,42 @@ func TestRequestAllocFreeAfterRepair(t *testing.T) {
 	}
 }
 
+// TestRequestAllocFreeWithOpenBreakers pins that the circuit-breaker
+// check costs the hot path nothing in its worst state: a population with
+// permanently dead nodes, every surviving requester's breakers driven
+// open by a warm-up pass, and no rejoin — so requests keep taking the
+// breaker's skip path rather than the RPC path.
+func TestRequestAllocFreeWithOpenBreakers(t *testing.T) {
+	sys, tr := benchSystem(t)
+	for id := 0; id < 50 && id < len(tr.Users); id++ {
+		sys.Fail(id) // abrupt: neighbours keep dangling links
+	}
+	drive := func(i int) {
+		u := tr.Users[i%len(tr.Users)]
+		if len(u.Subscriptions) == 0 {
+			return
+		}
+		ch := tr.Channel(u.Subscriptions[0])
+		if ch == nil || len(ch.Videos) == 0 {
+			return
+		}
+		sys.Request(int(u.ID), ch.Videos[(i+1)%len(ch.Videos)])
+	}
+	// Warm-up: enough strikes against every dead contact to open the
+	// breakers (and grow every breaker-set map to its final size).
+	for i := 0; i < 4000; i++ {
+		drive(i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		i++
+		drive(i)
+	})
+	if avg >= 1 {
+		t.Fatalf("request path allocates %.2f allocs/op with open breakers, want <1", avg)
+	}
+}
+
 func TestRequestStaysAllocFree(t *testing.T) {
 	for _, tc := range []struct {
 		name   string

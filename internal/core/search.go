@@ -14,6 +14,28 @@ func (s *System) flood(origin int, mesh *overlay.Mesh) overlay.FloodResult {
 	return s.scratch.Flood(origin, s.cfg.TTL, s.floodNeighbors, s.matchNode)
 }
 
+// breakerAllow / breakerFail / breakerOK wrap the breaker set, mirroring
+// its transition statistics into the dense counter block so snapshots
+// always carry them. Healthy runs only ever take the closed-breaker path,
+// so message counts and RNG draws stay bit-identical with PR-1 runs; all
+// three are allocation-free (the set is pre-sized to the population).
+func (s *System) breakerAllow(id int) bool {
+	ok := s.brk.Allow(id, s.now)
+	s.ctr.BreakerSkips = s.brk.Skips
+	s.ctr.BreakerProbes = s.brk.Probes
+	return ok
+}
+
+func (s *System) breakerFail(id int) {
+	s.brk.Failure(id, s.now)
+	s.ctr.BreakerOpens = s.brk.Opens
+}
+
+func (s *System) breakerOK(id int) {
+	s.brk.Success(id)
+	s.ctr.BreakerRecoveries = s.brk.Recoveries
+}
+
 // Request implements vod.Protocol: locate the video per Algorithm 1, then
 // account the outcome (request source, hop histogram, prefetch hit/miss) and
 // emit the serve event. The accounting is hoisted out of locate so the
@@ -101,11 +123,19 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 	s.ctr.LookupsCategory++
 	catMsgs := 0
 	for _, j := range s.inter.NeighborsView(node) {
+		if !s.breakerAllow(j) {
+			continue // open breaker: no message spent on a dead link
+		}
 		res.Messages++
 		catMsgs++
 		if !s.online(j) {
+			// The contact timed out: the breaker absorbs the strike so
+			// repeated requests stop paying for this neighbour before
+			// the next probe round prunes it.
+			s.breakerFail(j)
 			continue
 		}
+		s.breakerOK(j)
 		if s.matchNode(j) {
 			res.Source = vod.SourcePeer
 			res.Provider = j
@@ -190,9 +220,16 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 // video set by the caller through s.matchVideo.
 func (s *System) searchChannelOverlay(node int, ch trace.ChannelID) (provider, hops, msgs int, ok bool) {
 	entry := s.memberSetOf(ch).Random(s.g, node)
-	if entry < 0 || !s.online(entry) {
+	if entry < 0 || !s.breakerAllow(entry) {
 		return 0, 0, 0, false
 	}
+	if !s.online(entry) {
+		// Member sets shed failed nodes, but a recommendation can race a
+		// crash; the breaker remembers the dead entry point.
+		s.breakerFail(entry)
+		return 0, 0, 0, false
+	}
+	s.breakerOK(entry)
 	msgs = 1 // the contact with the recommended entry node
 	if s.matchNode(entry) {
 		return entry, 1, msgs, true

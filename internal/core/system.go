@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/health"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/overlay"
 	"github.com/socialtube/socialtube/internal/trace"
@@ -54,6 +55,12 @@ type System struct {
 	// keepOnline is the probe/repair predicate for Mesh.Prune.
 	keepOnline func(int) bool
 
+	// brk is the per-peer circuit breaker, pre-sized to the population so
+	// every operation stays allocation-free on the Request hot path. The
+	// sim is single-threaded and omniscient, so one shared Set stands in
+	// for every node's local view; virtual time (s.now) drives windows.
+	brk *health.Set
+
 	// ctr is the dense observability counter block; the simulator
 	// increments it single-threaded (plain ++), see obs.Counters.
 	ctr obs.Counters
@@ -101,6 +108,10 @@ func New(cfg Config, tr *trace.Trace) (*System, error) {
 		byCat:   make(map[trace.CategoryID][]trace.ChannelID),
 		subs:    make([]map[trace.ChannelID]bool, len(tr.Users)),
 		scratch: *overlay.NewFloodScratch(len(tr.Users)),
+		brk: health.NewSet(health.Config{
+			Threshold: cfg.BreakerThreshold,
+			OpenFor:   cfg.BreakerOpenFor,
+		}, len(tr.Users)),
 	}
 	for i := range tr.Channels {
 		ch := &tr.Channels[i]
@@ -188,6 +199,9 @@ func (s *System) Join(node int) {
 		return
 	}
 	st.online = true
+	// Re-registration is positive evidence of liveness: clear every
+	// observer's breaker for this node, skipping probation.
+	s.brk.Reset(node)
 	s.ctr.OverlayJoins++
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindJoin, Node: node, Video: -1, Provider: -1})

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"sync/atomic"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/trace"
@@ -25,6 +26,15 @@ type Record struct {
 	Failed bool
 	// Links is the peer's link count right after the request.
 	Links int
+	// HandoffAttempts / Handoffs count mid-stream provider switches
+	// tried and completed; HandoffWait is the stall between losing a
+	// provider and the first chunk resumed from its replacement.
+	HandoffAttempts int
+	Handoffs        int
+	HandoffWait     time.Duration
+	// ServerRescued reports that every candidate ran dry mid-stream and
+	// the server completed only the remainder (a rescue, not a restart).
+	ServerRescued bool
 }
 
 // RequestVideo locates and downloads the video, returning delivery metrics.
@@ -80,22 +90,33 @@ func (p *Peer) socialTubeRequest(v trace.VideoID, video *trace.Video, rec *Recor
 		interNbs = append(interNbs, info)
 	}
 	p.mu.Unlock()
+	sortInfos(innerNbs)
+	sortInfos(interNbs)
 
-	if provider, ok := p.flood(v, innerNbs, rec); ok {
-		if !p.fetchFromPeer(v, provider, rec) {
-			// The provider vanished between query and fetch; the
-			// server completes the request.
+	// requery refills the candidate list after a mid-stream exhaustion:
+	// a fresh flood only returns providers that are alive right now.
+	requery := func() []PeerInfo {
+		if cands, ok := p.flood(v, innerNbs, rec); ok {
+			return cands
+		}
+		cands, _ := p.flood(v, interNbs, rec)
+		return cands
+	}
+	if cands, ok := p.flood(v, innerNbs, rec); ok {
+		if !p.fetchFromCandidates(v, cands, requery, rec) {
+			// Every candidate vanished before the first chunk; the
+			// server serves the whole request.
 			p.fetchFromServer(v, rec)
 		}
-		p.connectTo(provider, "inner", int(video.Channel), 0)
+		p.connectTo(cands[0], "inner", int(video.Channel), 0)
 		return
 	}
 	// Phase 2: each inter-neighbour floods its own channel overlay.
-	if provider, ok := p.flood(v, interNbs, rec); ok {
-		if !p.fetchFromPeer(v, provider, rec) {
+	if cands, ok := p.flood(v, interNbs, rec); ok {
+		if !p.fetchFromCandidates(v, cands, requery, rec) {
 			p.fetchFromServer(v, rec)
 		}
-		p.connectTo(provider, "inter", 0, 0)
+		p.connectTo(cands[0], "inter", 0, 0)
 		return
 	}
 	// Phase 2.5: the server recommended a member of the video's own
@@ -114,11 +135,11 @@ func (p *Peer) socialTubeRequest(v trace.VideoID, video *trace.Video, rec *Recor
 			entries = append(entries, info)
 		}
 	}
-	if provider, ok := p.flood(v, entries, rec); ok {
-		if !p.fetchFromPeer(v, provider, rec) {
+	if cands, ok := p.flood(v, entries, rec); ok {
+		if !p.fetchFromCandidates(v, cands, requery, rec) {
 			p.fetchFromServer(v, rec)
 		}
-		p.connectTo(provider, "inter", 0, 0)
+		p.connectTo(cands[0], "inter", 0, 0)
 		return
 	}
 	// Phase 3: the server.
@@ -141,13 +162,20 @@ func (p *Peer) netTubeRequest(v trace.VideoID, rec *Record) {
 		}
 	}
 	p.mu.Unlock()
+	sortInfos(nbs)
 
+	// requery asks the tracker for the overlay's current members — the
+	// only failover source NetTube has beyond its own links.
+	requery := func() []PeerInfo {
+		rec.Messages++
+		return p.joinVideoOverlay(v, nil)
+	}
 	if len(nbs) > 0 {
-		if provider, ok := p.flood(v, nbs, rec); ok {
-			if !p.fetchFromPeer(v, provider, rec) {
+		if cands, ok := p.flood(v, nbs, rec); ok {
+			if !p.fetchFromCandidates(v, cands, requery, rec) {
 				p.fetchFromServer(v, rec)
 			}
-			p.joinVideoOverlay(v, &provider)
+			p.joinVideoOverlay(v, &cands[0])
 			return
 		}
 		p.fetchFromServer(v, rec)
@@ -157,10 +185,8 @@ func (p *Peer) netTubeRequest(v trace.VideoID, rec *Record) {
 	// First request: the server directs the node into the overlay.
 	peers := p.joinVideoOverlay(v, nil)
 	rec.Messages++
-	for _, info := range peers {
-		if p.fetchFromPeer(v, info, rec) {
-			return
-		}
+	if len(peers) > 0 && p.fetchFromCandidates(v, peers, requery, rec) {
+		return
 	}
 	p.fetchFromServer(v, rec)
 }
@@ -171,80 +197,170 @@ func (p *Peer) paVoDRequest(v trace.VideoID, rec *Record) {
 	p.mu.Lock()
 	p.watching = v
 	p.mu.Unlock()
-	rec.Messages++
-	resp, err := p.rpcRetry(p.trackerAddr, &Message{
-		Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
-	})
-	if err == nil && resp.Type == MsgOK && resp.Provider >= 0 {
-		info := PeerInfo{ID: resp.Provider, Addr: resp.ProviderAddr}
-		if p.fetchFromPeer(v, info, rec) {
-			return
+	// watchStart doubles as the requery: re-registering returns the
+	// tracker's current concurrent watchers.
+	watchStart := func() []PeerInfo {
+		rec.Messages++
+		resp, err := p.rpcRetry(p.trackerAddr, &Message{
+			Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
+		})
+		if err != nil || resp.Type != MsgOK {
+			return nil
 		}
+		return responseProviders(resp)
+	}
+	if cands := watchStart(); len(cands) > 0 && p.fetchFromCandidates(v, cands, watchStart, rec) {
+		return
 	}
 	p.fetchFromServer(v, rec)
 }
 
-// flood sends the query to each neighbour in turn; neighbours forward with
-// the configured TTL. It returns the first provider found.
-func (p *Peer) flood(v trace.VideoID, nbs []PeerInfo, rec *Record) (PeerInfo, bool) {
+// flood sends the query to each neighbour in turn; neighbours forward
+// with the configured TTL. Responses are merged into one ranked
+// candidate list (closest-first, deduped), capped at maxQueryProviders.
+// Neighbours behind an open breaker are skipped without spending a
+// message.
+func (p *Peer) flood(v trace.VideoID, nbs []PeerInfo, rec *Record) ([]PeerInfo, bool) {
+	var cands []PeerInfo
 	for _, nb := range nbs {
+		if !p.allowPeer(nb.ID) {
+			continue
+		}
 		rec.Messages++
 		resp, err := rpc(nb.Addr, &Message{
 			Type: MsgQuery, From: p.cfg.ID,
 			Video: int(v), TTL: p.cfg.TTL, Visited: []int{p.cfg.ID},
 		}, p.cfg.RPCTimeout)
 		if err != nil {
+			p.peerFail(nb.ID)
 			continue
 		}
+		p.peerOK(nb.ID)
 		rec.Messages += resp.Messages
-		if resp.Type == MsgOK {
-			return PeerInfo{ID: resp.Provider, Addr: resp.ProviderAddr}, true
+		if resp.Type != MsgOK {
+			continue
+		}
+		cands = appendProviders(cands, responseProviders(resp), maxQueryProviders)
+		if len(cands) >= maxQueryProviders {
+			break
 		}
 	}
-	return PeerInfo{}, false
+	return cands, len(cands) > 0
 }
 
-// fetchFromPeer downloads all chunks from the provider. It reports whether
-// the first chunk arrived (on failure the caller falls back to the server).
-func (p *Peer) fetchFromPeer(v trace.VideoID, provider PeerInfo, rec *Record) bool {
-	for c := 0; c < vod.DefaultChunksPerVideo; c++ {
-		resp, err := rpc(provider.Addr, &Message{
-			Type: MsgChunkReq, From: p.cfg.ID, Video: int(v), Chunk: c,
-		}, p.cfg.RPCTimeout)
-		if err != nil || resp.Type != MsgOK {
-			if c == 0 {
-				return false
+// fetchFromCandidates downloads the video chunk-by-chunk, failing over
+// along the ranked candidate list: a provider lost mid-stream is replaced
+// by the next candidate and the download resumes from the last received
+// chunk. When the list runs dry mid-stream, requery (when non-nil, called
+// at most once) refills it with providers that are alive right now; if
+// that also fails the server completes only the remainder — a rescue, not
+// a restart. It reports false only when no candidate delivered chunk 0;
+// the caller then falls back to a full server fetch.
+func (p *Peer) fetchFromCandidates(v trace.VideoID, cands []PeerInfo, requery func() []PeerInfo, rec *Record) bool {
+	chunk := 0
+	requeried := false
+	tried := make(map[int]bool)
+	var waitStart time.Time // running stall of the current handoff
+	for i := 0; i < len(cands); i++ {
+		c := cands[i]
+		if c.Addr == "" || c.ID == p.cfg.ID || tried[c.ID] {
+			continue
+		}
+		tried[c.ID] = true
+		if !p.allowPeer(c.ID) {
+			continue
+		}
+		if chunk > 0 {
+			// Mid-stream: switching providers is a handoff attempt.
+			atomic.AddUint64(&p.ctr.HandoffAttempts, 1)
+			rec.HandoffAttempts++
+			if waitStart.IsZero() {
+				waitStart = time.Now()
 			}
-			// Mid-stream failure: the server completes the video.
-			p.fetchFromServer(v, rec)
+		}
+		delivered := false
+		for chunk < vod.DefaultChunksPerVideo {
+			resp, err := rpc(c.Addr, &Message{
+				Type: MsgChunkReq, From: p.cfg.ID, Video: int(v), Chunk: chunk,
+			}, p.cfg.RPCTimeout)
+			if err != nil {
+				p.peerFail(c.ID)
+				break
+			}
+			p.peerOK(c.ID)
+			if resp.Type != MsgOK {
+				break // healthy peer without the chunk: next candidate
+			}
+			if !delivered && chunk > 0 {
+				// First resumed chunk: the handoff completed.
+				atomic.AddUint64(&p.ctr.Handoffs, 1)
+				rec.Handoffs++
+				rec.HandoffWait += time.Since(waitStart)
+				waitStart = time.Time{}
+			}
+			delivered = true
+			p.noteChunk(v, chunk, c.ID)
+			chunk++
+		}
+		if chunk >= vod.DefaultChunksPerVideo {
+			rec.Source = vod.SourcePeer
 			return true
 		}
+		if i == len(cands)-1 && chunk > 0 && !requeried && requery != nil {
+			requeried = true
+			cands = appendProviders(cands, requery(), len(cands)+maxQueryProviders)
+		}
 	}
-	rec.Source = vod.SourcePeer
+	if chunk == 0 {
+		return false // nothing delivered: the caller owns the fallback
+	}
+	// Candidates exhausted mid-stream: the server rescues the remainder.
+	atomic.AddUint64(&p.ctr.HandoffServerRescues, 1)
+	rec.ServerRescued = true
+	p.fetchFromServerFrom(v, chunk, rec)
 	return true
 }
 
+// noteChunk reports a delivered chunk to the onChunk hook when one is
+// installed (figure/test harnesses); provider is -1 for the server.
+func (p *Peer) noteChunk(v trace.VideoID, chunk, provider int) {
+	p.mu.Lock()
+	fn := p.onChunk
+	p.mu.Unlock()
+	if fn != nil {
+		fn(v, chunk, provider)
+	}
+}
+
 // fetchFromServer downloads all chunks from the tracker, retrying each
-// within the peer's retry budget. When even the first chunk never arrives
-// (the tracker outage outlasted every retry) the request is marked Failed
-// and the remaining chunks are skipped — the player gave up.
+// within the peer's retry budget.
 func (p *Peer) fetchFromServer(v trace.VideoID, rec *Record) {
+	p.fetchFromServerFrom(v, 0, rec)
+}
+
+// fetchFromServerFrom downloads chunks [from, end) from the tracker. When
+// even the first requested chunk never arrives on a full fetch (the
+// tracker outage outlasted every retry) the request is marked Failed and
+// the remaining chunks are skipped — the player gave up. A mid-stream
+// rescue (from > 0) is never Failed: playback already started from peers.
+func (p *Peer) fetchFromServerFrom(v trace.VideoID, from int, rec *Record) {
 	served := false
-	for c := 0; c < vod.DefaultChunksPerVideo; c++ {
+	for c := from; c < vod.DefaultChunksPerVideo; c++ {
 		resp, err := p.rpcRetry(p.trackerAddr, &Message{
 			Type: MsgServe, From: p.cfg.ID, Video: int(v), Chunk: c,
 		})
 		if err != nil || resp.Type != MsgOK {
-			if c == 0 {
+			if c == from {
 				break
 			}
 			continue
 		}
 		served = true
+		p.noteChunk(v, c, -1)
 	}
 	if rec.Source != vod.SourcePeer {
 		rec.Source = vod.SourceServer
-		rec.Failed = !served
+		rec.Failed = !served && from == 0
 	}
 }
 
@@ -388,13 +504,17 @@ func (p *Peer) FinishVideo(v trace.VideoID) {
 			p.watching = -1
 		}
 		p.mu.Unlock()
-		rpc(p.trackerAddr, &Message{Type: MsgWatchDone, From: p.cfg.ID, Video: int(v)}, p.cfg.RPCTimeout)
+		// Retried: a dropped watch_done leaves the tracker handing out
+		// this peer as a provider long after it stopped serving.
+		p.rpcRetry(p.trackerAddr, &Message{Type: MsgWatchDone, From: p.cfg.ID, Video: int(v)})
 		return // no cache, no prefetch
 	case ModeNetTube:
 		p.mu.Lock()
 		p.cache.AddFull(v)
 		p.mu.Unlock()
-		rpc(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)}, p.cfg.RPCTimeout)
+		// Retried: losing the advertisement silently shrinks the overlay
+		// the tracker can direct later requesters into.
+		p.rpcRetry(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
 		p.netTubePrefetch(v)
 	case ModeSocialTube:
 		p.mu.Lock()
@@ -457,6 +577,7 @@ func (p *Peer) netTubePrefetch(watched trace.VideoID) {
 	if len(nbs) == 0 {
 		return
 	}
+	sortInfos(nbs) // the g.Intn pick below must see a stable order
 	added := 0
 	for attempts := 0; added < p.cfg.PrefetchCount && attempts < 2*len(nbs); attempts++ {
 		p.mu.Lock()

@@ -147,8 +147,15 @@ type ClusterResult struct {
 	// Crashes / Rejoins count applied churn events.
 	Crashes int64
 	Rejoins int64
-	// Obs is the tracker's protocol-counter snapshot at the end of the
-	// run.
+	// HandoffAttempts / Handoffs / ServerRescues aggregate mid-stream
+	// provider failovers across all requests; HandoffWaitMs samples the
+	// per-handoff stall in milliseconds.
+	HandoffAttempts int64
+	Handoffs        int64
+	ServerRescues   int64
+	HandoffWaitMs   metrics.Sample
+	// Obs merges the tracker's and every peer's protocol-counter
+	// snapshots at the end of the run.
 	Obs obs.Counters
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
@@ -283,6 +290,16 @@ func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan
 			tracker.SetCapacityFactor(ev.CapacityFactor)
 		case faults.KindBrownoutEnd:
 			tracker.SetCapacityFactor(1)
+		case faults.KindChaosStart:
+			cond.SetChaos(&ChaosMix{
+				CorruptP:   ev.CorruptP,
+				TruncateP:  ev.TruncateP,
+				DuplicateP: ev.DuplicateP,
+				StallP:     ev.StallP,
+				StallFor:   ev.StallFor,
+			})
+		case faults.KindChaosEnd:
+			cond.ClearChaos()
 		}
 	}
 }
@@ -450,10 +467,11 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 
 	res.Elapsed = time.Since(begin)
 	res.ServerBytes = tracker.ServedBytes()
+	res.Obs = tracker.Counters()
 	for _, p := range peers {
 		res.PeerBytes += p.ServedBytes()
+		res.Obs.Merge(p.Counters())
 	}
-	res.Obs = tracker.Counters()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -536,6 +554,16 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 			}
 			if rec.Failed {
 				res.FailedRequests++
+			}
+			res.HandoffAttempts += int64(rec.HandoffAttempts)
+			res.Handoffs += int64(rec.Handoffs)
+			if rec.ServerRescued {
+				res.ServerRescues++
+			}
+			for h := 0; h < rec.Handoffs; h++ {
+				// One request can hand off more than once; spread the
+				// recorded wait evenly across its handoffs.
+				res.HandoffWaitMs.Add(float64(rec.HandoffWait) / float64(rec.Handoffs) / float64(time.Millisecond))
 			}
 			if outage {
 				res.OutageRequests++

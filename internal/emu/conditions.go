@@ -32,6 +32,22 @@ type Conditions struct {
 	// latency multiplier ≥ 1 and an extra loss probability.
 	burstLatBits  atomic.Uint64
 	burstLossBits atomic.Uint64
+	// chaos holds an open frame-chaos window (nil means inactive) set by
+	// the fault driver; chaosCounter seeds the per-frame fault decision
+	// the same way lossCounter seeds Drop.
+	chaos        atomic.Pointer[ChaosMix]
+	chaosCounter atomic.Uint64
+}
+
+// ChaosMix is the frame-fault blend of an open chaos window: each frame
+// written while the window is open suffers at most one fault, chosen in
+// corrupt → truncate → duplicate → stall order.
+type ChaosMix struct {
+	CorruptP   float64
+	TruncateP  float64
+	DuplicateP float64
+	StallP     float64
+	StallFor   time.Duration
 }
 
 // DefaultConditions returns WAN-like conditions scaled for fast local runs.
@@ -106,6 +122,58 @@ func (c *Conditions) ClearBurst() {
 	}
 	c.burstLatBits.Store(0)
 	c.burstLossBits.Store(0)
+}
+
+// SetChaos opens a frame-chaos window: every frame written through the
+// chaos-aware write path suffers one of the mix's faults with the given
+// probabilities. Nil receivers and nil mixes are tolerated so the fault
+// driver can call this unconditionally.
+func (c *Conditions) SetChaos(mix *ChaosMix) {
+	if c == nil {
+		return
+	}
+	if mix == nil {
+		c.chaos.Store(nil)
+		return
+	}
+	m := *mix // private copy: the driver may reuse its buffer
+	c.chaos.Store(&m)
+}
+
+// ClearChaos closes the frame-chaos window.
+func (c *Conditions) ClearChaos() {
+	if c == nil {
+		return
+	}
+	c.chaos.Store(nil)
+}
+
+// nextChaos picks the fault for the next written frame: chaosNone when no
+// window is open, otherwise a counter-seeded deterministic draw across
+// the mix (at most one fault per frame). Healthy runs take the nil-load
+// branch and draw nothing.
+func (c *Conditions) nextChaos() (chaosAction, time.Duration) {
+	if c == nil {
+		return chaosNone, 0
+	}
+	mix := c.chaos.Load()
+	if mix == nil {
+		return chaosNone, 0
+	}
+	n := c.chaosCounter.Add(1)
+	g := dist.NewRNG(int64(n) + c.Seed*32_452_843)
+	u := g.Float64()
+	switch {
+	case u < mix.CorruptP:
+		return chaosCorrupt, 0
+	case u < mix.CorruptP+mix.TruncateP:
+		return chaosTruncate, 0
+	case u < mix.CorruptP+mix.TruncateP+mix.DuplicateP:
+		return chaosDuplicate, 0
+	case u < mix.CorruptP+mix.TruncateP+mix.DuplicateP+mix.StallP:
+		return chaosStall, mix.StallFor
+	}
+	return chaosNone, 0
 }
 
 // region assigns a node (tracker included) to a geographic cluster.

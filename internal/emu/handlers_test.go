@@ -184,12 +184,21 @@ func TestHandleUnknownMessageType(t *testing.T) {
 	tr := emuTrace(t)
 	tk := startTracker(t, tr, fastConditions())
 	p := directPeer(t, tr, tk, 0, ModeSocialTube)
-	resp, err := rpc(p.Addr(), &Message{Type: "gibberish", From: 9}, 2*time.Second)
+	// An unknown wire type is rejected without a response (the frame
+	// never reaches dispatch) and counted.
+	if _, err := rpc(p.Addr(), &Message{Type: "gibberish", From: 9}, 2*time.Second); err == nil {
+		t.Fatal("unknown type was answered, want rejection")
+	}
+	if got := p.Counters().FramesRejected; got != 1 {
+		t.Fatalf("FramesRejected = %d, want 1", got)
+	}
+	// The listener survives rejection: the next valid message works.
+	resp, err := rpc(p.Addr(), &Message{Type: MsgProbe, From: 9}, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Type != MsgMiss {
-		t.Fatalf("unknown type answered %v, want miss", resp.Type)
+	if resp.Type != MsgOK {
+		t.Fatalf("probe after rejection answered %v, want ok", resp.Type)
 	}
 }
 

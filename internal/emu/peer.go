@@ -3,14 +3,21 @@ package emu
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/health"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 	"github.com/socialtube/socialtube/internal/vod"
 )
+
+// maxQueryProviders caps the ranked candidate list a flood response
+// carries: enough for two mid-stream handoffs before a re-query.
+const maxQueryProviders = 3
 
 // Mode selects which protocol a peer speaks.
 type Mode int
@@ -68,6 +75,10 @@ type PeerConfig struct {
 	// attempts, doubled per retry.
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// BreakerThreshold / BreakerOpenFor parameterise the per-neighbour
+	// circuit breaker (zero fields select health.DefaultConfig).
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
 	// Seed drives the peer's random choices.
 	Seed int64
 }
@@ -75,20 +86,22 @@ type PeerConfig struct {
 // DefaultPeerConfig returns Table I parameters scaled for loopback runs.
 func DefaultPeerConfig(id int, mode Mode) PeerConfig {
 	return PeerConfig{
-		ID:              id,
-		Mode:            mode,
-		Addr:            "127.0.0.1:0",
-		InnerLinks:      5,
-		InterLinks:      10,
-		LinksPerOverlay: 4,
-		TTL:             2,
-		PrefetchCount:   3,
-		UplinkBps:       4_000_000,
-		ChunkPayload:    8 << 10,
-		RPCTimeout:      3 * time.Second,
-		MaxRetries:      2,
-		RetryBackoff:    5 * time.Millisecond,
-		Seed:            int64(id) + 1,
+		ID:               id,
+		Mode:             mode,
+		Addr:             "127.0.0.1:0",
+		InnerLinks:       5,
+		InterLinks:       10,
+		LinksPerOverlay:  4,
+		TTL:              2,
+		PrefetchCount:    3,
+		UplinkBps:        4_000_000,
+		ChunkPayload:     8 << 10,
+		RPCTimeout:       3 * time.Second,
+		MaxRetries:       2,
+		RetryBackoff:     5 * time.Millisecond,
+		BreakerThreshold: health.DefaultConfig().Threshold,
+		BreakerOpenFor:   health.DefaultConfig().OpenFor,
+		Seed:             int64(id) + 1,
 	}
 }
 
@@ -109,6 +122,8 @@ func (c PeerConfig) Validate() error {
 		return fmt.Errorf("%w: rpcTimeout=%v", dist.ErrBadParameter, c.RPCTimeout)
 	case c.MaxRetries < 0 || c.RetryBackoff < 0:
 		return fmt.Errorf("%w: retry policy", dist.ErrBadParameter)
+	case c.BreakerThreshold < 0 || c.BreakerOpenFor < 0:
+		return fmt.Errorf("%w: breaker policy", dist.ErrBadParameter)
 	}
 	return nil
 }
@@ -127,6 +142,14 @@ type Peer struct {
 	// every incoming message, exactly like a host that lost power —
 	// neighbors keep dangling links until their probes time out.
 	crashed atomic.Bool
+	// ctr counts protocol events (atomic fields; see Counters).
+	ctr obs.Counters
+	// epoch anchors breaker time: health.Set wants monotonic offsets,
+	// so every breaker call passes time.Since(epoch).
+	epoch time.Time
+	// brk short-circuits RPCs to neighbours that keep failing.
+	brkMu sync.Mutex
+	brk   *health.Set
 
 	mu     sync.Mutex
 	g      *dist.RNG
@@ -146,6 +169,9 @@ type Peer struct {
 	// Uplink queue + accounting.
 	busyUntil   time.Time
 	servedBytes int64
+	// onChunk, when set (figure/test harnesses), observes every chunk
+	// this peer receives while fetching a video.
+	onChunk func(v trace.VideoID, chunk, provider int)
 }
 
 // NewPeer builds a peer over the trace. Call Start before use.
@@ -162,15 +188,20 @@ func NewPeer(cfg PeerConfig, tr *trace.Trace, trackerAddr string, cond *Conditio
 		cond:        cond,
 		trackerAddr: trackerAddr,
 		closeCh:     make(chan struct{}),
-		g:           dist.NewRNG(cfg.Seed),
-		online:      true,
-		watching:    -1,
-		cache:       vod.NewCache(0),
-		subs:        make(map[trace.ChannelID]bool),
-		home:        -1,
-		inner:       make(map[int]PeerInfo),
-		inter:       make(map[int]PeerInfo),
-		perVideo:    make(map[trace.VideoID]map[int]PeerInfo),
+		epoch:       time.Now(),
+		brk: health.NewSet(health.Config{
+			Threshold: cfg.BreakerThreshold,
+			OpenFor:   cfg.BreakerOpenFor,
+		}, 0),
+		g:        dist.NewRNG(cfg.Seed),
+		online:   true,
+		watching: -1,
+		cache:    vod.NewCache(0),
+		subs:     make(map[trace.ChannelID]bool),
+		home:     -1,
+		inner:    make(map[int]PeerInfo),
+		inter:    make(map[int]PeerInfo),
+		perVideo: make(map[trace.VideoID]map[int]PeerInfo),
 	}
 	if u := tr.User(trace.UserID(cfg.ID)); u != nil {
 		for _, ch := range u.Subscriptions {
@@ -267,9 +298,19 @@ func (p *Peer) acceptLoop() {
 
 func (p *Peer) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	// Budget the whole exchange (read, uplink queueing, write) at a few
+	// RPC timeouts so a stalled client can't pin a handler goroutine,
+	// without cutting off legitimately queued chunk transfers.
+	if err := conn.SetDeadline(time.Now().Add(4 * p.cfg.RPCTimeout)); err != nil {
+		return
+	}
 	req, err := ReadMessage(conn)
 	if err != nil {
+		atomic.AddUint64(&p.ctr.FramesMalformed, 1)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		atomic.AddUint64(&p.ctr.FramesRejected, 1)
 		return
 	}
 	if p.cond.Drop() {
@@ -278,8 +319,47 @@ func (p *Peer) handle(conn net.Conn) {
 	time.Sleep(p.cond.Latency(p.cfg.ID, req.From))
 	resp := p.dispatch(req)
 	if resp != nil {
-		WriteMessage(conn, resp)
+		act, stall := p.cond.nextChaos()
+		writeMessageChaos(conn, resp, act, stall, &p.ctr)
 	}
+}
+
+// Counters snapshots the peer's protocol counters, folding in the
+// current breaker statistics.
+func (p *Peer) Counters() obs.Counters {
+	c := p.ctr.Snapshot()
+	p.brkMu.Lock()
+	c.BreakerOpens = p.brk.Opens
+	c.BreakerSkips = p.brk.Skips
+	c.BreakerProbes = p.brk.Probes
+	c.BreakerRecoveries = p.brk.Recoveries
+	p.brkMu.Unlock()
+	return c
+}
+
+// allowPeer consults the circuit breaker before an RPC to peer id:
+// false means the breaker is open and the call should be skipped.
+func (p *Peer) allowPeer(id int) bool {
+	p.brkMu.Lock()
+	defer p.brkMu.Unlock()
+	p.brk.Ensure(id)
+	return p.brk.Allow(id, time.Since(p.epoch))
+}
+
+// peerOK / peerFail feed RPC outcomes back into the breaker. Only
+// transport-level failures count — a well-formed MsgMiss is a healthy
+// peer without the content.
+func (p *Peer) peerOK(id int) {
+	p.brkMu.Lock()
+	p.brk.Success(id)
+	p.brkMu.Unlock()
+}
+
+func (p *Peer) peerFail(id int) {
+	p.brkMu.Lock()
+	p.brk.Ensure(id)
+	p.brk.Failure(id, time.Since(p.epoch))
+	p.brkMu.Unlock()
 }
 
 // SetOnline flips the peer's availability: an offline peer's listener stays
@@ -333,11 +413,16 @@ func (p *Peer) rpcRetry(addr string, req *Message) (*Message, error) {
 	backoff := p.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		resp, err := rpc(addr, req, p.cfg.RPCTimeout)
-		if err == nil || attempt >= p.cfg.MaxRetries {
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= p.cfg.MaxRetries {
+			atomic.AddUint64(&p.ctr.RPCFailures, 1)
 			return resp, err
 		}
 		select {
 		case <-p.closeCh:
+			atomic.AddUint64(&p.ctr.RPCFailures, 1)
 			return nil, err
 		case <-time.After(backoff):
 		}
@@ -388,7 +473,10 @@ func (p *Peer) dropLinksTo(id int) {
 }
 
 // handleQuery implements the receiver side of the TTL flood: answer from
-// the local cache or forward to neighbours with a decremented TTL.
+// the local cache or forward to neighbours with a decremented TTL. A hit
+// short-circuits with this peer as the sole candidate (rank 1: fewest
+// hops); forwarded floods accumulate a ranked candidate list, up to
+// maxQueryProviders, so the requester can fail over without re-flooding.
 func (p *Peer) handleQuery(req *Message) *Message {
 	v := trace.VideoID(req.Video)
 	p.mu.Lock()
@@ -397,9 +485,11 @@ func (p *Peer) handleQuery(req *Message) *Message {
 	p.mu.Unlock()
 
 	if hasIt {
+		self := PeerInfo{ID: p.cfg.ID, Addr: p.Addr()}
 		return &Message{
 			Type: MsgOK, From: p.cfg.ID,
 			Video: req.Video, Provider: p.cfg.ID, ProviderAddr: p.Addr(), Hops: 1,
+			Providers: []PeerInfo{self},
 		}
 	}
 	if req.TTL <= 1 {
@@ -410,27 +500,79 @@ func (p *Peer) handleQuery(req *Message) *Message {
 	for _, id := range visited {
 		seen[id] = true
 	}
-	msgs := 0
+	msgs, hops := 0, 0
+	var provs []PeerInfo
 	for _, nb := range neighbors {
 		if seen[nb.ID] {
 			continue
+		}
+		if !p.allowPeer(nb.ID) {
+			continue // open breaker: don't spend a message on a dead link
 		}
 		msgs++
 		resp, err := rpc(nb.Addr, &Message{
 			Type: MsgQuery, From: p.cfg.ID,
 			Video: req.Video, TTL: req.TTL - 1, Visited: visited,
 		}, p.cfg.RPCTimeout)
-		if err != nil || resp.Type != MsgOK {
-			if resp != nil {
-				msgs += resp.Messages
-			}
+		if err != nil {
+			p.peerFail(nb.ID)
 			continue
 		}
-		resp.Hops++
-		resp.Messages += msgs
-		return resp
+		p.peerOK(nb.ID)
+		msgs += resp.Messages
+		if resp.Type != MsgOK {
+			continue
+		}
+		if hops == 0 {
+			hops = resp.Hops + 1
+		}
+		provs = appendProviders(provs, responseProviders(resp), maxQueryProviders)
+		if len(provs) >= maxQueryProviders {
+			break
+		}
 	}
-	return &Message{Type: MsgMiss, From: p.cfg.ID, Messages: msgs}
+	if len(provs) == 0 {
+		return &Message{Type: MsgMiss, From: p.cfg.ID, Messages: msgs}
+	}
+	return &Message{
+		Type: MsgOK, From: p.cfg.ID,
+		Video: req.Video, Hops: hops, Messages: msgs,
+		Provider: provs[0].ID, ProviderAddr: provs[0].Addr,
+		Providers: provs,
+	}
+}
+
+// responseProviders returns a response's ranked candidate list, falling
+// back to the legacy single-provider head.
+func responseProviders(m *Message) []PeerInfo {
+	if len(m.Providers) > 0 {
+		return m.Providers
+	}
+	if m.ProviderAddr != "" {
+		return []PeerInfo{{ID: m.Provider, Addr: m.ProviderAddr}}
+	}
+	return nil
+}
+
+// appendProviders merges src into dst keeping ids unique and the list at
+// most limit long; earlier entries (fewer hops) keep their rank.
+func appendProviders(dst, src []PeerInfo, limit int) []PeerInfo {
+	for _, c := range src {
+		if len(dst) >= limit {
+			break
+		}
+		dup := false
+		for _, d := range dst {
+			if d.ID == c.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, c)
+		}
+	}
+	return dst
 }
 
 // forwardSet returns the neighbours a query is forwarded to. The caller
@@ -445,6 +587,7 @@ func (p *Peer) forwardSet(req *Message) []PeerInfo {
 		for _, info := range p.inner {
 			out = append(out, info)
 		}
+		sortInfos(out)
 		return out
 	case ModeNetTube:
 		seen := make(map[int]bool)
@@ -457,10 +600,17 @@ func (p *Peer) forwardSet(req *Message) []PeerInfo {
 				}
 			}
 		}
+		sortInfos(out)
 		return out
 	default:
 		return nil
 	}
+}
+
+// sortInfos orders a map-gathered peer list by id so every flood walks
+// neighbours in the same order run-to-run (Go map iteration is random).
+func sortInfos(s []PeerInfo) {
+	sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
 }
 
 // handleChunkReq serves one cached chunk from the peer's finite uplink.

@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
+
+	"github.com/socialtube/socialtube/internal/obs"
 )
 
 // MsgType discriminates wire messages.
@@ -73,6 +76,11 @@ type Message struct {
 	Provider int `json:"provider"`
 	// ProviderAddr is the provider's listen address.
 	ProviderAddr string `json:"providerAddr,omitempty"`
+	// Providers ranks every candidate able to serve the video, best
+	// first. Provider/ProviderAddr always mirror the head of this list,
+	// so one-candidate consumers keep working; failover consumers walk
+	// the tail when the head dies mid-stream.
+	Providers []PeerInfo `json:"providers,omitempty"`
 	// Messages counts query transmissions consumed by a flood.
 	Messages int `json:"messages,omitempty"`
 	// Peers lists recommended neighbours (join responses).
@@ -99,10 +107,85 @@ var (
 	// ErrMessageTooLarge guards the frame decoder against corrupt
 	// lengths.
 	ErrMessageTooLarge = errors.New("emu: message exceeds frame limit")
+	// ErrInvalidMessage reports a frame that decoded but failed strict
+	// field validation (unknown type, negative ids, oversized lists).
+	ErrInvalidMessage = errors.New("emu: invalid message")
 )
 
 // maxFrame bounds one frame: a chunk payload plus JSON overhead.
 const maxFrame = 16 << 20
+
+// Strict field bounds enforced by Message.Validate. Generous for every
+// legitimate workload, tight enough that a hostile frame cannot make a
+// handler iterate or allocate unboundedly.
+const (
+	maxWireTTL     = 64      // deepest flood any protocol configures
+	maxWireHops    = 1 << 20 // reported hit depth
+	maxWireList    = 4096    // Peers / Providers entries
+	maxWireVisited = 1 << 16 // flood dedup set
+	maxWireVideos  = 1 << 16 // top-list / cache-sample entries
+)
+
+// validWireTypes is the closed set of message types a handler dispatches
+// on; anything else is rejected before dispatch.
+var validWireTypes = map[MsgType]bool{
+	MsgRegister: true, MsgJoin: true, MsgJoinVideo: true, MsgLeave: true,
+	MsgServe: true, MsgTopList: true, MsgWatchStart: true, MsgWatchDone: true,
+	MsgHave: true, MsgQuery: true, MsgChunkReq: true, MsgConnect: true,
+	MsgProbe: true, MsgBye: true, MsgCacheSample: true,
+	MsgJoinOK: true, MsgOK: true, MsgMiss: true,
+}
+
+// Validate enforces strict field bounds on a decoded message. The wire
+// uses -1 as the "none"/tracker sentinel for ids, so -1 is legal and
+// anything below it is hostile; list lengths are capped so a single
+// frame cannot drive a handler into unbounded work.
+func (m *Message) Validate() error {
+	switch {
+	case !validWireTypes[m.Type]:
+		return fmt.Errorf("%w: unknown type %q", ErrInvalidMessage, m.Type)
+	case m.From < -1:
+		return fmt.Errorf("%w: from %d", ErrInvalidMessage, m.From)
+	case m.Video < -1:
+		return fmt.Errorf("%w: video %d", ErrInvalidMessage, m.Video)
+	case m.Chunk < -1:
+		return fmt.Errorf("%w: chunk %d", ErrInvalidMessage, m.Chunk)
+	case m.Channel < -1:
+		return fmt.Errorf("%w: channel %d", ErrInvalidMessage, m.Channel)
+	case m.Provider < -1:
+		return fmt.Errorf("%w: provider %d", ErrInvalidMessage, m.Provider)
+	case m.TTL < 0 || m.TTL > maxWireTTL:
+		return fmt.Errorf("%w: ttl %d", ErrInvalidMessage, m.TTL)
+	case m.Hops < 0 || m.Hops > maxWireHops:
+		return fmt.Errorf("%w: hops %d", ErrInvalidMessage, m.Hops)
+	case m.Messages < 0:
+		return fmt.Errorf("%w: messages %d", ErrInvalidMessage, m.Messages)
+	case len(m.Visited) > maxWireVisited:
+		return fmt.Errorf("%w: visited len %d", ErrInvalidMessage, len(m.Visited))
+	case len(m.Peers) > maxWireList:
+		return fmt.Errorf("%w: peers len %d", ErrInvalidMessage, len(m.Peers))
+	case len(m.Providers) > maxWireList:
+		return fmt.Errorf("%w: providers len %d", ErrInvalidMessage, len(m.Providers))
+	case len(m.Videos) > maxWireVideos:
+		return fmt.Errorf("%w: videos len %d", ErrInvalidMessage, len(m.Videos))
+	}
+	for _, id := range m.Visited {
+		if id < -1 {
+			return fmt.Errorf("%w: visited id %d", ErrInvalidMessage, id)
+		}
+	}
+	for _, p := range m.Peers {
+		if p.ID < -1 || p.Channel < -1 {
+			return fmt.Errorf("%w: peer entry %+v", ErrInvalidMessage, p)
+		}
+	}
+	for _, p := range m.Providers {
+		if p.ID < -1 || p.Channel < -1 {
+			return fmt.Errorf("%w: provider entry %+v", ErrInvalidMessage, p)
+		}
+	}
+	return nil
+}
 
 // WriteMessage frames and writes one message.
 func WriteMessage(w io.Writer, m *Message) error {
@@ -147,6 +230,9 @@ func ReadMessage(r io.Reader) (*Message, error) {
 
 // rpc dials addr, sends req and waits for a single response, bounded by
 // timeout. The connection is closed afterwards (one-shot RPC style).
+// Responses are validated with the same strict bounds servers apply to
+// requests, so a corrupted or hostile reply surfaces as an error instead
+// of propagating garbage ids into the caller.
 func rpc(addr string, req *Message, timeout time.Duration) (*Message, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -163,5 +249,88 @@ func rpc(addr string, req *Message, timeout time.Duration) (*Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc %s to %s: %w", req.Type, addr, err)
 	}
+	if err := resp.Validate(); err != nil {
+		return nil, fmt.Errorf("rpc %s to %s: %w", req.Type, addr, err)
+	}
 	return resp, nil
+}
+
+// chaosAction is the frame-level fault chosen for one response write.
+type chaosAction uint8
+
+const (
+	chaosNone chaosAction = iota
+	chaosCorrupt
+	chaosTruncate
+	chaosDuplicate
+	chaosStall
+)
+
+// writeMessageChaos writes m, applying one injected frame fault. ctr
+// accounts each injected fault (nil-safe); callers pass their live
+// counter block so chaos volume shows up in snapshots.
+func writeMessageChaos(w io.Writer, m *Message, act chaosAction, stallFor time.Duration, ctr *obs.Counters) error {
+	switch act {
+	case chaosCorrupt:
+		if ctr != nil {
+			atomic.AddUint64(&ctr.ChaosCorrupted, 1)
+		}
+		body, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", m.Type, err)
+		}
+		if len(body) > maxFrame {
+			return ErrMessageTooLarge
+		}
+		// Flip bytes at three fixed offsets: the frame stays well-formed
+		// at the framing layer but the body no longer decodes (or no
+		// longer validates) at the receiver.
+		for _, off := range []int{len(body) / 4, len(body) / 2, 3 * len(body) / 4} {
+			body[off] ^= 0x5A
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("write frame header: %w", err)
+		}
+		_, err = w.Write(body)
+		return err
+	case chaosTruncate:
+		if ctr != nil {
+			atomic.AddUint64(&ctr.ChaosTruncated, 1)
+		}
+		body, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", m.Type, err)
+		}
+		if len(body) > maxFrame {
+			return ErrMessageTooLarge
+		}
+		// Promise the full body, deliver half: the receiver blocks on
+		// the missing bytes until the connection closes and surfaces an
+		// unexpected-EOF decode error.
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("write frame header: %w", err)
+		}
+		_, err = w.Write(body[:len(body)/2])
+		return err
+	case chaosDuplicate:
+		if ctr != nil {
+			atomic.AddUint64(&ctr.ChaosDuplicated, 1)
+		}
+		if err := WriteMessage(w, m); err != nil {
+			return err
+		}
+		return WriteMessage(w, m)
+	case chaosStall:
+		if ctr != nil {
+			atomic.AddUint64(&ctr.ChaosStalled, 1)
+		}
+		time.Sleep(stallFor)
+		return WriteMessage(w, m)
+	default:
+		return WriteMessage(w, m)
+	}
 }

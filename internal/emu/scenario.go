@@ -1,0 +1,55 @@
+package emu
+
+import "github.com/socialtube/socialtube/internal/trace"
+
+// Scenario primitives: deterministic building blocks that figure
+// harnesses and regression tests use to stage a cluster into a known
+// state before driving requests by hand. The fault plan decides *when*
+// providers die; these decide *what* exists when they do.
+
+// Subscribe marks the peer as a subscriber of ch, so JoinChannel grants
+// it channel-overlay membership like a trace subscription would.
+func (p *Peer) Subscribe(ch trace.ChannelID) {
+	p.mu.Lock()
+	p.subs[ch] = true
+	p.mu.Unlock()
+}
+
+// SeedCache marks v fully cached, making this peer a flood-findable
+// provider without replaying a whole watch session.
+func (p *Peer) SeedCache(v trace.VideoID) {
+	p.mu.Lock()
+	p.cache.AddFull(v)
+	p.mu.Unlock()
+}
+
+// JoinChannel attaches the peer to ch's overlay via the tracker exactly
+// as a request for one of ch's videos would.
+func (p *Peer) JoinChannel(ch trace.ChannelID) {
+	p.attachChannel(ch)
+}
+
+// AnnounceHave advertises v to the tracker (NetTube's have message), so
+// the tracker can direct later first requests at this peer.
+func (p *Peer) AnnounceHave(v trace.VideoID) {
+	p.rpcRetry(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
+}
+
+// StartWatching registers the peer as a current watcher of v (PA-VoD),
+// making it a provider until FinishVideo or a crash.
+func (p *Peer) StartWatching(v trace.VideoID) {
+	p.mu.Lock()
+	p.watching = v
+	p.mu.Unlock()
+	p.rpcRetry(p.trackerAddr, &Message{Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
+}
+
+// SetOnChunk installs fn as the delivery observer: it is called once per
+// chunk this peer receives while fetching (provider -1 is the server).
+// Harnesses use it to key fault injection to download progress instead
+// of wall clock, which keeps crash timing deterministic.
+func (p *Peer) SetOnChunk(fn func(v trace.VideoID, chunk, provider int)) {
+	p.mu.Lock()
+	p.onChunk = fn
+	p.mu.Unlock()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -210,11 +211,23 @@ func (t *Tracker) acceptLoop() {
 	}
 }
 
+// trackerHandleBudget bounds one request exchange end to end; chunk
+// serves queued beyond it time out exactly as an overloaded server's
+// clients would observe.
+const trackerHandleBudget = 10 * time.Second
+
 func (t *Tracker) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := conn.SetDeadline(time.Now().Add(trackerHandleBudget)); err != nil {
+		return
+	}
 	req, err := ReadMessage(conn)
 	if err != nil {
+		atomic.AddUint64(&t.ctr.FramesMalformed, 1)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		atomic.AddUint64(&t.ctr.FramesRejected, 1)
 		return
 	}
 	if t.down.Load() {
@@ -226,7 +239,8 @@ func (t *Tracker) handle(conn net.Conn) {
 	time.Sleep(t.cond.Latency(-1, req.From))
 	resp := t.dispatch(req)
 	if resp != nil {
-		WriteMessage(conn, resp)
+		act, stall := t.cond.nextChaos()
+		writeMessageChaos(conn, resp, act, stall, &t.ctr)
 	}
 }
 
@@ -369,11 +383,8 @@ func (t *Tracker) handleJoinVideo(req *Message) *Message {
 	atomic.AddUint64(&t.ctr.OverlayJoins, 1)
 	resp := &Message{Type: MsgJoinOK, From: -1}
 	members := t.videoMembers[v]
-	for id, addr := range members {
-		if id == req.From {
-			continue
-		}
-		resp.Peers = append(resp.Peers, PeerInfo{ID: id, Addr: addr, Channel: req.Video})
+	for _, id := range sortedMemberIDs(members, req.From) {
+		resp.Peers = append(resp.Peers, PeerInfo{ID: id, Addr: members[id], Channel: req.Video})
 		if len(resp.Peers) >= t.cfg.JoinPeers {
 			break
 		}
@@ -477,9 +488,16 @@ func (t *Tracker) handleWatchStart(req *Message) *Message {
 		candidates = local
 	}
 	atomic.AddUint64(&t.ctr.LookupsServer, 1)
-	if info, ok := t.randomMemberLocked(candidates, req.From, req.Video); ok {
-		resp.Provider = info.ID
-		resp.ProviderAddr = info.Addr
+	// Rank up to maxQueryProviders current watchers from a seeded
+	// rotation, so one death doesn't force a round-trip back here.
+	if ids := sortedMemberIDs(candidates, req.From); len(ids) > 0 {
+		off := t.g.Intn(len(ids))
+		for i := 0; i < len(ids) && len(resp.Providers) < maxQueryProviders; i++ {
+			id := ids[(off+i)%len(ids)]
+			resp.Providers = append(resp.Providers, PeerInfo{ID: id, Addr: candidates[id]})
+		}
+		resp.Provider = resp.Providers[0].ID
+		resp.ProviderAddr = resp.Providers[0].Addr
 		atomic.AddUint64(&t.ctr.HitsServerAssist, 1)
 	}
 	m := t.watchers[v]
@@ -518,30 +536,28 @@ func (t *Tracker) handleHave(req *Message) *Message {
 	return &Message{Type: MsgOK, From: -1}
 }
 
-// randomMemberLocked picks a pseudo-random member other than exclude. The
+// randomMemberLocked picks a seeded-random member other than exclude. The
 // caller must hold t.mu.
 func (t *Tracker) randomMemberLocked(m map[int]string, exclude, channel int) (PeerInfo, bool) {
-	if len(m) == 0 {
+	ids := sortedMemberIDs(m, exclude)
+	if len(ids) == 0 {
 		return PeerInfo{}, false
 	}
-	// Map iteration order is already randomized; take the first eligible
-	// entry after a random number of skips for better spread.
-	skip := t.g.Intn(len(m))
-	var fallback *PeerInfo
-	i := 0
-	for id, addr := range m {
-		if id == exclude {
-			continue
+	id := ids[t.g.Intn(len(ids))]
+	return PeerInfo{ID: id, Addr: m[id], Channel: channel}, true
+}
+
+// sortedMemberIDs returns m's keys minus exclude in ascending order. Go
+// randomizes map iteration per run, so every selection the tracker makes
+// from a member map must go through a sorted view to stay reproducible
+// under one seed.
+func sortedMemberIDs(m map[int]string, exclude int) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		if id != exclude {
+			ids = append(ids, id)
 		}
-		info := PeerInfo{ID: id, Addr: addr, Channel: channel}
-		if i >= skip {
-			return info, true
-		}
-		fallback = &info
-		i++
 	}
-	if fallback != nil {
-		return *fallback, true
-	}
-	return PeerInfo{}, false
+	sort.Ints(ids)
+	return ids
 }

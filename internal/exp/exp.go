@@ -204,17 +204,22 @@ type runner struct {
 	// Fault-injection state (internal/faults). All of it stays
 	// zero-valued without a plan, so a healthy run pays only cheap
 	// comparisons on the hot path and draws no extra randomness.
-	crashed       []bool
-	crashedCount  int
+	crashed      []bool
+	crashedCount int
 	// rejoinsPending counts scheduled-but-unfired rejoin events, so the
 	// probe loop knows crashed nodes will come back (see probeAll).
 	rejoinsPending int
-	windows       int // open burst/outage/brownout windows
-	latencyFactor float64
-	burstLossP    float64
-	outageUntil   time.Duration
-	repairer      Repairer
-	reseeder      Reseeder
+	windows        int // open burst/outage/brownout/chaos windows
+	latencyFactor  float64
+	burstLossP     float64
+	// chaosLossP is the per-request probability a located provider's
+	// delivery dies to frame-level chaos (corrupt/truncate/stall — the
+	// sim has no frames, so the window degrades like a lossy burst;
+	// duplicated frames are harmless and not counted).
+	chaosLossP  float64
+	outageUntil time.Duration
+	repairer    Repairer
+	reseeder    Reseeder
 	// mem samples the heap high-water mark once per watermarkEvery
 	// requests (power of two, so the hot path pays one mask test).
 	mem *obs.MemWatermark

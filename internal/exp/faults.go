@@ -52,6 +52,9 @@ type Resilience struct {
 	// LinkFailures counts located providers lost to a link burst
 	// (the request fell back to the server).
 	LinkFailures uint64 `json:"linkFailures"`
+	// ChaosFailures counts located providers lost to a frame-chaos
+	// window (corrupted/truncated/stalled delivery).
+	ChaosFailures uint64 `json:"chaosFailures"`
 	// ServerDeferred counts server requests that had to wait out a
 	// tracker outage.
 	ServerDeferred uint64 `json:"serverDeferred"`
@@ -128,6 +131,16 @@ func (r *runner) scheduleFaults(sched *faults.Schedule) {
 			r.engine.At(ev.At, func(time.Duration) {
 				r.windows--
 				r.net.SetServerUplinkFactor(1)
+			})
+		case faults.KindChaosStart:
+			r.engine.At(ev.At, func(time.Duration) {
+				r.windows++
+				r.chaosLossP = ev.CorruptP + ev.TruncateP + ev.StallP
+			})
+		case faults.KindChaosEnd:
+			r.engine.At(ev.At, func(time.Duration) {
+				r.windows--
+				r.chaosLossP = 0
 			})
 		}
 	}
@@ -218,6 +231,10 @@ func (r *runner) accountFaults(res *vod.RequestResult) {
 	if r.burstLossP > 0 && res.Source == vod.SourcePeer && r.g.Bool(r.burstLossP) {
 		res.Source = vod.SourceServer
 		r.res.Resilience.LinkFailures++
+	}
+	if r.chaosLossP > 0 && res.Source == vod.SourcePeer && r.g.Bool(r.chaosLossP) {
+		res.Source = vod.SourceServer
+		r.res.Resilience.ChaosFailures++
 	}
 	if r.crashedCount > 0 || r.windows > 0 {
 		r.res.Resilience.RequestsDuringFaults++

@@ -73,6 +73,31 @@ type Brownout struct {
 	CapacityFactor float64
 }
 
+// ChaosBurst injects frame-level wire faults for a window: each frame a
+// node writes is independently corrupted, truncated, duplicated or
+// stalled with the given probabilities (at most one fault per frame,
+// evaluated in that order). The emu transport applies these literally on
+// its sockets; the simulator, which has no frames, accounts the window
+// as a degraded period like a link burst.
+type ChaosBurst struct {
+	At       time.Duration
+	Duration time.Duration
+	// CorruptP flips bytes inside the frame body, so the receiver sees a
+	// well-framed but undecodable (or invalid) message.
+	CorruptP float64
+	// TruncateP writes a header promising more bytes than follow, so the
+	// receiver blocks until EOF and sees an unexpected-EOF error.
+	TruncateP float64
+	// DuplicateP writes the frame twice; one-shot RPC readers must
+	// tolerate trailing data on the connection.
+	DuplicateP float64
+	// StallP delays the frame by StallFor before writing it, driving
+	// receivers into their timeout path.
+	StallP float64
+	// StallFor is the stall delay (required when StallP > 0).
+	StallFor time.Duration
+}
+
 // Plan is a declarative, seeded description of every fault a run
 // suffers. The zero value is a healthy run.
 type Plan struct {
@@ -90,6 +115,7 @@ type Plan struct {
 	Bursts      []LinkBurst
 	Outages     []Outage
 	Brownouts   []Brownout
+	Chaos       []ChaosBurst
 }
 
 // Kind identifies what a compiled fault event does.
@@ -113,6 +139,10 @@ const (
 	// throttle window.
 	KindBrownoutStart
 	KindBrownoutEnd
+	// KindChaosStart / KindChaosEnd bracket a frame-level wire-fault
+	// window (corrupt/truncate/duplicate/stall).
+	KindChaosStart
+	KindChaosEnd
 )
 
 func (k Kind) String() string {
@@ -135,6 +165,10 @@ func (k Kind) String() string {
 		return "brownout-start"
 	case KindBrownoutEnd:
 		return "brownout-end"
+	case KindChaosStart:
+		return "chaos-start"
+	case KindChaosEnd:
+		return "chaos-end"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -157,6 +191,13 @@ type Event struct {
 	LossP         float64 `json:"lossP,omitempty"`
 	// CapacityFactor carries a brownout's remaining capacity.
 	CapacityFactor float64 `json:"capacityFactor,omitempty"`
+	// CorruptP, TruncateP, DuplicateP, StallP and StallFor carry a chaos
+	// burst's frame-fault mix.
+	CorruptP   float64       `json:"corruptP,omitempty"`
+	TruncateP  float64       `json:"truncateP,omitempty"`
+	DuplicateP float64       `json:"duplicateP,omitempty"`
+	StallP     float64       `json:"stallP,omitempty"`
+	StallFor   time.Duration `json:"stallFor,omitempty"`
 }
 
 // Schedule is a compiled plan: events sorted by At (insertion order
@@ -216,8 +257,27 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: brownout %d CapacityFactor %g outside (0,1)", i, b.CapacityFactor)
 		}
 	}
+	for i, c := range p.Chaos {
+		switch {
+		case c.At < 0 || c.Duration <= 0:
+			return fmt.Errorf("faults: chaos burst %d needs At ≥ 0 and Duration > 0", i)
+		case bad01(c.CorruptP) || bad01(c.TruncateP) || bad01(c.DuplicateP) || bad01(c.StallP):
+			return fmt.Errorf("faults: chaos burst %d has a probability outside [0,1]", i)
+		case c.CorruptP+c.TruncateP+c.DuplicateP+c.StallP == 0:
+			return fmt.Errorf("faults: chaos burst %d injects nothing (all probabilities zero)", i)
+		case c.CorruptP+c.TruncateP+c.DuplicateP+c.StallP > 1:
+			return fmt.Errorf("faults: chaos burst %d probabilities sum to %g > 1",
+				i, c.CorruptP+c.TruncateP+c.DuplicateP+c.StallP)
+		case c.StallP > 0 && c.StallFor <= 0:
+			return fmt.Errorf("faults: chaos burst %d has StallP %g but no StallFor", i, c.StallP)
+		case c.StallFor < 0:
+			return fmt.Errorf("faults: chaos burst %d StallFor %v negative", i, c.StallFor)
+		}
+	}
 	return nil
 }
+
+func bad01(p float64) bool { return p < 0 || p > 1 }
 
 // Compile expands the plan against a population of nodes (ids
 // 0..nodes-1) into a time-ordered Schedule. Compilation is
@@ -288,6 +348,14 @@ func (p *Plan) Compile(nodes int) (*Schedule, error) {
 			Event{At: b.At, Kind: KindBrownoutStart, Node: -1, Until: end, CapacityFactor: b.CapacityFactor},
 			Event{At: end, Kind: KindBrownoutEnd, Node: -1})
 	}
+	for _, c := range p.Chaos {
+		end := c.At + c.Duration
+		evs = append(evs,
+			Event{At: c.At, Kind: KindChaosStart, Node: -1, Until: end,
+				CorruptP: c.CorruptP, TruncateP: c.TruncateP,
+				DuplicateP: c.DuplicateP, StallP: c.StallP, StallFor: c.StallFor},
+			Event{At: end, Kind: KindChaosEnd, Node: -1})
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return &Schedule{Events: evs, Crashes: crashes}, nil
 }
@@ -318,6 +386,36 @@ func ChurnPlan(seed int64, unit time.Duration) *Plan {
 		},
 		Bursts: []LinkBurst{
 			{At: 3 * unit, Duration: unit / 2, LatencyFactor: 3, LossP: 0.25},
+		},
+	}
+}
+
+// FailoverPlan is the provider-crash stress behind the failover figure:
+// two crash waves that together take down half the provider population
+// while downloads are in flight, with no rejoins — every handoff has to
+// find a still-live candidate or fall back to the server. The unit is
+// one chunk-delivery step in the figure's progress-keyed replay (the
+// requester advances the clock by one unit per chunk received), so the
+// same compiled schedule also replays on wall-clock offsets.
+func FailoverPlan(seed int64, unit time.Duration) *Plan {
+	return &Plan{
+		Seed: seed,
+		Waves: []ChurnWave{
+			{At: unit, Spread: 2 * unit, Fraction: 0.25},
+			{At: 4 * unit, Spread: 2 * unit, Fraction: 0.34},
+		},
+	}
+}
+
+// ChaosPlan is the wire-fault stress used by chaos tests and demos: one
+// window mixing corrupted, truncated, duplicated and stalled frames.
+func ChaosPlan(seed int64, unit time.Duration) *Plan {
+	return &Plan{
+		Seed: seed,
+		Chaos: []ChaosBurst{
+			{At: unit, Duration: 2 * unit,
+				CorruptP: 0.1, TruncateP: 0.05, DuplicateP: 0.05,
+				StallP: 0.05, StallFor: unit / 2},
 		},
 	}
 }

@@ -150,16 +150,21 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 		{Regions: -1},
 		{DetectDelay: -time.Second},
 		{Waves: []ChurnWave{{At: -time.Second, Count: 1}}},
-		{Waves: []ChurnWave{{At: time.Second}}},                                    // no Count, no Fraction
-		{Waves: []ChurnWave{{At: time.Second, Fraction: 1.5}}},                     // Fraction > 1
-		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: 1}}},               // region without Regions
-		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: -1}}},              // negative region
-		{Regions: 2, Waves: []ChurnWave{{At: 0, Count: 1, Region: 3}}},             // region out of range
-		{Bursts: []LinkBurst{{At: time.Second}}},                                   // zero duration
-		{Bursts: []LinkBurst{{At: 0, Duration: time.Second, LossP: 2}}},            // LossP > 1
-		{Outages: []Outage{{At: 0}}},                                               // zero duration
-		{Brownouts: []Brownout{{At: 0, Duration: time.Second}}},                    // zero capacity
-		{Brownouts: []Brownout{{At: 0, Duration: time.Second, CapacityFactor: 1}}}, // no-op capacity
+		{Waves: []ChurnWave{{At: time.Second}}},                                              // no Count, no Fraction
+		{Waves: []ChurnWave{{At: time.Second, Fraction: 1.5}}},                               // Fraction > 1
+		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: 1}}},                         // region without Regions
+		{Waves: []ChurnWave{{At: time.Second, Count: 1, Region: -1}}},                        // negative region
+		{Regions: 2, Waves: []ChurnWave{{At: 0, Count: 1, Region: 3}}},                       // region out of range
+		{Bursts: []LinkBurst{{At: time.Second}}},                                             // zero duration
+		{Bursts: []LinkBurst{{At: 0, Duration: time.Second, LossP: 2}}},                      // LossP > 1
+		{Outages: []Outage{{At: 0}}},                                                         // zero duration
+		{Brownouts: []Brownout{{At: 0, Duration: time.Second}}},                              // zero capacity
+		{Brownouts: []Brownout{{At: 0, Duration: time.Second, CapacityFactor: 1}}},           // no-op capacity
+		{Chaos: []ChaosBurst{{At: 0, CorruptP: 0.1}}},                                        // zero duration
+		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second}}},                                // injects nothing
+		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, CorruptP: 1.5}}},                 // P > 1
+		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, CorruptP: 0.6, TruncateP: 0.6}}}, // sum > 1
+		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, StallP: 0.5}}},                   // stall without StallFor
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -186,5 +191,42 @@ func TestHelperPlansCompile(t *testing.T) {
 		if s.Crashes == 0 || len(s.Events) <= s.Crashes {
 			t.Fatalf("%s: degenerate schedule (%d events, %d crashes)", name, len(s.Events), s.Crashes)
 		}
+	}
+
+	// FailoverPlan is crash-only: no rejoins, no repair events — every
+	// lost provider stays lost for the rest of the run.
+	fs, err := FailoverPlan(9, time.Minute).Compile(8)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if fs.Crashes == 0 || len(fs.Events) != fs.Crashes {
+		t.Fatalf("failover: want crash-only schedule, got %d events, %d crashes", len(fs.Events), fs.Crashes)
+	}
+	if fs.Crashes >= 8 {
+		t.Fatalf("failover: all %d providers crash — no candidate can survive", fs.Crashes)
+	}
+	for _, ev := range fs.Events {
+		if ev.Kind != KindCrash {
+			t.Fatalf("failover: unexpected %v event", ev.Kind)
+		}
+	}
+
+	// ChaosPlan compiles to one paired chaos window carrying the mix.
+	cs, err := ChaosPlan(9, time.Minute).Compile(8)
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	if len(cs.Events) != 2 {
+		t.Fatalf("chaos: want start/end pair, got %d events", len(cs.Events))
+	}
+	start, end := cs.Events[0], cs.Events[1]
+	if start.Kind != KindChaosStart || end.Kind != KindChaosEnd {
+		t.Fatalf("chaos: kinds = %v, %v", start.Kind, end.Kind)
+	}
+	if start.Until != end.At || start.Until <= start.At {
+		t.Fatalf("chaos: window [%v, until %v] vs end at %v", start.At, start.Until, end.At)
+	}
+	if start.CorruptP <= 0 || start.TruncateP <= 0 || start.DuplicateP <= 0 || start.StallP <= 0 || start.StallFor <= 0 {
+		t.Fatalf("chaos: parameters not carried: %+v", start)
 	}
 }

@@ -83,6 +83,45 @@ type Counters struct {
 	RepairCalls     uint64 `json:"repairCalls"`
 	RepairedLinks   uint64 `json:"repairedLinks"`
 	PrefetchReseeds uint64 `json:"prefetchReseeds"`
+	// Resilient delivery: provider handoffs on mid-stream failure.
+	// HandoffAttempts counts candidate switches tried, Handoffs the ones
+	// that resumed the download from the last received chunk, and
+	// HandoffServerRescues the downloads the server had to complete after
+	// every candidate (and a re-query) failed.
+	HandoffAttempts      uint64 `json:"handoffAttempts"`
+	Handoffs             uint64 `json:"handoffs"`
+	HandoffServerRescues uint64 `json:"handoffServerRescues"`
+	// Per-peer circuit breakers (internal/health): closed→open
+	// transitions, calls short-circuited by an open breaker, half-open
+	// probation probes, and probes that closed the breaker again.
+	BreakerOpens      uint64 `json:"breakerOpens"`
+	BreakerSkips      uint64 `json:"breakerSkips"`
+	BreakerProbes     uint64 `json:"breakerProbes"`
+	BreakerRecoveries uint64 `json:"breakerRecoveries"`
+	// Wire hardening: frames that failed to decode (bad length prefix,
+	// truncated body, invalid JSON), frames that decoded but failed strict
+	// field validation, and tracker-path RPCs that exhausted their retry
+	// budget.
+	FramesMalformed uint64 `json:"framesMalformed"`
+	FramesRejected  uint64 `json:"framesRejected"`
+	RPCFailures     uint64 `json:"rpcFailures"`
+	// Frame-level chaos injected by the emu transport (faults.ChaosBurst):
+	// responses corrupted, truncated, duplicated or stalled on the wire.
+	ChaosCorrupted  uint64 `json:"chaosCorrupted"`
+	ChaosTruncated  uint64 `json:"chaosTruncated"`
+	ChaosDuplicated uint64 `json:"chaosDuplicated"`
+	ChaosStalled    uint64 `json:"chaosStalled"`
+}
+
+// Merge adds every field of o into c (plain addition, not atomic). Used by
+// the emu cluster to fold tracker and per-peer counter blocks into one
+// result snapshot; call on snapshots when writers may still be running.
+func (c *Counters) Merge(o Counters) {
+	dst := reflect.ValueOf(c).Elem()
+	src := reflect.ValueOf(&o).Elem()
+	for i := 0; i < dst.NumField(); i++ {
+		dst.Field(i).SetUint(dst.Field(i).Uint() + src.Field(i).Uint())
+	}
 }
 
 // AddHops records one successful peer lookup at the given hop distance.

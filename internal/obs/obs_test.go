@@ -63,6 +63,31 @@ func TestCountersJSONStable(t *testing.T) {
 	}
 }
 
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	// Distinct per-field values so a skipped or swapped field in Merge
+	// cannot cancel out.
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		va.Field(i).SetUint(uint64(i + 1))
+		vb.Field(i).SetUint(uint64(100 * (i + 1)))
+	}
+	a.Merge(b)
+	for i := 0; i < va.NumField(); i++ {
+		want := uint64(i+1) + uint64(100*(i+1))
+		if got := va.Field(i).Uint(); got != want {
+			t.Fatalf("field %d after merge = %d, want %d", i, got, want)
+		}
+	}
+	// Merging a zero block changes nothing.
+	before := a
+	a.Merge(Counters{})
+	if a != before {
+		t.Fatal("merging zero counters changed the block")
+	}
+}
+
 func TestAddHops(t *testing.T) {
 	var c Counters
 	for _, h := range []int{0, 1, 2, 3, 4, 5, 9} {

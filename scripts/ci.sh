@@ -25,6 +25,14 @@ echo "== fault injection & shutdown paths (race, explicitly) =="
 go test -race -count=1 -run 'Fault|Churn|Outage|Crash|Burst|Ctx|Cancel|Scenario|Releases|Compile|Validate|HelperPlans' \
 	./internal/faults/ ./internal/emu/ ./internal/exp/ .
 
+echo "== resilient delivery path (race, explicitly) =="
+go test -race -count=1 -run 'Failover|Handoff|Breaker|Chaos|Retry|Malformed|MidStream|Open|Probation|Streak' \
+	./internal/emu/ ./internal/core/ ./internal/health/ ./internal/figures/
+
+echo "== wire-layer fuzz smoke (30s per target) =="
+go test ./internal/emu -run '^$' -fuzz '^FuzzReadMessage$' -fuzztime 30s
+go test ./internal/emu -run '^$' -fuzz '^FuzzHandleMessage$' -fuzztime 30s
+
 echo "== short benchmarks (allocations) =="
 go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
 go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/
