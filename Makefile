@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper emu faults-demo failover-demo fuzz-smoke trace-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo fuzz-smoke trace-demo cover clean
 
 all: build test
 
@@ -45,6 +45,11 @@ scale-demo:
 # claim measured end to end). Minutes, single machine.
 scale-paper:
 	$(GO) run ./cmd/socialtube-sim -fig scale -scale paper
+
+# The 10M-user point on the community-sharded engine (one loop per
+# interest category, epoch-barrier mailboxes). Hours-scale on one core.
+scale-10m:
+	$(GO) run ./cmd/socialtube-sim -fig scale -scale 10m -shards 1
 
 # Run the TCP emulation at the paper's 250-node PlanetLab scale.
 emu:

@@ -35,6 +35,7 @@ func run(args []string) (retErr error) {
 		seed      = fs.Int64("seed", 1, "experiment seed")
 		skipEmu   = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
 		skipScale = fs.Bool("skip-scale", false, "skip the small-N scalability sweep")
+		shards    = fs.Int("shards", 0, "run the scalability sweep on the community-sharded engine with this many workers (0 = classic single-loop engine)")
 		benchOut  = fs.String("bench-out", "BENCH_scale.json", "append scale-sweep points to this JSONL file (empty disables)")
 		failOut   = fs.String("failover-out", "BENCH_failover.json", "append failover points to this JSONL file (empty disables)")
 		traceOut  = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
@@ -119,6 +120,7 @@ func run(args []string) (retErr error) {
 		fmt.Println("---- Section V: scalability sweep (smoke sizes) ----")
 		sw := figures.SmokeScaleSweep()
 		sw.Seed = *seed
+		sw.Shards = *shards
 		fsc, err := figures.RunScaleSweep(sw)
 		if err != nil {
 			return err

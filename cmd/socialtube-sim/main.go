@@ -20,19 +20,29 @@ import (
 )
 
 // runScaleSweep runs the scalability sweep (-fig scale): the smoke sizes
-// at -scale small, 10k..1M users at -scale paper. Per-point results are
-// appended to the JSONL bench log when benchOut is non-empty.
-func runScaleSweep(scaleName string, seed int64, benchOut string) error {
+// at -scale small, 10k..1M users at -scale paper, the single 10M-user
+// point at -scale 10m. Per-point results are appended to the JSONL bench
+// log when benchOut is non-empty. shards > 0 routes every point through
+// the community-sharded engine with that many workers; users > 0 replaces
+// the preset populations with that single size (the shard-count
+// comparison runs the 1M point alone this way).
+func runScaleSweep(scaleName string, seed int64, benchOut string, shards, users int) error {
 	var sw figures.ScaleSweep
 	switch scaleName {
 	case "small":
 		sw = figures.SmokeScaleSweep()
 	case "paper":
 		sw = figures.DefaultScaleSweep()
+	case "10m":
+		sw = figures.TenMScaleSweep()
 	default:
-		return fmt.Errorf("unknown scale %q (want small or paper)", scaleName)
+		return fmt.Errorf("unknown scale %q (want small, paper or 10m)", scaleName)
 	}
 	sw.Seed = seed
+	sw.Shards = shards
+	if users > 0 {
+		sw.Sizes = []int{users}
+	}
 	sw.Progress = func(msg string) { fmt.Println("# " + msg) }
 	f, err := figures.RunScaleSweep(sw)
 	if err != nil {
@@ -99,8 +109,10 @@ func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
 		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, scale, table1 or all")
-		scale      = fs.String("scale", "small", "workload scale: small or paper")
+		scale      = fs.String("scale", "small", "workload scale: small or paper (-fig scale also takes 10m)")
 		seed       = fs.Int64("seed", 1, "experiment seed")
+		shards     = fs.Int("shards", 0, "with -fig scale, run each point on the community-sharded engine with this many workers (0 = classic single-loop engine)")
+		users      = fs.Int("users", 0, "with -fig scale, replace the preset populations with this single size (0 = preset)")
 		benchOut   = fs.String("bench-out", "BENCH_scale.json", "with -fig scale, append per-point results to this JSONL file (empty disables)")
 		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
 		traceOut   = fs.String("trace-out", "", "write every protocol event as JSON Lines to this file")
@@ -130,7 +142,13 @@ func run(args []string) (retErr error) {
 	// The scale sweep builds its own shard traces (one per population),
 	// so it branches off before the single-figure trace is generated.
 	if *fig == "scale" {
-		return runScaleSweep(*scale, *seed, *benchOut)
+		return runScaleSweep(*scale, *seed, *benchOut, *shards, *users)
+	}
+	if *shards > 0 || *users > 0 {
+		return fmt.Errorf("-shards and -users apply to -fig scale only")
+	}
+	if *scale == "10m" {
+		return fmt.Errorf("-scale 10m applies to -fig scale only")
 	}
 	var s figures.Scale
 	switch *scale {

@@ -160,6 +160,9 @@ type Result struct {
 	// mark, which MemUsage keeps out of the JSON encoding so same-seed
 	// Results marshal byte-identically.
 	Mem obs.MemUsage `json:"mem"`
+	// Sharded carries the community-sharded run's extra accounting
+	// (RunSharded); nil for single-engine runs, whose JSON is unchanged.
+	Sharded *ShardedInfo `json:"sharded,omitempty"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -223,6 +226,11 @@ type runner struct {
 	// mem samples the heap high-water mark once per watermarkEvery
 	// requests (power of two, so the hot path pays one mask test).
 	mem *obs.MemWatermark
+	// remote routes cross-community lookups in sharded runs (RunSharded);
+	// nil for single-engine runs, whose hot path pays one comparison.
+	remote *remoteRouter
+	// cell is this runner's community cell index in a sharded run.
+	cell int
 }
 
 // watermarkEvery is the request period between heap samples. ReadMemStats
@@ -370,14 +378,33 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, gen uint64, now 
 		return
 	}
 	v := plan.Videos[idx]
-	video := r.tr.Video(v)
 	r.tick(now)
 	res := r.proto.Request(node, v)
 	r.res.Requests++
 	r.mem.Tick()
 	r.res.Messages.Addn(int64(res.Messages))
 	r.accountFaults(&res)
+	if r.remote != nil && res.Source == vod.SourceServer &&
+		r.remote.forward(r, node, plan, idx, gen, v, res, now) {
+		// The lookup is in flight to the video's home community; the
+		// session chain resumes in watchAccount when the reply event
+		// arrives after the epoch barrier.
+		return
+	}
+	r.watchAccount(node, plan, idx, gen, v, res, now, now, false)
+}
 
+// watchAccount is the second half of watch: account the located result's
+// delivery and schedule the post-playback step. reqAt is when the request
+// was issued and now when the result became known — they differ only for
+// cross-community lookups, whose barrier wait is real startup delay.
+// remotePeer marks a provider living in another community cell, delivered
+// by the analytic cross-community path instead of the local simnet.
+func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint64, v trace.VideoID, res vod.RequestResult, reqAt, now time.Duration, remotePeer bool) {
+	if r.gen[node] != gen {
+		return
+	}
+	video := r.tr.Video(v)
 	// Chunk sizes scale with WatchScale so compressed timelines offer the
 	// server a proportionally compressed load; otherwise time compression
 	// would multiply the offered bitrate without scaling capacity.
@@ -389,7 +416,11 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, gen uint64, now 
 		ready = now
 	case vod.SourcePeer:
 		r.res.PeerHits.Inc()
-		ready = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
+		if remotePeer {
+			ready = r.remote.deliverRemote(r, node, res, chunkBytes, now)
+		} else {
+			ready = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
+		}
 		r.peerChunks[node] += int64(r.cfg.ChunksPerVideo)
 		r.ctr.ChunksPeer += uint64(r.cfg.ChunksPerVideo)
 	case vod.SourceServer:
@@ -409,7 +440,7 @@ func (r *runner) watch(node int, plan vod.SessionPlan, idx int, gen uint64, now 
 		ready = now
 	}
 	if res.Source != vod.SourceCache {
-		r.res.StartupDelay.AddDuration(ready - now)
+		r.res.StartupDelay.AddDuration(ready - reqAt)
 		if res.PrefixCached {
 			r.res.PrefixHits.Inc()
 		}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/baseline"
+	"github.com/socialtube/socialtube/internal/core"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// socialTubeFactory builds one SocialTube instance per community cell,
+// seeding each cell's protocol RNG from its cell id.
+func socialTubeFactory(seed int64) CellProtocol {
+	return func(cell int, cellTr *trace.Trace) (vod.Protocol, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed*1_000_003 + int64(cell+1)
+		return core.New(cfg, cellTr)
+	}
+}
+
+func netTubeFactory(seed int64) CellProtocol {
+	return func(cell int, cellTr *trace.Trace) (vod.Protocol, error) {
+		cfg := baseline.DefaultNetTubeConfig()
+		cfg.Seed = seed*1_000_003 + int64(cell+1)
+		return baseline.NewNetTube(cfg, cellTr)
+	}
+}
+
+func shardedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sessions = 2
+	cfg.VideosPerSession = 5
+	cfg.WatchScale = 0.05
+	cfg.MeanOffTime = 60 * time.Second
+	cfg.Horizon = 12 * time.Hour
+	return cfg
+}
+
+func runSharded(t *testing.T, workers int) *Result {
+	t.Helper()
+	tr := expTrace(t)
+	res, err := RunSharded(shardedConfig(), tr, socialTubeFactory(1), simnet.DefaultConfig(),
+		ShardedOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedWorkerCountInvariance is the acceptance pin: the same seed
+// run under worker counts {1, 2, 4, 8} — from the fully sequential loop
+// to more workers than cores — marshals to byte-identical JSON. The
+// worker count decides only which OS thread advances which community
+// loop; it must never leak into results.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	ref := runSharded(t, 1)
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Requests == 0 {
+		t.Fatal("sharded reference run issued no requests")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := json.Marshal(runSharded(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(refJSON) {
+			t.Fatalf("workers=%d result diverged from the sequential reference\nseq: %s\ngot: %s",
+				workers, refJSON, got)
+		}
+	}
+}
+
+// TestShardedAccountingConsistency checks the merged result's internal
+// arithmetic: hits partition the requests, remote accounting is coherent,
+// and the per-shard load block covers every cell.
+func TestShardedAccountingConsistency(t *testing.T) {
+	res := runSharded(t, 0) // default worker count
+	if res.Sharded == nil {
+		t.Fatal("sharded run returned no ShardedInfo")
+	}
+	hits := res.CacheHits.Value() + res.PeerHits.Value() + res.ServerHits.Value()
+	if hits != res.Requests {
+		t.Fatalf("hits %d != requests %d", hits, res.Requests)
+	}
+	info := res.Sharded
+	if info.Cells != 10 { // expTrace uses 10 categories
+		t.Fatalf("cells %d, want 10", info.Cells)
+	}
+	if len(info.ShardLoad) != info.Cells {
+		t.Fatalf("shard load has %d entries for %d cells", len(info.ShardLoad), info.Cells)
+	}
+	if info.RemoteLookups == 0 {
+		t.Fatal("no cross-community lookups in a multi-category workload (75/15/10 behavior guarantees some)")
+	}
+	if info.RemoteHits > info.RemoteLookups {
+		t.Fatalf("remote hits %d exceed lookups %d", info.RemoteHits, info.RemoteLookups)
+	}
+	if info.RemoteHits > 0 && info.RemoteBytes == 0 {
+		t.Fatal("remote hits served zero bytes")
+	}
+	var fired uint64
+	for _, s := range info.ShardLoad {
+		fired += s.EventsFired
+	}
+	if fired != res.Engine.EventsFired {
+		t.Fatalf("per-shard events %d != merged %d", fired, res.Engine.EventsFired)
+	}
+	if res.SimulatedTime <= 0 || res.SimulatedTime > shardedConfig().Horizon {
+		t.Fatalf("simulated time %v outside (0, horizon]", res.SimulatedTime)
+	}
+}
+
+// TestShardedBaselineFallsBackToServer: a protocol without RemoteSearcher
+// (NetTube) still runs sharded — cross-community misses go to the origin
+// community's server instead of crossing the barrier.
+func TestShardedBaselineFallsBackToServer(t *testing.T) {
+	tr := expTrace(t)
+	res, err := RunSharded(shardedConfig(), tr, netTubeFactory(1), simnet.DefaultConfig(), ShardedOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sharded.RemoteLookups != 0 {
+		t.Fatalf("NetTube forwarded %d remote lookups without implementing RemoteSearcher", res.Sharded.RemoteLookups)
+	}
+	if res.Requests == 0 || res.ServerHits.Value() == 0 {
+		t.Fatalf("baseline sharded run: %d requests, %d server hits", res.Requests, res.ServerHits.Value())
+	}
+}
+
+// TestShardedRejectsBadInputs pins the constructor errors.
+func TestShardedRejectsBadInputs(t *testing.T) {
+	tr := expTrace(t)
+	if _, err := RunSharded(shardedConfig(), tr, nil, simnet.DefaultConfig(), ShardedOptions{}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if _, err := RunSharded(shardedConfig(), nil, socialTubeFactory(1), simnet.DefaultConfig(), ShardedOptions{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	bad := shardedConfig()
+	bad.Sessions = 0
+	if _, err := RunSharded(bad, tr, socialTubeFactory(1), simnet.DefaultConfig(), ShardedOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// BenchmarkShardedRun compares the sequential and parallel sharded paths
+// over the same workload; the allocs/op column doubles as a regression
+// pin on the per-epoch overhead.
+func BenchmarkShardedRun(b *testing.B) {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 41
+	cfg.Channels = 40
+	cfg.Users = 400
+	cfg.Categories = 10
+	cfg.MaxInterestsPerUser = 10
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSharded(shardedConfig(), tr, socialTubeFactory(1), simnet.DefaultConfig(),
+					ShardedOptions{Workers: bench.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

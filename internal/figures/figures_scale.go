@@ -9,6 +9,8 @@ import (
 	"github.com/socialtube/socialtube/internal/exp"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
 )
 
 // ScaleSweep configures the scalability sweep: the §IV-C / Fig. 15
@@ -39,6 +41,13 @@ type ScaleSweep struct {
 	ProbeInterval time.Duration
 	// Seed drives every shard (trace and workload).
 	Seed int64
+	// Shards selects the engine: 0 runs each point on the classic
+	// single-loop exp.Run; ≥1 runs it community-sharded (exp.RunSharded)
+	// with that many worker goroutines advancing the per-category loops.
+	// Deterministic point fields are byte-identical across Shards ≥ 1 (the
+	// worker count is wall-clock only); they differ from the Shards=0
+	// engine, whose RNG streams are global rather than per-community.
+	Shards int
 	// Progress, when non-nil, receives one line per trace build and per
 	// completed point; paper-size sweeps run for minutes.
 	Progress func(msg string)
@@ -58,6 +67,19 @@ func DefaultScaleSweep() ScaleSweep {
 		ProbeInterval:        time.Minute,
 		Seed:                 1,
 	}
+}
+
+// TenMScaleSweep is the 10M-user scale point: one population an order of
+// magnitude past the paper sweep's 1M ceiling, over the same fixed
+// Table I catalog. The workload is trimmed to one video per session so
+// the point stays at ~10M requests per protocol; it is meant to run on
+// the sharded engine (Shards ≥ 1 via the -shards flag).
+func TenMScaleSweep() ScaleSweep {
+	sw := DefaultScaleSweep()
+	sw.Sizes = []int{10_000_000}
+	sw.Sessions = 1
+	sw.VideosPerSession = 1
+	return sw
 }
 
 // SmokeScaleSweep is the seconds-long variant for unit tests, CI and
@@ -104,6 +126,24 @@ func (sw ScaleSweep) progress(msg string) {
 type ScaleEnv struct {
 	HeapHighWaterBytes uint64  `json:"heapHighWaterBytes"`
 	WallMs             float64 `json:"wallMs"`
+	// Workers and ShardLoad appear on sharded-engine points only: the
+	// worker-pool size the run was launched with and the per-community
+	// loop load. They live in Env — Canonical() zeroes them — because
+	// busy/barrier-wait are wall-clock and Workers is a launch parameter;
+	// the EventsFired column rides along to give the times a denominator.
+	Workers   int            `json:"workers,omitempty"`
+	ShardLoad []ShardLoadEnv `json:"shardLoad,omitempty"`
+}
+
+// ShardLoadEnv is one community loop's load in a sharded point: the
+// events it fired, the wall time its engine ran, and the wall time the
+// epoch barriers spent waiting past its own work for the slowest loop —
+// the load-imbalance signal of the sharded engine.
+type ShardLoadEnv struct {
+	Shard         int     `json:"shard"`
+	EventsFired   uint64  `json:"eventsFired"`
+	BusyMs        float64 `json:"busyMs"`
+	BarrierWaitMs float64 `json:"barrierWaitMs"`
 }
 
 // ScalePoint is one (population, protocol) cell of the sweep. Every field
@@ -128,6 +168,12 @@ type ScalePoint struct {
 	// Memory accounting from the dense trace layout.
 	TraceBytes   uint64  `json:"traceBytes"`
 	BytesPerUser float64 `json:"bytesPerUser"`
+	// Sharded-engine points only: the community cell count and the
+	// cross-community lookup totals. Deterministic — byte-identical for
+	// any worker count — so they sit outside Env.
+	Cells         int   `json:"cells,omitempty"`
+	RemoteLookups int64 `json:"remoteLookups,omitempty"`
+	RemoteHits    int64 `json:"remoteHits,omitempty"`
 
 	Env ScaleEnv `json:"env"`
 }
@@ -141,8 +187,9 @@ func (p ScalePoint) Canonical() ScalePoint {
 
 // sweepPoint reduces one run result to its sweep cell. probeInterval is
 // the run's maintenance period, used to convert the probe total into a
-// per-node per-round rate.
-func sweepPoint(users int, protocol string, seed int64, probeInterval time.Duration, res *exp.Result, wall time.Duration) ScalePoint {
+// per-node per-round rate; workers is the sharded worker-pool size (0 on
+// the single-engine path).
+func sweepPoint(users int, protocol string, seed int64, probeInterval time.Duration, workers int, res *exp.Result, wall time.Duration) ScalePoint {
 	p := ScalePoint{
 		Users:        users,
 		Protocol:     protocol,
@@ -169,6 +216,21 @@ func sweepPoint(users int, protocol string, seed int64, probeInterval time.Durat
 	}
 	if k := len(res.LinksByVideoIndex); k > 0 {
 		p.MeanLinks = res.LinksByVideoIndex[k-1].Mean()
+	}
+	if info := res.Sharded; info != nil {
+		p.Cells = info.Cells
+		p.RemoteLookups = info.RemoteLookups
+		p.RemoteHits = info.RemoteHits
+		p.Env.Workers = workers
+		p.Env.ShardLoad = make([]ShardLoadEnv, 0, len(info.ShardLoad))
+		for _, s := range info.ShardLoad {
+			p.Env.ShardLoad = append(p.Env.ShardLoad, ShardLoadEnv{
+				Shard:         s.Shard,
+				EventsFired:   s.EventsFired,
+				BusyMs:        float64(s.Busy.Nanoseconds()) / 1e6,
+				BarrierWaitMs: float64(s.BarrierWait.Nanoseconds()) / 1e6,
+			})
+		}
 	}
 	return p
 }
@@ -241,27 +303,59 @@ func (sw ScaleSweep) runShard(users int) ([]ScalePoint, error) {
 	}
 	expCfg := s.expConfig()
 	pts := make([]ScalePoint, len(protoOrder))
-	err = runConcurrently(len(protoOrder), func(i int) error {
+	runPoint := func(i int) error {
 		name := protoOrder[i]
-		proto, err := s.Protocol(name, tr)
-		if err != nil {
-			return fmt.Errorf("scale %d: build %s: %w", users, name, err)
-		}
 		start := time.Now()
-		res, err := exp.Run(expCfg, tr, proto, netCfg)
-		if err != nil {
-			return fmt.Errorf("scale %d: run %s: %w", users, name, err)
+		var (
+			res    *exp.Result
+			runErr error
+		)
+		if sw.Shards > 0 {
+			res, runErr = exp.RunSharded(expCfg, tr, s.cellProtocol(name), netCfg,
+				exp.ShardedOptions{Workers: sw.Shards})
+		} else {
+			proto, perr := s.Protocol(name, tr)
+			if perr != nil {
+				return fmt.Errorf("scale %d: build %s: %w", users, name, perr)
+			}
+			res, runErr = exp.Run(expCfg, tr, proto, netCfg)
 		}
-		pts[i] = sweepPoint(users, name, sw.Seed, expCfg.ProbeInterval, res, time.Since(start))
+		if runErr != nil {
+			return fmt.Errorf("scale %d: run %s: %w", users, name, runErr)
+		}
+		pts[i] = sweepPoint(users, name, sw.Seed, expCfg.ProbeInterval, sw.Shards, res, time.Since(start))
 		sw.progress(fmt.Sprintf("N=%d %s: %d requests, peer %.3f, probes/node %.2f, heap %.1f MB, %v",
 			users, name, pts[i].Requests, pts[i].PeerHitRate, pts[i].ProbesPerNode,
 			float64(pts[i].Env.HeapHighWaterBytes)/1e6, time.Since(start).Round(time.Millisecond)))
 		return nil
-	})
-	if err != nil {
+	}
+	if sw.Shards > 0 {
+		// The worker budget belongs to each point's shard loops; running
+		// protocols concurrently on top would oversubscribe it.
+		for i := range pts {
+			if err := runPoint(i); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := runConcurrently(len(protoOrder), runPoint); err != nil {
 		return nil, err
 	}
 	return pts, nil
+}
+
+// cellProtocol adapts Scale.Protocol to the sharded runner's per-cell
+// factory: each community cell gets its own protocol instance over the
+// cell's renumbered trace, with the protocol RNG reseeded per cell (the
+// same seed-and-cell derivation the sharded runner uses for its own
+// streams) and the population-derived knobs — PA-VoD's ISP count —
+// computed from the cell's own size.
+func (s Scale) cellProtocol(name string) exp.CellProtocol {
+	return func(cell int, cellTr *trace.Trace) (vod.Protocol, error) {
+		cs := s
+		cs.Seed = s.Seed*1_000_003 + int64(cell+1)
+		cs.TraceUsers = len(cellTr.Users)
+		return cs.Protocol(name, cellTr)
+	}
 }
 
 // cell returns the sweep point for (users, protocol); the runner emits

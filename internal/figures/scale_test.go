@@ -106,6 +106,67 @@ func TestScaleSweepShape(t *testing.T) {
 	}
 }
 
+// TestScaleSweepSharded pins the sharded sweep path: points carry the
+// community-cell block, full workloads still complete, and the
+// deterministic fields are byte-identical across worker counts — the
+// Shards knob may only move wall clock and the Env block.
+func TestScaleSweepSharded(t *testing.T) {
+	sw := testSweep()
+	sw.Sizes = []int{150}
+	sw.Shards = 1
+	a, err := RunScaleSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Shards = 4
+	b, err := RunScaleSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(protoOrder) || len(b.Points) != len(a.Points) {
+		t.Fatalf("point counts: %d and %d, want %d", len(a.Points), len(b.Points), len(protoOrder))
+	}
+	for i := range a.Points {
+		ja, _ := json.Marshal(a.Points[i].Canonical())
+		jb, _ := json.Marshal(b.Points[i].Canonical())
+		if string(ja) != string(jb) {
+			t.Fatalf("point %d differs between 1 and 4 workers:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+	for _, p := range b.Points {
+		if p.Cells != sw.Categories {
+			t.Errorf("%s: %d cells, want %d", p.Protocol, p.Cells, sw.Categories)
+		}
+		if want := int64(p.Users * sw.Sessions * sw.VideosPerSession); p.Requests != want {
+			t.Errorf("%s: %d requests, want %d", p.Protocol, p.Requests, want)
+		}
+		if sum := p.CacheHitRate + p.PeerHitRate + p.ServerHitRate; sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: hit rates sum to %f", p.Protocol, sum)
+		}
+		if p.Env.Workers != 4 {
+			t.Errorf("%s: env records %d workers, want 4", p.Protocol, p.Env.Workers)
+		}
+		if len(p.Env.ShardLoad) != p.Cells {
+			t.Errorf("%s: %d shard-load rows for %d cells", p.Protocol, len(p.Env.ShardLoad), p.Cells)
+		}
+		if p.Protocol == "SocialTube" && p.RemoteHits > p.RemoteLookups {
+			t.Errorf("remote hits %d exceed lookups %d", p.RemoteHits, p.RemoteLookups)
+		}
+	}
+	// The legacy path's points must not grow the sharded block.
+	legacy := testSweep()
+	legacy.Sizes = []int{150}
+	c, err := RunScaleSweep(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Cells != 0 || p.Env.Workers != 0 || p.Env.ShardLoad != nil {
+			t.Fatalf("%s: single-engine point carries sharded fields: %+v", p.Protocol, p)
+		}
+	}
+}
+
 // TestAppendScalePoints pins the BENCH_scale.json convention: one JSON
 // line per point, appended across runs, decodable back into points.
 func TestAppendScalePoints(t *testing.T) {

@@ -70,6 +70,43 @@ func TestRunCtxHonorsHorizonAndBudget(t *testing.T) {
 	}
 }
 
+// TestRunCtxCancelExactlyOnChunkBoundary pins the edge where cancellation
+// lands on the ctxCheckInterval boundary itself: the event that cancels is
+// the last event of a chunk, so the run must stop at exactly that fire
+// count — the boundary check must not fire a single event of the next
+// chunk, and the remaining schedule must survive for a later resume.
+func TestRunCtxCancelExactlyOnChunkBoundary(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	for i := 1; i <= ctxCheckInterval+10; i++ {
+		i := i
+		e.At(time.Duration(i)*time.Millisecond, func(time.Duration) {
+			fired++
+			if i == ctxCheckInterval {
+				cancel() // cancellation lands exactly on the chunk boundary
+			}
+		})
+	}
+	if err := e.RunCtx(ctx, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if fired != ctxCheckInterval {
+		t.Fatalf("fired %d events, want exactly %d (the chunk boundary)", fired, ctxCheckInterval)
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending %d after boundary cancel, want 10", e.Pending())
+	}
+	// The schedule stays intact: a fresh context resumes and drains.
+	if err := e.RunCtx(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != ctxCheckInterval+10 || e.Pending() != 0 {
+		t.Fatalf("resume after boundary cancel: fired %d pending %d", fired, e.Pending())
+	}
+}
+
 func TestRunCtxCancelled(t *testing.T) {
 	e := NewEngine()
 	var chain func(now time.Duration)

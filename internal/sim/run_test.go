@@ -76,6 +76,62 @@ func TestMaxEventsIsLifetimeBudget(t *testing.T) {
 	}
 }
 
+// TestBudgetReturnClockMatchesHorizon guards the clock-consistency fix:
+// when the event budget runs out and every remaining event lies beyond the
+// horizon, the horizon check wins and the clock advances to the horizon —
+// exactly what an unbudgeted run of the same schedule reports. Before the
+// fix the budget path returned first and left the clock at the last fired
+// event, so the two returns disagreed about virtual time.
+func TestBudgetReturnClockMatchesHorizon(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		e.At(5*time.Second, func(time.Duration) {})
+		e.At(15*time.Second, func(time.Duration) {})
+		return e
+	}
+	budgeted := build()
+	if err := budgeted.Run(10*time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	unbudgeted := build()
+	if err := unbudgeted.Run(10*time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Now() != unbudgeted.Now() {
+		t.Fatalf("budget return clock %v, horizon return clock %v — want identical",
+			budgeted.Now(), unbudgeted.Now())
+	}
+	if budgeted.Now() != 10*time.Second {
+		t.Fatalf("clock %v after budget+horizon return, want 10s", budgeted.Now())
+	}
+	// The schedule is intact and resumes exactly where it left off.
+	if err := budgeted.Run(20*time.Second, 2); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Fired() != 2 || budgeted.Now() != 15*time.Second {
+		t.Fatalf("resume fired=%d now=%v, want 2 events with clock 15s", budgeted.Fired(), budgeted.Now())
+	}
+}
+
+// TestBudgetReturnWithinHorizonKeepsClock pins the complementary case: a
+// budget return with the next event still inside the horizon must NOT
+// advance the clock past the last fired event — unfired events ahead of
+// the clock would fire in the past on resume.
+func TestBudgetReturnWithinHorizonKeepsClock(t *testing.T) {
+	e := NewEngine()
+	e.At(5*time.Second, func(time.Duration) {})
+	e.At(6*time.Second, func(time.Duration) {})
+	if err := e.Run(10*time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock %v after in-horizon budget return, want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
 // TestStopHonoredOnResumedRun: Stop set by the last event of a run must not
 // leak into the next run (Run clears it), but Stop during a run still
 // interrupts before the next event fires.
@@ -96,5 +152,42 @@ func TestStopHonoredOnResumedRun(t *testing.T) {
 	}
 	if count != 2 {
 		t.Fatalf("resumed run fired %d events, want 2", count)
+	}
+}
+
+// TestStopInsideEventDuringResumedRun: a run interrupted by a horizon and
+// resumed later must still honor Stop called from inside an event that
+// fires during the resumed run — the resume path clears the previous stop
+// but must not swallow a fresh one.
+func TestStopInsideEventDuringResumedRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1*time.Second, func(time.Duration) { count++ })
+	e.At(3*time.Second, func(time.Duration) { count++; e.Stop() })
+	e.At(4*time.Second, func(time.Duration) { count++ })
+
+	// First run ends on the horizon, leaving two events queued.
+	if err := e.Run(2*time.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 || e.Pending() != 2 {
+		t.Fatalf("horizon run: count %d pending %d, want 1 and 2", count, e.Pending())
+	}
+	// The resumed run fires the 3s event, whose Stop interrupts before 4s.
+	if err := e.Run(0, 0); err != ErrStopped {
+		t.Fatalf("resumed run = %v, want ErrStopped", err)
+	}
+	if count != 2 || e.Pending() != 1 {
+		t.Fatalf("stop in resumed run: count %d pending %d, want 2 and 1", count, e.Pending())
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock %v after mid-resume stop, want 3s", e.Now())
+	}
+	// A further resume consumes the stop and drains the schedule.
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || e.Pending() != 0 {
+		t.Fatalf("final resume: count %d pending %d, want 3 and 0", count, e.Pending())
 	}
 }

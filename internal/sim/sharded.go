@@ -1,0 +1,397 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardedEngine runs N independent Engine event loops in bounded time
+// epochs, exchanging the rare cross-shard events through ordered mailboxes
+// drained at epoch barriers. It is the multi-core substrate for
+// community-partitioned simulations: each shard hosts one or more
+// near-disjoint communities, shards advance in parallel between barriers,
+// and every cross-community interaction crosses a barrier.
+//
+// Determinism contract. Within an epoch a shard touches only its own
+// engine and its own mailbox buffer, so shard execution is bitwise
+// independent of goroutine scheduling. At a barrier, buffered sends are
+// merged and delivered in ascending (at, key) order — the caller-supplied
+// key, not the shard that happened to buffer first, breaks ties — and a
+// send from epoch e is never delivered before the barrier that ends e.
+// Consequently a parallel run and a Workers=1 sequential run of the same
+// program fire exactly the same events at exactly the same virtual times,
+// and a program whose keys are layout-independent (derived from a logical
+// community id rather than a shard index) produces identical results
+// under any shard count.
+//
+// Epoch barriers lie on the fixed grid t_k = k*Epoch. Empty stretches are
+// skipped: the next barrier is the grid point at or after the earliest
+// pending event across all shards, so a sparse schedule costs barriers
+// proportional to occupied epochs, not to the horizon.
+type ShardedEngine struct {
+	shards  []*Engine
+	epoch   time.Duration
+	workers int
+	now     time.Duration
+	stopped bool
+
+	// outbox[s] buffers shard s's cross-shard sends during the current
+	// epoch; only shard s's goroutine appends to it between barriers.
+	outbox [][]mailItem
+	// scratch is the barrier-time merge buffer, reused across epochs.
+	scratch []mailItem
+	// epochBusy[s] is shard s's wall-clock busy time in the epoch being
+	// executed, used to attribute barrier wait.
+	epochBusy []time.Duration
+
+	stats  []ShardStat
+	epochs uint64
+}
+
+// mailItem is one buffered cross-shard event.
+type mailItem struct {
+	dst int
+	at  time.Duration
+	key uint64
+	fn  Event
+}
+
+// ShardStat is one shard's load accounting, surfaced so experiments can
+// report per-shard imbalance. The wall-clock fields (Busy, BarrierWait)
+// measure real time and are therefore environmental: they carry json:"-"
+// so same-seed results marshal byte-identically regardless of machine
+// load — the same convention as obs.MemUsage.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// EventsFired / EventsScheduled / HeapHighWater mirror Engine.Stats
+	// for this shard.
+	EventsFired     uint64 `json:"eventsFired"`
+	EventsScheduled uint64 `json:"eventsScheduled"`
+	HeapHighWater   int    `json:"heapHighWater"`
+	// MailSent counts cross-shard events this shard buffered; MailRecv
+	// counts barrier deliveries into this shard.
+	MailSent uint64 `json:"mailSent"`
+	MailRecv uint64 `json:"mailRecv"`
+	// Busy is the wall-clock time this shard's engine spent executing
+	// epochs; BarrierWait is the wall-clock time the epoch barrier spent
+	// waiting past this shard's own work for the slowest shard — the
+	// load-imbalance signal.
+	Busy        time.Duration `json:"-"`
+	BarrierWait time.Duration `json:"-"`
+}
+
+// ShardedConfig configures a ShardedEngine.
+type ShardedConfig struct {
+	// Shards is the number of per-shard event loops (≥1).
+	Shards int
+	// Epoch is the barrier interval (>0). Cross-shard sends are delivered
+	// at the barrier ending the epoch they were sent in, so Epoch bounds
+	// the extra virtual latency a cross-shard event observes.
+	Epoch time.Duration
+	// Workers bounds the goroutines running shard epochs; 0 means
+	// GOMAXPROCS. Workers=1 runs every epoch on the calling goroutine —
+	// the sequential mode the determinism tests compare against.
+	Workers int
+}
+
+// NewShardedEngine builds a sharded engine with empty queues at virtual
+// time zero.
+func NewShardedEngine(cfg ShardedConfig) (*ShardedEngine, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("sim: sharded engine needs ≥1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("sim: sharded engine needs a positive epoch, got %v", cfg.Epoch)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	se := &ShardedEngine{
+		shards:    make([]*Engine, cfg.Shards),
+		epoch:     cfg.Epoch,
+		workers:   workers,
+		outbox:    make([][]mailItem, cfg.Shards),
+		epochBusy: make([]time.Duration, cfg.Shards),
+		stats:     make([]ShardStat, cfg.Shards),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+		se.stats[i].Shard = i
+	}
+	return se, nil
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i's engine. Schedule local events through it; during
+// Run, an event firing on shard i may only touch shard i's engine, and
+// must use Send for everything cross-shard.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Now returns the last completed barrier time.
+func (se *ShardedEngine) Now() time.Duration { return se.now }
+
+// EpochLen returns the barrier interval.
+func (se *ShardedEngine) EpochLen() time.Duration { return se.epoch }
+
+// Epochs returns the number of executed (non-skipped) epochs.
+func (se *ShardedEngine) Epochs() uint64 { return se.epochs }
+
+// Workers returns the resolved parallelism.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Send buffers a cross-shard event from shard src to shard dst. It is safe
+// to call from inside an event firing on shard src while Run is in
+// progress (each shard owns its buffer between barriers) and from the
+// driving goroutine before Run. The event is delivered into dst's engine
+// at the barrier ending the current epoch, to fire no earlier than
+// max(at, barrier time); deliveries are ordered by ascending (at, key)
+// across all sources. Keys should be unique per barrier for a total
+// order, and derived from logical ids (not shard indexes) when results
+// must be independent of the community→shard layout. Sending to the local
+// shard is allowed and still crosses the barrier — that is what makes a
+// partition-keyed program's results independent of how partitions map to
+// shards.
+func (se *ShardedEngine) Send(src, dst int, at time.Duration, key uint64, fn Event) {
+	if src < 0 || src >= len(se.shards) || dst < 0 || dst >= len(se.shards) || fn == nil {
+		return
+	}
+	se.outbox[src] = append(se.outbox[src], mailItem{dst: dst, at: at, key: key, fn: fn})
+	se.stats[src].MailSent++
+}
+
+// Stop makes Run return ErrStopped at the next barrier. Safe to call from
+// inside an event: the flag is only read between epochs, so it takes
+// effect at the barrier ending the epoch that set it.
+func (se *ShardedEngine) Stop() { se.stopped = true }
+
+// pendingMail reports whether any outbox holds undelivered events (only
+// possible from pre-run Sends; in-run sends drain at their own barrier).
+func (se *ShardedEngine) pendingMail() bool {
+	for _, box := range se.outbox {
+		if len(box) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextEventAt returns the earliest queued event time across shards, or
+// false when every queue is empty.
+func (se *ShardedEngine) nextEventAt() (time.Duration, bool) {
+	var (
+		best  time.Duration
+		found bool
+	)
+	for _, e := range se.shards {
+		if len(e.queue) == 0 {
+			continue
+		}
+		if at := e.queue[0].at; !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// gridCeil returns the epoch-grid point at or after t.
+func (se *ShardedEngine) gridCeil(t time.Duration) time.Duration {
+	if t <= 0 {
+		return 0
+	}
+	k := (t + se.epoch - 1) / se.epoch
+	return k * se.epoch
+}
+
+// Run executes the sharded schedule until every queue drains and no mail
+// is in flight, the barrier clock reaches horizon (0 means no horizon), or
+// Stop is called (ErrStopped). Unlike Engine.Run there is no event budget:
+// epochs are the unit of progress. A horizon return leaves the remaining
+// schedule (and any undelivered mail) intact for a later resume; like
+// Engine.Run, the clock advances to the horizon itself.
+func (se *ShardedEngine) Run(horizon time.Duration) error {
+	return se.RunCtx(context.Background(), horizon)
+}
+
+// RunCtx is Run with cooperative cancellation, checked at every barrier.
+// On cancellation it returns ctx.Err() with the remaining schedule intact.
+func (se *ShardedEngine) RunCtx(ctx context.Context, horizon time.Duration) error {
+	se.stopped = false
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if se.stopped {
+			return ErrStopped
+		}
+		next, ok := se.nextEventAt()
+		if !ok && !se.pendingMail() {
+			return nil // drained
+		}
+		if !ok {
+			// Mail only: it delivers at the next barrier.
+			next = se.now
+		}
+		// Skip empty stretches: barrier at the grid point covering the
+		// earliest pending work, but always strictly past the current
+		// clock so every epoch advances time.
+		barrier := se.gridCeil(next)
+		if barrier <= se.now {
+			barrier = se.gridCeil(se.now + 1)
+		}
+		if horizon > 0 && barrier > horizon {
+			if next > horizon && !se.pendingMail() {
+				// All remaining work lies beyond the horizon.
+				se.now = horizon
+				return nil
+			}
+			// In-horizon events remain: run a final partial epoch ending
+			// on the horizon itself.
+			barrier = horizon
+		}
+		se.runEpoch(barrier)
+		se.deliver(barrier)
+		se.now = barrier
+		se.epochs++
+		if se.stopped {
+			return ErrStopped
+		}
+		if horizon > 0 && se.now >= horizon {
+			return nil
+		}
+	}
+}
+
+// runEpoch advances every shard's engine to the barrier, in parallel when
+// workers > 1. A direct Engine.Stop on a shard (returning ErrStopped)
+// stops the whole sharded run at this barrier.
+func (se *ShardedEngine) runEpoch(barrier time.Duration) {
+	for i := range se.epochBusy {
+		se.epochBusy[i] = 0
+	}
+	if se.workers == 1 {
+		for i, e := range se.shards {
+			start := time.Now()
+			if err := e.Run(barrier, 0); err != nil {
+				se.stopped = true
+			}
+			busy := time.Since(start)
+			se.epochBusy[i] = busy
+			se.stats[i].Busy += busy
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		work = make(chan int, len(se.shards))
+	)
+	epochStart := time.Now()
+	for i := range se.shards {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < se.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				err := se.shards[i].Run(barrier, 0)
+				busy := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					se.stopped = true
+				}
+				se.epochBusy[i] = busy
+				se.stats[i].Busy += busy
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Barrier wait: the idle tail each shard spends waiting for the
+	// slowest one. With workers < shards the work queue serializes some
+	// shards, so this is an upper bound per shard; it still ranks hot
+	// shards correctly.
+	span := time.Since(epochStart)
+	for i := range se.stats {
+		if wait := span - se.epochBusy[i]; wait > 0 {
+			se.stats[i].BarrierWait += wait
+		}
+	}
+}
+
+// deliver drains every outbox into the destination engines in ascending
+// (at, key) order, clamping fire times to the barrier.
+func (se *ShardedEngine) deliver(barrier time.Duration) {
+	se.scratch = se.scratch[:0]
+	for s := range se.outbox {
+		se.scratch = append(se.scratch, se.outbox[s]...)
+		se.outbox[s] = se.outbox[s][:0]
+	}
+	if len(se.scratch) == 0 {
+		return
+	}
+	sort.SliceStable(se.scratch, func(i, j int) bool {
+		if se.scratch[i].at != se.scratch[j].at {
+			return se.scratch[i].at < se.scratch[j].at
+		}
+		return se.scratch[i].key < se.scratch[j].key
+	})
+	for i := range se.scratch {
+		m := &se.scratch[i]
+		at := m.at
+		if at < barrier {
+			at = barrier
+		}
+		se.shards[m.dst].At(at, m.fn)
+		se.stats[m.dst].MailRecv++
+		// Drop the closure so the reusable scratch buffer does not pin it
+		// until the next barrier overwrites this slot.
+		m.fn = nil
+	}
+}
+
+// Stats returns the merged engine accounting: event counts summed across
+// shards, heap high-water the maximum of any shard (per-shard queues are
+// disjoint, so the max is each loop's true peak).
+func (se *ShardedEngine) Stats() Stats {
+	var st Stats
+	for _, e := range se.shards {
+		es := e.Stats()
+		st.EventsFired += es.EventsFired
+		st.EventsScheduled += es.EventsScheduled
+		if es.HeapHighWater > st.HeapHighWater {
+			st.HeapHighWater = es.HeapHighWater
+		}
+	}
+	return st
+}
+
+// ShardStats returns per-shard load accounting (a copy), refreshed from
+// the underlying engines.
+func (se *ShardedEngine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(se.stats))
+	for i, e := range se.shards {
+		s := se.stats[i]
+		es := e.Stats()
+		s.EventsFired = es.EventsFired
+		s.EventsScheduled = es.EventsScheduled
+		s.HeapHighWater = es.HeapHighWater
+		out[i] = s
+	}
+	return out
+}

@@ -67,6 +67,11 @@ type Engine struct {
 	// hwm is the largest queue length ever reached — the heap's
 	// high-water mark, reported via Stats.
 	hwm int
+	// free recycles fired *scheduled nodes back into At: Pop feeds Push,
+	// so a steady-state run (queue length oscillating around a plateau)
+	// allocates no event nodes at all. The freelist never exceeds the
+	// queue's high-water mark.
+	free []*scheduled
 }
 
 // Stats is the engine's lifetime accounting, reported alongside protocol
@@ -110,7 +115,16 @@ func (e *Engine) At(at time.Duration, fn Event) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fire: fn})
+	var node *scheduled
+	if n := len(e.free); n > 0 {
+		node = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		node.at, node.seq, node.fire = at, e.seq, fn
+	} else {
+		node = &scheduled{at: at, seq: e.seq, fire: fn}
+	}
+	heap.Push(&e.queue, node)
 	if len(e.queue) > e.hwm {
 		e.hwm = len(e.queue)
 	}
@@ -136,27 +150,36 @@ func (e *Engine) Stop() { e.stopped = true }
 // again with a larger horizon (or budget) resumes exactly where the
 // previous call left off. On a horizon return the clock advances to the
 // horizon itself; a second Run with the same horizon fires nothing and
-// returns immediately. Stop is checked before every event, including the
-// first of a resumed run; entering Run clears a previous stop.
-// It returns ErrStopped if Stop was called.
+// returns immediately. The horizon check precedes the event-budget check,
+// so when the budget runs out with only beyond-horizon events left the
+// clock still advances to the horizon — a budget return and a horizon
+// return report consistent clocks. Stop is checked before every event,
+// including the first of a resumed run; entering Run clears a previous
+// stop. It returns ErrStopped if Stop was called.
 func (e *Engine) Run(horizon time.Duration, maxEvents uint64) error {
 	e.stopped = false
 	for len(e.queue) > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
-		if maxEvents > 0 && e.fired >= maxEvents {
-			return nil
-		}
 		next := e.queue[0]
 		if horizon > 0 && next.at > horizon {
 			e.now = horizon
+			return nil
+		}
+		if maxEvents > 0 && e.fired >= maxEvents {
 			return nil
 		}
 		popped := heap.Pop(&e.queue).(*scheduled)
 		e.now = popped.at
 		popped.fire(e.now)
 		e.fired++
+		// Recycle the node only after fire returns: the callback may
+		// schedule (and so reuse freelist nodes) while running. Dropping
+		// the closure reference here keeps fired events from pinning
+		// their captures until the node's next reuse.
+		popped.fire = nil
+		e.free = append(e.free, popped)
 	}
 	return nil
 }

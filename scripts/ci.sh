@@ -33,9 +33,19 @@ echo "== wire-layer fuzz smoke (30s per target) =="
 go test ./internal/emu -run '^$' -fuzz '^FuzzReadMessage$' -fuzztime 30s
 go test ./internal/emu -run '^$' -fuzz '^FuzzHandleMessage$' -fuzztime 30s
 
+echo "== sharded engine determinism (race, explicitly) =="
+go test -race -count=1 -run 'Sharded|Partition|Epoch|Mailbox' \
+	./internal/sim/ ./internal/trace/ ./internal/exp/ ./internal/figures/
+
 echo "== short benchmarks (allocations) =="
 go test -run '^$' -bench 'BenchmarkFlood|BenchmarkMeshConnect|BenchmarkNeighbors' -benchtime 100x -benchmem ./internal/overlay/
-go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe' -benchtime 100x -benchmem ./internal/core/
+go test -run '^$' -bench 'BenchmarkRequest|BenchmarkProbe|BenchmarkEngine' -benchtime 100x -benchmem ./internal/core/ ./internal/sim/
+
+echo "== sharded engine bench smoke (1 worker vs GOMAXPROCS) =="
+# Wall-clock for the same seeded workload on the sequential loop and the
+# full worker pool; on multi-core runners a parallel-speedup regression
+# shows up as the workers=max line drifting toward workers=1.
+go test -run '^$' -bench 'BenchmarkShardedRun' -benchtime 2x ./internal/exp/
 
 tracetmp=$(mktemp -d)
 trap 'rm -rf "$tracetmp"' EXIT
