@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo fuzz-smoke trace-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo fuzz-smoke trace-demo timeline-demo cover clean
 
 all: build test
 
@@ -74,12 +74,21 @@ fuzz-smoke:
 	$(GO) test ./internal/emu -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime 30s
 	$(GO) test ./internal/emu -run '^$$' -fuzz '^FuzzHandleMessage$$' -fuzztime 30s
 
+# Run the three protocols under the standard churn plan with the windowed
+# sim-time telemetry recorder on: per-window hit rate, startup-delay
+# p50/p99, server load and breaker opens, appended to BENCH_timeline.json.
+# Seconds, not minutes.
+timeline-demo:
+	$(GO) run ./cmd/socialtube-sim -fig timeline
+
 # Record a JSONL event trace from the Fig. 17(a) run, validate it against
-# the golden schema, then pretty-print the first events.
+# the golden schema, then pretty-print the first events, then group them
+# by request span.
 trace-demo:
 	$(GO) run ./cmd/socialtube-sim -fig 17a -trace-out trace-demo.jsonl
 	$(GO) run ./cmd/socialtube-sim -trace-check trace-demo.jsonl
 	$(GO) run ./cmd/socialtube-sim -trace-print trace-demo.jsonl -trace-max 20
+	$(GO) run ./cmd/socialtube-sim -trace-spans trace-demo.jsonl -trace-max 5
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -38,6 +38,7 @@ func run(args []string) (retErr error) {
 		shards    = fs.Int("shards", 0, "run the scalability sweep on the community-sharded engine with this many workers (0 = classic single-loop engine)")
 		benchOut  = fs.String("bench-out", "BENCH_scale.json", "append scale-sweep points to this JSONL file (empty disables)")
 		failOut   = fs.String("failover-out", "BENCH_failover.json", "append failover points to this JSONL file (empty disables)")
+		tlOut     = fs.String("timeline-out", "BENCH_timeline.json", "append telemetry-timeline points to this JSONL file (empty disables)")
 		traceOut  = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +114,17 @@ func run(args []string) (retErr error) {
 		return err
 	}
 	fmt.Println(tc)
+	tt, err := figures.RunTimeline(s, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tt)
+	if *tlOut != "" {
+		if err := figures.AppendTimelinePoints(*tlOut, tt.Points); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d timeline points to %s\n\n", len(tt.Points), *tlOut)
+	}
 
 	if !*skipScale {
 		// Always the smoke sizes: the full 10k..1M sweep is

@@ -21,10 +21,13 @@ func TestRunSmallSkipEmu(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full small-scale evaluation")
 	}
-	// Redirect the scale-sweep bench log so the test never writes
-	// BENCH_scale.json into the working tree.
-	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
-	if err := run([]string{"-skip-emu", "-bench-out", out}); err != nil {
+	// Redirect the bench logs so the test never writes BENCH_scale.json
+	// or BENCH_timeline.json into the working tree.
+	dir := t.TempDir()
+	if err := run([]string{"-skip-emu",
+		"-bench-out", filepath.Join(dir, "BENCH_scale.json"),
+		"-timeline-out", filepath.Join(dir, "BENCH_timeline.json"),
+	}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

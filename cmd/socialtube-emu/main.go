@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/obs"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-emu", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage, failover or all")
@@ -35,8 +36,9 @@ func run(args []string) error {
 		videos   = fs.Int("videos", 6, "videos per session")
 		watch    = fs.Duration("watch", 25*time.Millisecond, "emulated playback per video")
 		seed     = fs.Int64("seed", 1, "experiment seed")
-		metrics  = fs.String("metrics", "", "serve live cluster metrics on this address while each run is in flight (e.g. 127.0.0.1:8080)")
+		metrics  = fs.String("metrics", "", "serve live cluster metrics on this address while each run is in flight (e.g. 127.0.0.1:8080; append ?format=prom for Prometheus exposition)")
 		pprof    = fs.Bool("pprof", false, "with -metrics, also mount net/http/pprof on the metrics listener")
+		traceOut = fs.String("trace-out", "", "write every emulated run's events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,22 @@ func run(args []string) error {
 		Seed:             *seed,
 		MetricsAddr:      *metrics,
 		Pprof:            *pprof,
+	}
+	if *traceOut != "" {
+		j, err := obs.OpenJSONL(*traceOut)
+		if err != nil {
+			return err
+		}
+		s.Tracer = j
+		defer func() {
+			cerr := j.Close()
+			if retErr == nil {
+				retErr = cerr
+			}
+			if retErr == nil {
+				fmt.Printf("\ntrace: %d events -> %s\n", j.Total(), *traceOut)
+			}
+		}()
 	}
 	tr, err := s.EmuTrace()
 	if err != nil {

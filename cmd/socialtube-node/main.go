@@ -142,7 +142,7 @@ func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string,
 				CachedVideo int    `json:"cachedVideos"`
 				ServedBytes int64  `json:"servedBytes"`
 			}{id, mode.String(), p.Links(), p.CacheLen(), p.ServedBytes()}
-		}, pprof)
+		}, nil, pprof)
 		if err != nil {
 			return err
 		}

@@ -108,20 +108,30 @@ func checkTrace(path string) error {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, scale, table1 or all")
+		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, timeline, scale, table1 or all")
 		scale      = fs.String("scale", "small", "workload scale: small or paper (-fig scale also takes 10m)")
 		seed       = fs.Int64("seed", 1, "experiment seed")
 		shards     = fs.Int("shards", 0, "with -fig scale, run each point on the community-sharded engine with this many workers (0 = classic single-loop engine)")
 		users      = fs.Int("users", 0, "with -fig scale, replace the preset populations with this single size (0 = preset)")
-		benchOut   = fs.String("bench-out", "BENCH_scale.json", "with -fig scale, append per-point results to this JSONL file (empty disables)")
+		benchOut   = fs.String("bench-out", "", "with -fig scale or -fig timeline, append per-point results to this JSONL file (default BENCH_scale.json / BENCH_timeline.json; empty string keeps the default, 'none' disables)")
 		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
 		traceOut   = fs.String("trace-out", "", "write every protocol event as JSON Lines to this file")
 		tracePrint = fs.String("trace-print", "", "pretty-print an existing JSONL event trace and exit")
-		traceMax   = fs.Int("trace-max", 0, "with -trace-print, stop after this many events (0 = all)")
+		traceSpans = fs.String("trace-spans", "", "pretty-print an existing JSONL event trace grouped by request span and exit")
+		traceMax   = fs.Int("trace-max", 0, "with -trace-print/-trace-spans, stop after this many events/spans (0 = all)")
 		traceCheck = fs.String("trace-check", "", "validate an existing JSONL event trace against the golden schema and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The bench log's default name follows the figure; "none" disables.
+	switch {
+	case *benchOut == "" && *fig == "timeline":
+		*benchOut = "BENCH_timeline.json"
+	case *benchOut == "":
+		*benchOut = "BENCH_scale.json"
+	case *benchOut == "none":
+		*benchOut = ""
 	}
 	if *traceCheck != "" {
 		return checkTrace(*traceCheck)
@@ -137,6 +147,19 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Printf("# %d events\n", n)
+		return nil
+	}
+	if *traceSpans != "" {
+		f, err := os.Open(*traceSpans)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.PrettySpans(f, os.Stdout, *traceMax)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d spans\n", n)
 		return nil
 	}
 	// The scale sweep builds its own shard traces (one per population),
@@ -216,10 +239,22 @@ func run(args []string) (retErr error) {
 				return err
 			}
 			fmt.Println(t)
+		case "timeline":
+			t, err := figures.RunTimeline(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t)
+			if *benchOut != "" {
+				if err := figures.AppendTimelinePoints(*benchOut, t.Points); err != nil {
+					return err
+				}
+				fmt.Printf("appended %d points to %s\n", len(t.Points), *benchOut)
+			}
 		case "table1":
 			fmt.Println(figures.Table1(s, tr))
 		default:
-			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, scale, table1 or all)", id)
+			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, timeline, scale, table1 or all)", id)
 		}
 		return nil
 	}

@@ -85,6 +85,8 @@ type NetTube struct {
 	ctr    obs.Counters
 	tracer obs.Tracer
 	now    time.Duration
+	// spanSeq numbers request spans for trace linkage (obs.Event.Span).
+	spanSeq uint64
 }
 
 var _ vod.Protocol = (*NetTube)(nil)
@@ -261,6 +263,8 @@ func (n *NetTube) unionNeighbors(node int) []int {
 // outcome and emit the serve event (shared with PA-VoD via accountRequest).
 func (n *NetTube) Request(node int, v trace.VideoID) vod.RequestResult {
 	res := n.locate(node, v)
+	n.spanSeq++
+	res.Span = n.spanSeq
 	accountRequest(&n.ctr, n.tracer, "NetTube", n.now, node, v, res)
 	return res
 }

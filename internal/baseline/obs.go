@@ -36,7 +36,8 @@ func accountRequest(ctr *obs.Counters, tracer obs.Tracer, proto string, now time
 			provider = res.Provider
 		}
 		tracer.Emit(obs.Event{T: int64(now), Proto: proto, Kind: obs.KindServe, Node: node,
-			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages})
+			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages,
+			Span: res.Span})
 	}
 }
 

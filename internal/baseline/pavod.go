@@ -72,6 +72,8 @@ type PAVoD struct {
 	// ctr/tracer are the observability hooks; see internal/obs.
 	ctr    obs.Counters
 	tracer obs.Tracer
+	// spanSeq numbers request spans for trace linkage (obs.Event.Span).
+	spanSeq uint64
 }
 
 var (
@@ -229,6 +231,8 @@ func (p *PAVoD) eligibleProvider(v trace.VideoID, exclude int) int {
 // account the outcome and emit the serve event.
 func (p *PAVoD) Request(node int, v trace.VideoID) vod.RequestResult {
 	res := p.locate(node, v)
+	p.spanSeq++
+	res.Span = p.spanSeq
 	accountRequest(&p.ctr, p.tracer, "PA-VoD", p.now, node, v, res)
 	return res
 }

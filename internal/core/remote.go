@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
@@ -12,7 +13,11 @@ import (
 // provider id it returns is local to this community and only meaningful
 // for accounting. msgs counts the query messages spent inside this
 // community (the forwarding layer adds its own inter-community messages).
-func (s *System) RemoteLookup(v trace.VideoID) (provider, hops, msgs int, ok bool) {
+//
+// span is the requester's span id (assigned by its home cell's Request);
+// the query event this side emits carries it, so a merged trace links the
+// hop across the shard mailbox back to the originating request.
+func (s *System) RemoteLookup(span uint64, v trace.VideoID) (provider, hops, msgs int, ok bool) {
 	video := s.tr.Video(v)
 	if video == nil {
 		return 0, 0, 0, false
@@ -25,6 +30,14 @@ func (s *System) RemoteLookup(v trace.VideoID) (provider, hops, msgs int, ok boo
 		s.ctr.HitsServerAssist++
 	} else if msgs > 0 {
 		s.ctr.TTLExhausted++
+	}
+	if s.tracer != nil {
+		p := -1
+		if ok {
+			p = provider
+		}
+		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindQuery, Node: -1,
+			Video: int64(v), Provider: p, OK: ok, Hops: hops, Msgs: msgs, Span: span})
 	}
 	return provider, hops, msgs, ok
 }

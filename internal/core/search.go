@@ -41,7 +41,12 @@ func (s *System) breakerOK(id int) {
 // emit the serve event. The accounting is hoisted out of locate so the
 // search phases stay exactly the PR-1 hot path plus counter increments.
 func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
+	// One span id per request: every event in the causal chain (the
+	// floods below, a cross-cell query, the final serve) carries it so a
+	// JSONL trace reconstructs per-request paths (obs.PrettySpans).
+	s.span = s.nextSpan()
 	res := s.locate(node, v)
+	res.Span = s.span
 	switch res.Source {
 	case vod.SourceCache:
 		s.ctr.RequestsCache++
@@ -64,7 +69,8 @@ func (s *System) Request(node int, v trace.VideoID) vod.RequestResult {
 			provider = res.Provider
 		}
 		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindServe, Node: node,
-			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages})
+			Video: int64(v), Provider: provider, Source: res.Source.String(), Hops: res.Hops, Msgs: res.Messages,
+			Span: s.span})
 	}
 	return res
 }
@@ -100,7 +106,8 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 				provider = fr.Found
 			}
 			s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
-				Video: int64(v), Provider: provider, Level: obs.LevelChannel, OK: fr.OK, Hops: fr.Hops, Msgs: fr.Messages})
+				Video: int64(v), Provider: provider, Level: obs.LevelChannel, OK: fr.OK, Hops: fr.Hops, Msgs: fr.Messages,
+				Span: s.span})
 		}
 		if fr.OK {
 			s.ctr.HitsChannel++
@@ -144,7 +151,8 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 			s.ctr.HitsCategory++
 			if s.tracer != nil {
 				s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
-					Video: int64(v), Provider: j, Level: obs.LevelCategory, OK: true, Hops: 1, Msgs: catMsgs})
+					Video: int64(v), Provider: j, Level: obs.LevelCategory, OK: true, Hops: 1, Msgs: catMsgs,
+					Span: s.span})
 			}
 			return res
 		}
@@ -163,7 +171,8 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 			s.ctr.HitsCategory++
 			if s.tracer != nil {
 				s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
-					Video: int64(v), Provider: fr.Found, Level: obs.LevelCategory, OK: true, Hops: res.Hops, Msgs: catMsgs})
+					Video: int64(v), Provider: fr.Found, Level: obs.LevelCategory, OK: true, Hops: res.Hops, Msgs: catMsgs,
+					Span: s.span})
 			}
 			// Connect to the provider if inter-link budget remains.
 			s.inter.Connect(node, fr.Found)
@@ -174,7 +183,7 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 	s.ctr.FloodMsgsCategory += uint64(catMsgs)
 	if s.tracer != nil && catMsgs > 0 {
 		s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
-			Video: int64(v), Provider: -1, Level: obs.LevelCategory, OK: false, Msgs: catMsgs})
+			Video: int64(v), Provider: -1, Level: obs.LevelCategory, OK: false, Msgs: catMsgs, Span: s.span})
 	}
 
 	// The request now reaches the server, whether it assists (phase 2.5)
@@ -195,7 +204,8 @@ func (s *System) locate(node int, v trace.VideoID) vod.RequestResult {
 				p = provider
 			}
 			s.tracer.Emit(obs.Event{T: int64(s.now), Proto: "SocialTube", Kind: obs.KindFlood, Node: node,
-				Video: int64(v), Provider: p, Level: obs.LevelServer, OK: ok, Hops: hops, Msgs: msgs})
+				Video: int64(v), Provider: p, Level: obs.LevelServer, OK: ok, Hops: hops, Msgs: msgs,
+				Span: s.span})
 		}
 		if ok {
 			s.ctr.HitsServerAssist++

@@ -70,6 +70,14 @@ type System struct {
 	// now is the experiment engine's virtual clock (SetNow), stamping
 	// trace events.
 	now time.Duration
+
+	// spanBase is OR-ed into every span id this system assigns
+	// (SetSpanBase gives each sharded cell a disjoint id range);
+	// spanSeq counts requests; span is the id of the request currently
+	// being served, stamped on every event in its causal chain.
+	spanBase uint64
+	spanSeq  uint64
+	span     uint64
 }
 
 var _ vod.Protocol = (*System)(nil)
@@ -159,6 +167,19 @@ func (s *System) SetTracer(t obs.Tracer) { s.tracer = t }
 // SetNow implements the experiment engine's clock hook (exp.Timed) so trace
 // events carry virtual timestamps.
 func (s *System) SetNow(now time.Duration) { s.now = now }
+
+// SetSpanBase namespaces the span ids this system assigns: every id is
+// base|seq. The sharded runner gives each community cell a disjoint
+// base so spans stay unique across one merged trace; single-engine runs
+// keep the zero base. Span ids depend only on request order, so they
+// are deterministic for a given seed.
+func (s *System) SetSpanBase(base uint64) { s.spanBase = base }
+
+// nextSpan assigns the span id for a new request's causal chain.
+func (s *System) nextSpan() uint64 {
+	s.spanSeq++
+	return s.spanBase | s.spanSeq
+}
 
 func (s *System) state(node int) *nodeState {
 	if node < 0 || node >= len(s.nodes) {

@@ -3,6 +3,7 @@ package emu
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,14 @@ type ClusterConfig struct {
 	Tracker TrackerConfig
 	// Conditions injects latency and loss (nil = pristine loopback).
 	Conditions *Conditions
+	// Tracer, when non-nil, receives the run's event stream: one serve
+	// event per request (plus handoff/rescue events for mid-stream
+	// failovers) and join/leave events per session, emitted by the
+	// workload driver. T is the wall-clock offset from the start of the
+	// workload in nanoseconds; spans are per-peer request sequences with
+	// the peer id in the high bits, mirroring the sharded simulator's
+	// per-cell span ranges.
+	Tracer obs.Tracer
 	// Faults, when non-nil, compiles to a deterministic schedule whose
 	// event times are wall-clock offsets from the start of the workload
 	// (scale them to WatchTime/MeanOffTime). The same plan drives the
@@ -118,8 +127,11 @@ func (c ClusterConfig) Validate() error {
 // so the bench harness prints Fig. 16(b)/17(b)/18(b) rows the same way.
 type ClusterResult struct {
 	Protocol string
-	// StartupDelay in milliseconds per request (cache hits excluded).
-	StartupDelay metrics.Sample
+	// StartupDelay in milliseconds per request (cache hits excluded),
+	// as a bounded log-bucketed histogram (obs.Hist) so long soak runs
+	// hold O(buckets) memory, and so the live /metrics endpoint can
+	// render it as a Prometheus histogram.
+	StartupDelay obs.Hist
 	// PeerBandwidth: per node, fraction of videos served by peers.
 	PeerBandwidth metrics.Sample
 	// LinksByVideoIndex[k]: link counts right after the (k+1)-th video of
@@ -172,7 +184,7 @@ func (r *ClusterResult) NormalizedPeerBandwidthPercentiles() (p1, p50, p99 float
 type LiveMetrics struct {
 	Protocol       string          `json:"protocol"`
 	Tracker        TrackerMetrics  `json:"tracker"`
-	StartupDelayMs metrics.Summary `json:"startupDelayMs"`
+	StartupDelayMs obs.HistSummary `json:"startupDelayMs"`
 	CacheHits      int64           `json:"cacheHits"`
 	PrefixHits     int64           `json:"prefixHits"`
 	PeerHits       int64           `json:"peerHits"`
@@ -411,9 +423,22 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 	if cfg.MetricsAddr != "" {
 		memW := obs.NewMemWatermark(1) // refreshed on every scrape
 		traceBytes := tr.Bytes()
+		prom := func(w io.Writer) {
+			// Live counter view: the tracker's block merged with every
+			// peer's, same fold the final result performs.
+			ctr := tracker.Counters()
+			for _, p := range peers {
+				ctr.Merge(p.Counters())
+			}
+			obs.WritePromCounters(w, "socialtube", &ctr)
+			resMu.Lock()
+			hist := res.StartupDelay
+			resMu.Unlock()
+			obs.WritePromHist(w, "socialtube_startup_delay_ms", &hist)
+		}
 		srv, err := obs.ServeMetrics(cfg.MetricsAddr, func() any {
 			return liveMetrics(cfg, tracker, res, &resMu, memW, traceBytes, len(tr.Users))
-		}, cfg.PprofEnabled)
+		}, prom, cfg.PprofEnabled)
 		if err != nil {
 			return nil, fmt.Errorf("cluster metrics: %w", err)
 		}
@@ -458,7 +483,7 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 		wg.Add(1)
 		go func(idx int, p *Peer) {
 			defer wg.Done()
-			runPeerSessions(cfg, tr, picker, p, idx, res, &resMu, stop, fd)
+			runPeerSessions(cfg, tr, picker, p, idx, begin, res, &resMu, stop, fd)
 		}(i, p)
 	}
 	wg.Wait()
@@ -482,9 +507,22 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 // simulator's workload loop over real time. It returns early when stop
 // closes or when the peer crashed permanently (no rejoin scheduled).
 func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *Peer, idx int,
-	res *ClusterResult, resMu *sync.Mutex, stop <-chan struct{}, fd *faultDriver) {
+	begin time.Time, res *ClusterResult, resMu *sync.Mutex, stop <-chan struct{}, fd *faultDriver) {
 	g := dist.NewRNG(cfg.Seed*1_000_003 + int64(idx))
 	user := &tr.Users[idx]
+	proto := cfg.Mode.String()
+	// Per-peer span sequence with the peer id in the high bits, so spans
+	// from different peers never alias in a merged trace.
+	var spanSeq uint64
+	emit := func(ev obs.Event) {
+		if cfg.Tracer == nil {
+			return
+		}
+		ev.T = int64(time.Since(begin))
+		ev.Proto = proto
+		ev.Node = idx
+		cfg.Tracer.Emit(ev)
+	}
 
 	// Optional probe loop for the peer's whole lifetime (a crashed host
 	// does not probe).
@@ -526,6 +564,7 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 			return
 		}
 		p.SetOnline(true)
+		emit(obs.Event{Kind: obs.KindJoin, Video: -1, Provider: -1})
 		plan := picker.PlanSession(g, user, cfg.VideosPerSession, cfg.MeanOffTime)
 		for i, v := range plan.Videos {
 			if !fd.waitRejoin(p, stop) {
@@ -533,6 +572,18 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 			}
 			outage := fd.duringOutage()
 			rec := p.RequestVideo(v)
+			spanSeq++
+			span := uint64(idx+1)<<40 | spanSeq
+			emit(obs.Event{Kind: obs.KindServe, Video: int64(v), Provider: -1,
+				Source: rec.Source.String(), Msgs: rec.Messages, Span: span})
+			if rec.HandoffAttempts > 0 {
+				emit(obs.Event{Kind: obs.KindHandoff, Video: int64(v), Provider: -1,
+					OK: rec.Handoffs > 0, Msgs: rec.HandoffAttempts, Span: span})
+			}
+			if rec.ServerRescued {
+				emit(obs.Event{Kind: obs.KindRescue, Video: int64(v), Provider: -1,
+					Source: vod.SourceServer.String(), Span: span})
+			}
 			resMu.Lock()
 			res.Messages += int64(rec.Messages)
 			switch rec.Source {
@@ -588,6 +639,7 @@ func runPeerSessions(cfg ClusterConfig, tr *trace.Trace, picker *vod.Picker, p *
 		if !p.IsCrashed() {
 			p.LeaveOverlays()
 		}
+		emit(obs.Event{Kind: obs.KindLeave, Video: -1, Provider: -1})
 		if s+1 < cfg.Sessions {
 			if !sleepOrStop(time.Duration(dist.Exponential(g, float64(cfg.MeanOffTime))), stop) {
 				return

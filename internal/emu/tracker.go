@@ -284,7 +284,7 @@ func (t *Tracker) MetricsSnapshot() TrackerMetrics {
 // ServeMetrics exposes this tracker's MetricsSnapshot on addr (and the pprof
 // handlers when enabled). The caller owns the returned server's lifetime.
 func (t *Tracker) ServeMetrics(addr string, pprofEnabled bool) (*obs.MetricsServer, error) {
-	return obs.ServeMetrics(addr, func() any { return t.MetricsSnapshot() }, pprofEnabled)
+	return obs.ServeMetrics(addr, func() any { return t.MetricsSnapshot() }, nil, pprofEnabled)
 }
 
 func (t *Tracker) dispatch(req *Message) *Message {

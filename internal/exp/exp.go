@@ -122,8 +122,11 @@ func (c Config) Validate() error {
 type Result struct {
 	Protocol string `json:"protocol"`
 	// StartupDelay has one observation (in milliseconds) per video
-	// request, excluding local cache hits.
-	StartupDelay metrics.Sample `json:"startupDelayMs"`
+	// request, excluding local cache hits. It is a bounded log-bucketed
+	// histogram, not a raw sample: request volume grows with N (1M+
+	// users at the top of the scale sweep), so the unbounded
+	// keep-every-observation layout of metrics.Sample is untenable here.
+	StartupDelay obs.Hist `json:"startupDelayMs"`
 	// PeerBandwidth has one observation per node: the fraction of that
 	// node's downloaded chunks served by peers.
 	PeerBandwidth metrics.Sample `json:"peerBandwidth"`
@@ -163,6 +166,12 @@ type Result struct {
 	// Sharded carries the community-sharded run's extra accounting
 	// (RunSharded); nil for single-engine runs, whose JSON is unchanged.
 	Sharded *ShardedInfo `json:"sharded,omitempty"`
+	// Timeline is the per-window telemetry recorded when
+	// Options.TimelineWindow (or ShardedOptions.TimelineWindow) is set;
+	// nil otherwise, keeping the JSON of untimed runs unchanged. Windows
+	// are keyed by simulated time, so same-seed timelines are
+	// byte-identical — in sharded runs for any worker count.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -231,6 +240,65 @@ type runner struct {
 	remote *remoteRouter
 	// cell is this runner's community cell index in a sharded run.
 	cell int
+	// tl is the per-window telemetry recorder; nil unless
+	// Options.TimelineWindow is set, so untimed runs pay one comparison.
+	tl *timelineRec
+}
+
+// timelineRec bundles the runner's timeline series handles. The series
+// set and registration order are fixed — every cell of a sharded run
+// builds the same layout, which is what makes cell-order merging valid.
+type timelineRec struct {
+	tl           *obs.Timeline
+	requests     *obs.Series
+	cacheHits    *obs.Series
+	peerHits     *obs.Series
+	serverHits   *obs.Series
+	startup      *obs.Series
+	serverBytes  *obs.Series
+	breakerOpens *obs.Series
+	// lastOpens is the previous breaker-open total, so each request
+	// files the delta into its own window.
+	lastOpens uint64
+}
+
+func newTimelineRec(window time.Duration) *timelineRec {
+	tl := obs.NewTimeline(window)
+	return &timelineRec{
+		tl:           tl,
+		requests:     tl.Counter("requests"),
+		cacheHits:    tl.Counter("cacheHits"),
+		peerHits:     tl.Counter("peerHits"),
+		serverHits:   tl.Counter("serverHits"),
+		startup:      tl.Hist("startupDelayMs"),
+		serverBytes:  tl.Counter("serverBytes"),
+		breakerOpens: tl.Counter("breakerOpens"),
+	}
+}
+
+// record files one completed request into the window of its *issue* time
+// (reqAt): the request belongs to the load of the window that produced
+// it, even when a cross-cell barrier delays the reply.
+func (t *timelineRec) record(ctr *obs.Counters, res vod.RequestResult, reqAt, ready time.Duration, servedBytes int64) {
+	t.requests.Add(reqAt, 1)
+	switch res.Source {
+	case vod.SourceCache:
+		t.cacheHits.Add(reqAt, 1)
+	case vod.SourcePeer:
+		t.peerHits.Add(reqAt, 1)
+	default:
+		t.serverHits.Add(reqAt, 1)
+	}
+	if res.Source != vod.SourceCache {
+		t.startup.Observe(reqAt, float64(ready-reqAt)/float64(time.Millisecond))
+	}
+	if servedBytes > 0 {
+		t.serverBytes.Add(reqAt, servedBytes)
+	}
+	if opens := ctr.BreakerOpens; opens != t.lastOpens {
+		t.breakerOpens.Add(reqAt, int64(opens-t.lastOpens))
+		t.lastOpens = opens
+	}
 }
 
 // watermarkEvery is the request period between heap samples. ReadMemStats
@@ -257,6 +325,10 @@ func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol
 		if traceable, ok := proto.(obs.Traceable); ok {
 			traceable.SetTracer(opts.Tracer)
 		}
+	}
+	if opts.TimelineWindow > 0 {
+		r.tl = newTimelineRec(opts.TimelineWindow)
+		r.res.Timeline = r.tl.tl
 	}
 	for i := range tr.Users {
 		r.sessionsLeft[i] = cfg.Sessions
@@ -444,6 +516,13 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 		if res.PrefixCached {
 			r.res.PrefixHits.Inc()
 		}
+	}
+	if r.tl != nil {
+		served := int64(0)
+		if res.Source == vod.SourceServer {
+			served = chunkBytes * int64(r.cfg.ChunksPerVideo)
+		}
+		r.tl.record(r.ctr, res, reqAt, ready, served)
 	}
 
 	playback := time.Duration(float64(video.Length) * r.cfg.WatchScale)

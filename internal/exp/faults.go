@@ -18,6 +18,11 @@ type Options struct {
 	// Tracer, when non-nil, is installed on the protocol before the
 	// run if it implements obs.Traceable.
 	Tracer obs.Tracer
+	// TimelineWindow, when positive, records per-window telemetry (hit
+	// counters, startup-delay histograms, server load, breaker opens)
+	// keyed by simulated time into Result.Timeline. 0 disables the
+	// recorder and leaves the Result JSON unchanged.
+	TimelineWindow time.Duration
 }
 
 // Repairer is implemented by protocols with active self-repair: when

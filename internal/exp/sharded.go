@@ -26,7 +26,18 @@ import (
 // (core.System). Protocols without it — the baselines — simply fall back
 // to the origin community's server for cross-community videos.
 type RemoteSearcher interface {
-	RemoteLookup(v trace.VideoID) (provider, hops, msgs int, ok bool)
+	// RemoteLookup answers a lookup forwarded from another community.
+	// span is the originating request's span id, so the query event the
+	// home community emits stays linked to the requester's causal chain.
+	RemoteLookup(span uint64, v trace.VideoID) (provider, hops, msgs int, ok bool)
+}
+
+// SpanScoped is implemented by protocols whose request span ids can be
+// rebased per community cell (core.System). The sharded runner gives each
+// cell a disjoint span range so a merged trace never aliases spans from
+// different cells.
+type SpanScoped interface {
+	SetSpanBase(base uint64)
 }
 
 // CellProtocol builds one community cell's protocol instance over the
@@ -43,6 +54,11 @@ type ShardedOptions struct {
 	// the cross-community round-trip granularity: a remote lookup costs
 	// up to two barrier waits of startup delay.
 	Epoch time.Duration
+	// TimelineWindow, when positive, records per-window telemetry in every
+	// cell and merges the cells' timelines in ascending cell order into
+	// Result.Timeline. Windows are keyed by simulated time, so the merged
+	// timeline is byte-identical for any Workers value.
+	TimelineWindow time.Duration
 }
 
 // DefaultShardedEpoch is the default barrier interval.
@@ -159,6 +175,16 @@ func RunShardedCtx(ctx context.Context, cfg Config, tr *trace.Trace, factory Cel
 		r.engine = se.Shard(c)
 		r.remote = router
 		r.cell = c
+		if opts.TimelineWindow > 0 {
+			r.tl = newTimelineRec(opts.TimelineWindow)
+			r.res.Timeline = r.tl.tl
+		}
+		// Disjoint per-cell span ranges: cell in the high bits, the cell's
+		// request sequence below — a pure function of (cell, request
+		// order), independent of the worker count.
+		if ss, ok := proto.(SpanScoped); ok {
+			ss.SetSpanBase(uint64(c+1) << 40)
+		}
 		if rs, ok := proto.(RemoteSearcher); ok {
 			router.remotes[c] = rs
 		}
@@ -179,15 +205,18 @@ func RunShardedCtx(ctx context.Context, cfg Config, tr *trace.Trace, factory Cel
 	if err := se.RunCtx(ctx, cfg.Horizon); err != nil {
 		return nil, err
 	}
-	return mergeSharded(cfg, tr, se, router, name, epoch), nil
+	return mergeSharded(cfg, tr, se, router, name, epoch, opts.TimelineWindow), nil
 }
 
 // mergeSharded folds the per-cell results into one Result, in cell-id
 // order so the merged samples are layout-free.
-func mergeSharded(cfg Config, tr *trace.Trace, se *sim.ShardedEngine, router *remoteRouter, name string, epoch time.Duration) *Result {
+func mergeSharded(cfg Config, tr *trace.Trace, se *sim.ShardedEngine, router *remoteRouter, name string, epoch, tlWindow time.Duration) *Result {
 	merged := &Result{
 		Protocol:          name,
 		LinksByVideoIndex: make([]metrics.Sample, cfg.VideosPerSession),
+	}
+	if tlWindow > 0 {
+		merged.Timeline = newTimelineRec(tlWindow).tl
 	}
 	info := &ShardedInfo{Cells: len(router.runners), Epoch: epoch}
 	for c, r := range router.runners {
@@ -199,8 +228,13 @@ func mergeSharded(cfg Config, tr *trace.Trace, se *sim.ShardedEngine, router *re
 		}
 		r.finalize()
 		res := r.res
-		for _, v := range res.StartupDelay.Values() {
-			merged.StartupDelay.Add(v)
+		merged.StartupDelay.Merge(&res.StartupDelay)
+		if merged.Timeline != nil && res.Timeline != nil {
+			// Every cell built the identical layout via newTimelineRec, so
+			// a merge error here is a programming error, not data.
+			if err := merged.Timeline.Merge(res.Timeline); err != nil {
+				panic(err)
+			}
 		}
 		for _, v := range res.PeerBandwidth.Values() {
 			merged.PeerBandwidth.Add(v)
@@ -275,7 +309,7 @@ func (rt *remoteRouter) forward(r *runner, node int, plan vod.SessionPlan, idx i
 	}
 	rt.lookups[src]++
 	rt.se.Send(src, dst, now, rt.key(src), func(at time.Duration) {
-		provider, hops, msgs, ok := rt.remotes[dst].RemoteLookup(v)
+		provider, hops, msgs, ok := rt.remotes[dst].RemoteLookup(res.Span, v)
 		_ = provider // cell-local to the home community; not addressable here
 		rt.se.Send(dst, src, at, rt.key(dst), func(resumeAt time.Duration) {
 			// One message to reach the remote community server, plus the

@@ -77,6 +77,53 @@ func TestShardedWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestShardedTimelineWorkerCountInvariance extends the worker-invariance
+// acceptance pin to the telemetry timeline: with TimelineWindow set, the
+// per-cell recorders merge in cell order into one Timeline whose JSON —
+// per-window counters and startup-delay histogram summaries alike — is
+// byte-identical for worker counts {1, 2, 4, 8}.
+func TestShardedTimelineWorkerCountInvariance(t *testing.T) {
+	tr := expTrace(t)
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := RunSharded(shardedConfig(), tr, socialTubeFactory(1), simnet.DefaultConfig(),
+			ShardedOptions{Workers: workers, TimelineWindow: 30 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if ref.Timeline == nil || ref.Timeline.Windows() == 0 {
+		t.Fatal("sharded timeline run recorded no windows")
+	}
+	// The merged per-window request counts must re-sum to the run total.
+	reqs := ref.Timeline.Series("requests")
+	if reqs == nil {
+		t.Fatal("timeline is missing the requests series")
+	}
+	var total int64
+	for i := 0; i < ref.Timeline.Windows(); i++ {
+		total += reqs.Value(i)
+	}
+	if total != ref.Requests {
+		t.Fatalf("timeline windows sum to %d requests, run counted %d", total, ref.Requests)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := json.Marshal(run(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(refJSON) {
+			t.Fatalf("workers=%d timeline result diverged from the sequential reference", workers)
+		}
+	}
+}
+
 // TestShardedAccountingConsistency checks the merged result's internal
 // arithmetic: hits partition the requests, remote accounting is coherent,
 // and the per-shard load block covers every cell.

@@ -7,6 +7,7 @@ import (
 	"github.com/socialtube/socialtube/internal/emu"
 	"github.com/socialtube/socialtube/internal/faults"
 	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
@@ -23,10 +24,15 @@ type EmuScale struct {
 	// Seed drives the workload.
 	Seed int64
 	// MetricsAddr, when non-empty, serves live cluster metrics on
-	// GET <addr>/metrics while each emulated run is in flight.
+	// GET <addr>/metrics while each emulated run is in flight (append
+	// ?format=prom for Prometheus exposition).
 	MetricsAddr string
 	// Pprof mounts net/http/pprof on the metrics listener.
 	Pprof bool
+	// Tracer, when non-nil, receives every emulated run's event stream
+	// (the -trace-out path). It must be safe for concurrent Emit: peer
+	// session loops emit in parallel.
+	Tracer obs.Tracer
 }
 
 // SmallEmuScale returns a seconds-long emulation.
@@ -68,6 +74,7 @@ func (s EmuScale) clusterConfig(mode emu.Mode) emu.ClusterConfig {
 	}
 	cfg.MetricsAddr = s.MetricsAddr
 	cfg.PprofEnabled = s.Pprof
+	cfg.Tracer = s.Tracer
 	if s.MetricsAddr != "" {
 		cfg.OnMetricsAddr = func(addr string) {
 			fmt.Printf("# live metrics: http://%s/metrics\n", addr)

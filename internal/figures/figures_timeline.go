@@ -1,0 +1,168 @@
+package figures
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/exp"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/obs"
+	"github.com/socialtube/socialtube/internal/simnet"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// timelineWindow is the per-window width of the timeline figure: one
+// session cycle (playback plus mean off period), so each window covers
+// roughly one generation of sessions and the churn plan's crash wave,
+// outage and burst each land in distinct windows.
+func (s Scale) timelineWindow() time.Duration {
+	return s.churnUnit()
+}
+
+// TimelinePoint is one (protocol, window) cell of the timeline figure.
+// Every field is deterministic under a fixed seed — windows are keyed by
+// simulated time, so the same seed yields byte-identical points for any
+// engine layout — which is why the struct carries no environmental block.
+type TimelinePoint struct {
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	// WindowMs is the window width; StartMs the window's start offset —
+	// both in simulated milliseconds.
+	WindowMs int64 `json:"windowMs"`
+	StartMs  int64 `json:"startMs"`
+	// Requests issued in the window and the fraction the server never
+	// served (cache, prefix or peer delivery).
+	Requests int64   `json:"requests"`
+	HitRate  float64 `json:"hitRate"`
+	// P50Ms / P99Ms summarize the window's startup-delay histogram
+	// (0 when the window saw no non-cache request).
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	// ServerBytes is the server load filed into the window.
+	ServerBytes int64 `json:"serverBytes"`
+	// BreakerOpens counts circuit-breaker opens filed into the window.
+	BreakerOpens int64 `json:"breakerOpens"`
+}
+
+// FigTimeline bundles the timeline figure's output: the per-window table,
+// the faulted runs' counter summary, and the raw points for
+// BENCH_timeline.json.
+type FigTimeline struct {
+	Table    *metrics.Table
+	Counters *metrics.Table
+	Points   []TimelinePoint
+}
+
+// String renders the window table followed by the counter summary.
+func (f *FigTimeline) String() string {
+	return f.Table.String() + "\n" + f.Counters.String()
+}
+
+// timelinePoints reduces one run's Timeline to its figure cells, one per
+// window in ascending window order.
+func timelinePoints(protocol string, seed int64, tl *obs.Timeline) []TimelinePoint {
+	if tl == nil {
+		return nil
+	}
+	var (
+		requests     = tl.Series("requests")
+		cacheHits    = tl.Series("cacheHits")
+		peerHits     = tl.Series("peerHits")
+		startup      = tl.Series("startupDelayMs")
+		serverBytes  = tl.Series("serverBytes")
+		breakerOpens = tl.Series("breakerOpens")
+	)
+	windowMs := tl.Window().Milliseconds()
+	pts := make([]TimelinePoint, 0, tl.Windows())
+	for i := 0; i < tl.Windows(); i++ {
+		p := TimelinePoint{
+			Protocol:     protocol,
+			Seed:         seed,
+			WindowMs:     windowMs,
+			StartMs:      int64(i) * windowMs,
+			Requests:     requests.Value(i),
+			ServerBytes:  serverBytes.Value(i),
+			BreakerOpens: breakerOpens.Value(i),
+		}
+		if p.Requests > 0 {
+			p.HitRate = float64(cacheHits.Value(i)+peerHits.Value(i)) / float64(p.Requests)
+		}
+		if h := startup.HistAt(i); h != nil && h.Len() > 0 {
+			p.P50Ms = h.Percentile(50)
+			p.P99Ms = h.Percentile(99)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// RunTimeline runs the three protocols through the standard workload under
+// the standard ChurnPlan with the per-window telemetry recorder on, and
+// renders hit rate, startup-delay percentiles, server load and breaker
+// opens per simulated-time window — the degradation-and-recovery arc of
+// the churn figure resolved in time instead of collapsed into run totals.
+func RunTimeline(s Scale, tr *trace.Trace) (*FigTimeline, error) {
+	protos, err := s.Protocols(tr)
+	if err != nil {
+		return nil, err
+	}
+	unit := s.churnUnit()
+	window := s.timelineWindow()
+	n := len(protoOrder)
+	results := make([]*exp.Result, n)
+	err = runConcurrently(n, func(i int) error {
+		name := protoOrder[i]
+		res, err := exp.RunCtx(context.Background(), s.expConfig(), tr, protos[name],
+			simnet.DefaultConfig(), exp.Options{
+				Faults:         faults.ChurnPlan(s.Seed, unit),
+				TimelineWindow: window,
+			})
+		if err != nil {
+			return fmt.Errorf("run %s: %w", name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Telemetry timeline under ChurnPlan(unit=%s), window=%s (simulator)", unit, window),
+		"protocol", "window", "startMs", "requests", "hitRate", "p50Ms", "p99Ms", "serverMB", "brkOpens")
+	var points []TimelinePoint
+	for i, name := range protoOrder {
+		pts := timelinePoints(name, s.Seed, results[i].Timeline)
+		for w, p := range pts {
+			t.AddRow(name, w, p.StartMs, p.Requests, p.HitRate, p.P50Ms, p.P99Ms,
+				float64(p.ServerBytes)/1e6, p.BreakerOpens)
+		}
+		points = append(points, pts...)
+	}
+	return &FigTimeline{
+		Table:    t,
+		Counters: countersTable("Telemetry timeline — protocol counters", protoOrder, results),
+		Points:   points,
+	}, nil
+}
+
+// AppendTimelinePoints appends one JSON line per point to path — the
+// BENCH_timeline.json convention, mirroring BENCH_scale.json: a grow-only
+// JSONL log of timeline cells, one run appended after another.
+func AppendTimelinePoints(path string, points []TimelinePoint) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -14,6 +14,16 @@ import (
 
 // Sample accumulates float64 observations and answers percentile queries.
 // The zero value is ready to use.
+//
+// Memory: a Sample keeps every observation (plus a lazily built sorted
+// copy), so it holds O(N) float64s — 16 bytes per observation worst case.
+// That is the right trade for per-node or per-event series whose size is
+// bounded by the population (peer bandwidth, links-by-index, repair
+// latency), and it is what makes exact interpolated percentiles possible.
+// It is the wrong trade for per-request series at scale-sweep sizes
+// (1M+ users × sessions × videos): those paths use obs.Hist, a bounded
+// log-bucketed histogram with O(buckets) memory and ≤~1.6% relative
+// quantile error, instead.
 type Sample struct {
 	// values stays in insertion order for the Sample's whole life:
 	// Values() must not depend on whether a percentile was queried

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -21,9 +22,12 @@ type MetricsServer struct {
 
 // ServeMetrics starts a metrics server on addr (use "127.0.0.1:0" for an
 // ephemeral port). snapshot is called per /metrics request and its result is
-// rendered as indented JSON; it must be safe for concurrent use. When
+// rendered as indented JSON; it must be safe for concurrent use. prom, when
+// non-nil, renders the Prometheus text exposition format and is served for
+// `GET /metrics?format=prom` (see WritePromCounters / WritePromHist for the
+// standard renderers); it too must be safe for concurrent use. When
 // pprofEnabled is true the /debug/pprof/ handlers are mounted too.
-func ServeMetrics(addr string, snapshot func() any, pprofEnabled bool) (*MetricsServer, error) {
+func ServeMetrics(addr string, snapshot func() any, prom func(io.Writer), pprofEnabled bool) (*MetricsServer, error) {
 	if snapshot == nil {
 		return nil, fmt.Errorf("obs: nil metrics snapshot")
 	}
@@ -33,6 +37,11 @@ func ServeMetrics(addr string, snapshot func() any, pprofEnabled bool) (*Metrics
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if prom != nil && r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			prom(w)
+			return
+		}
 		buf, err := json.MarshalIndent(snapshot(), "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

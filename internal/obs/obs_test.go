@@ -294,7 +294,7 @@ func TestServeMetrics(t *testing.T) {
 	c.RequestsPeer = 11
 	srv, err := ServeMetrics("127.0.0.1:0", func() any {
 		return map[string]any{"counters": c.Snapshot()}
-	}, false)
+	}, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,14 +314,14 @@ func TestServeMetrics(t *testing.T) {
 	httpGet(t, "http://"+srv.Addr()+"/debug/pprof/", http.StatusNotFound)
 
 	// ...and mounted when enabled.
-	srv2, err := ServeMetrics("127.0.0.1:0", func() any { return struct{}{} }, true)
+	srv2, err := ServeMetrics("127.0.0.1:0", func() any { return struct{}{} }, nil, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
 	httpGet(t, "http://"+srv2.Addr()+"/debug/pprof/", http.StatusOK)
 
-	if _, err := ServeMetrics("127.0.0.1:0", nil, false); err == nil {
+	if _, err := ServeMetrics("127.0.0.1:0", nil, nil, false); err == nil {
 		t.Fatal("nil snapshot accepted")
 	}
 }

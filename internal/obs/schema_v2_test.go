@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSchemaV1TracesStillValidate: the schema bump (span field, query/
+// handoff/rescue kinds) is strictly additive — a trace written before
+// the span field existed must still pass validation untouched.
+func TestSchemaV1TracesStillValidate(t *testing.T) {
+	s, err := GoldenSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Join([]string{
+		`{"t":1000,"proto":"SocialTube","kind":"flood","node":3,"video":7,"provider":-1,"level":"channel","ok":true,"hops":2,"msgs":5}`,
+		`{"t":2000,"proto":"SocialTube","kind":"serve","node":3,"video":7,"provider":9,"source":"peer","hops":2,"msgs":5}`,
+		`{"t":3000,"proto":"NetTube","kind":"join","node":4,"video":-1,"provider":-1}`,
+		`{"t":4000,"proto":"PA-VoD","kind":"probe","node":5,"video":-1,"provider":-1,"msgs":3}`,
+	}, "\n") + "\n"
+	counts, err := s.ValidateJSONL(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 trace rejected by v2 schema: %v", err)
+	}
+	if counts["flood"] != 1 || counts["serve"] != 1 || counts["join"] != 1 || counts["probe"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestSchemaV2SpansAndNewKinds: span-stamped events and the new causal-
+// chain kinds validate; an unknown field still fails.
+func TestSchemaV2SpansAndNewKinds(t *testing.T) {
+	s, err := GoldenSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := strings.Join([]string{
+		`{"t":1000,"proto":"SocialTube","kind":"flood","node":3,"video":7,"provider":-1,"level":"channel","ok":true,"hops":2,"msgs":5,"span":77}`,
+		`{"t":1500,"proto":"SocialTube","kind":"query","node":3,"video":7,"provider":-1,"ok":true,"hops":1,"msgs":2,"span":77}`,
+		`{"t":2000,"proto":"SocialTube","kind":"serve","node":3,"video":7,"provider":9,"source":"peer","hops":2,"msgs":5,"span":77}`,
+		`{"t":2500,"proto":"SocialTube","kind":"handoff","node":3,"video":7,"provider":10,"ok":true,"span":77}`,
+		`{"t":3000,"proto":"SocialTube","kind":"rescue","node":3,"video":7,"provider":-1,"source":"server","span":77}`,
+	}, "\n") + "\n"
+	counts, err := s.ValidateJSONL(strings.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 trace rejected: %v", err)
+	}
+	if counts["query"] != 1 || counts["handoff"] != 1 || counts["rescue"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	bad := `{"t":1,"proto":"x","kind":"flood","node":1,"video":-1,"provider":-1,"bogus":1}` + "\n"
+	if _, err := s.ValidateJSONL(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestServeMetricsProm scrapes `GET /metrics?format=prom` and checks the
+// exposition parses as well-formed lines for at least one counter and
+// one histogram — the acceptance pin for the Prometheus surface.
+func TestServeMetricsProm(t *testing.T) {
+	var c Counters
+	c.RequestsPeer = 5
+	var h Hist
+	h.Add(12)
+	h.Add(340)
+	srv, err := ServeMetrics("127.0.0.1:0", func() any { return c.Snapshot() }, func(w io.Writer) {
+		WritePromCounters(w, "socialtube", &c)
+		WritePromHist(w, "socialtube_startup_delay_ms", &h)
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, "http://"+srv.Addr()+"/metrics?format=prom", http.StatusOK)
+	var counterLine, histBucket, histCount bool
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		switch {
+		case fields[0] == "socialtube_requests_peer_total" && fields[1] == "5":
+			counterLine = true
+		case strings.HasPrefix(fields[0], "socialtube_startup_delay_ms_bucket{le="):
+			histBucket = true
+		case fields[0] == "socialtube_startup_delay_ms_count" && fields[1] == "2":
+			histCount = true
+		}
+	}
+	if !counterLine || !histBucket || !histCount {
+		t.Fatalf("prom exposition missing counter=%v bucket=%v count=%v:\n%s",
+			counterLine, histBucket, histCount, body)
+	}
+	// The JSON view is untouched by the prom branch.
+	jsonBody := httpGet(t, "http://"+srv.Addr()+"/metrics", http.StatusOK)
+	if !strings.Contains(string(jsonBody), "requestsPeer") {
+		t.Fatalf("JSON view broken: %s", jsonBody)
+	}
+}

@@ -30,6 +30,16 @@ const (
 	// KindRepair is one active self-repair round after a detected
 	// crash: the dead node's neighbors replace their lost links.
 	KindRepair Kind = "repair"
+	// KindQuery is a cross-community lookup forwarded to the video's
+	// home cell (core.RemoteLookup across the sharded-engine mailbox) or
+	// a tracker query on the emulated wire.
+	KindQuery Kind = "query"
+	// KindHandoff is a mid-stream provider handoff along the ranked
+	// candidate list (emulation delivery path).
+	KindHandoff Kind = "handoff"
+	// KindRescue is the server rescuing the remainder of a delivery
+	// after the candidate list is exhausted.
+	KindRescue Kind = "rescue"
 )
 
 // Hierarchy levels for KindFlood events.
@@ -58,6 +68,11 @@ type Event struct {
 	Hops   int    `json:"hops,omitempty"`
 	Msgs   int    `json:"msgs,omitempty"`
 	OK     bool   `json:"ok,omitempty"`
+	// Span links every event in one request's causal chain (flood →
+	// serve, query across a shard mailbox, handoff, server rescue). 0
+	// means the event is not part of a request span (schema v1 traces
+	// predate the field and decode with Span 0).
+	Span uint64 `json:"span,omitempty"`
 }
 
 // String renders the event human-readably — the format `socialtube-sim
@@ -77,6 +92,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("%-12v %-10s node %-5d probe msgs=%d", at, e.Proto, e.Node, e.Msgs)
 	case KindRepair:
 		return fmt.Sprintf("%-12v %-10s node %-5d repair links=%d msgs=%d", at, e.Proto, e.Node, e.Hops, e.Msgs)
+	case KindQuery:
+		return fmt.Sprintf("%-12v %-10s node %-5d query video %-6d ok=%-5v hops=%d msgs=%d",
+			at, e.Proto, e.Node, e.Video, e.OK, e.Hops, e.Msgs)
+	case KindHandoff:
+		return fmt.Sprintf("%-12v %-10s node %-5d handoff video %-6d provider=%-5d ok=%v",
+			at, e.Proto, e.Node, e.Video, e.Provider, e.OK)
+	case KindRescue:
+		return fmt.Sprintf("%-12v %-10s node %-5d rescue video %-6d", at, e.Proto, e.Node, e.Video)
 	default:
 		return fmt.Sprintf("%-12v %-10s node %-5d %s", at, e.Proto, e.Node, e.Kind)
 	}
@@ -250,4 +273,59 @@ func Pretty(r io.Reader, w io.Writer, max int) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// PrettySpans reads JSONL trace events from r, groups the span-stamped
+// ones by (protocol, span id) — span sequences restart per engine, so a
+// multi-protocol figure trace would alias ids across protocols — and
+// writes up to max (0 = all) reconstructed request chains to w in
+// first-appearance order — the `-trace-spans` view. Within a span,
+// events keep their emission order, so the printed chain is the
+// request's causal path (flood → query → serve → handoff → rescue).
+// Events without a span (schema v1 traces, churn events) are skipped.
+// It returns how many spans it printed.
+func PrettySpans(r io.Reader, w io.Writer, max int) (int, error) {
+	type spanKey struct {
+		proto string
+		id    uint64
+	}
+	dec := json.NewDecoder(r)
+	spans := make(map[spanKey][]Event)
+	var order []spanKey
+	n := 0
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return 0, fmt.Errorf("trace event %d: %w", n+1, err)
+		}
+		n++
+		if e.Span == 0 {
+			continue
+		}
+		k := spanKey{e.Proto, e.Span}
+		if _, seen := spans[k]; !seen {
+			order = append(order, k)
+		}
+		spans[k] = append(spans[k], e)
+	}
+	printed := 0
+	for _, k := range order {
+		if max > 0 && printed >= max {
+			break
+		}
+		events := spans[k]
+		if _, err := fmt.Fprintf(w, "span %s/%d (%d events)\n", k.proto, k.id, len(events)); err != nil {
+			return printed, err
+		}
+		for _, e := range events {
+			if _, err := fmt.Fprintf(w, "  %s\n", e.String()); err != nil {
+				return printed, err
+			}
+		}
+		printed++
+	}
+	return printed, nil
 }

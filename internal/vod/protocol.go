@@ -46,6 +46,11 @@ type RequestResult struct {
 	// PrefixCached reports that the node already held the video's first
 	// chunk (a prefetch hit), eliminating the startup delay.
 	PrefixCached bool
+	// Span is the request's trace span id: every obs.Event in this
+	// request's causal chain carries it, and the sharded runner passes
+	// it across cell boundaries so a remote lookup's events link back to
+	// the originating request. 0 when the protocol does not assign spans.
+	Span uint64
 }
 
 // Protocol is the contract every P2P VoD scheme implements over the

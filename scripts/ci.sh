@@ -58,4 +58,38 @@ echo "== trace schema (end-to-end golden validation) =="
 go run ./cmd/socialtube-sim -fig 16a -trace-out "$tracetmp/run.jsonl" > /dev/null
 go run ./cmd/socialtube-sim -trace-check "$tracetmp/run.jsonl"
 
+echo "== span-linked trace view =="
+# The same trace, grouped by request span: a freshly generated sim trace
+# must contain spans (the engines stamp one per request since schema v2).
+spans=$(go run ./cmd/socialtube-sim -trace-spans "$tracetmp/run.jsonl" -trace-max 10 | tail -1)
+echo "$spans"
+case "$spans" in
+"# 0 spans" | "") echo "generated trace contains no request spans"; exit 1 ;;
+esac
+
+echo "== timeline figure smoke =="
+go run ./cmd/socialtube-sim -fig timeline -bench-out "$tracetmp/BENCH_timeline.json" > /dev/null
+test -s "$tracetmp/BENCH_timeline.json" || { echo "timeline figure emitted no bench points"; exit 1; }
+
+echo "== tracing overhead guard (BenchmarkRequest traced vs untraced) =="
+# Min-of-3 ns/op for the bare and nop-traced request hot path: the tracing
+# seam may cost at most ~10% and must stay at 0 allocs/op.
+benchout=$(go test -run '^$' -bench '^(BenchmarkRequest|BenchmarkRequestTraced)$' \
+	-count=3 -benchtime 2000x -benchmem ./internal/core/)
+echo "$benchout"
+echo "$benchout" | awk '
+	$1 ~ /^BenchmarkRequestTraced(-|$)/ {
+		if (tmin == 0 || $3 < tmin) tmin = $3
+		if ($7 > allocs) allocs = $7
+		next
+	}
+	$1 ~ /^BenchmarkRequest(-|$)/ { if (umin == 0 || $3 < umin) umin = $3 }
+	END {
+		if (umin == 0 || tmin == 0) { print "overhead guard: missing benchmark lines"; exit 1 }
+		ratio = tmin / umin
+		printf "untraced min %.0f ns/op, traced min %.0f ns/op, ratio %.3f\n", umin, tmin, ratio
+		if (allocs > 0) { printf "traced request path allocates %d allocs/op, want 0\n", allocs; exit 1 }
+		if (ratio > 1.10) { printf "tracing overhead %.1f%% exceeds the ~10%% budget\n", (ratio - 1) * 100; exit 1 }
+	}'
+
 echo "CI OK"

@@ -277,8 +277,9 @@ func WithFaults(plan *FaultPlan) RunOption {
 	return func(s *Scenario) { s.faults = plan }
 }
 
-// WithTracer streams the run's protocol events to tr (simulation runs;
-// protocols that do not support tracing ignore it).
+// WithTracer streams the run's protocol events to tr. Simulation runs
+// install it on protocols that support tracing; emulated clusters emit
+// the workload driver's serve/handoff/rescue/join/leave stream.
 func WithTracer(tr Tracer) RunOption {
 	return func(s *Scenario) { s.tracer = tr }
 }
@@ -383,8 +384,9 @@ func RunCluster(cfg ClusterConfig, tr *Trace) (*ClusterResult, error) {
 
 // RunClusterCtx runs the emulated cluster under ctx: cancellation stops
 // the workload and releases every tracker and peer goroutine before
-// returning ctx.Err(). WithConditions, WithFaults and WithCounters apply;
-// WithNetwork and WithTracer are simulation-only and are ignored here.
+// returning ctx.Err(). WithConditions, WithFaults, WithTracer and
+// WithCounters apply; WithNetwork is simulation-only and is ignored here
+// (emulated clusters model the network with Conditions instead).
 func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *Trace, opts ...RunOption) (*ClusterResult, error) {
 	sc := NewScenario(opts...)
 	if sc.conditions != nil {
@@ -392,6 +394,9 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *Trace, opts ...Ru
 	}
 	if sc.faults != nil {
 		cfg.Faults = sc.faults
+	}
+	if sc.tracer != nil {
+		cfg.Tracer = sc.tracer
 	}
 	res, err := emu.RunClusterCtx(ctx, cfg, tr)
 	if err != nil {
