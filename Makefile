@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo fuzz-smoke trace-demo timeline-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo outage-shard-demo fuzz-smoke trace-demo timeline-demo cover clean
 
 all: build test
 
@@ -67,6 +67,14 @@ faults-demo:
 # deterministic points land in BENCH_failover.json. Seconds.
 failover-demo:
 	$(GO) run ./cmd/socialtube-emu -fig failover -bench-out BENCH_failover.json
+
+# Run SocialTube on the sharded, replicated control plane (2 shards x 2
+# replicas) and kill each tracker replica in turn mid-run: the hit rate
+# must stay within a few percent of the no-fault baseline because peers
+# fail over to the shard's surviving replica. Deterministic points land
+# in BENCH_failover.json. Seconds.
+outage-shard-demo:
+	$(GO) run ./cmd/socialtube-emu -fig outage-shard -bench-out BENCH_failover.json
 
 # Short fuzz passes over the wire layer: the frame decoder and the peer's
 # message handlers must survive arbitrary bytes without panicking.

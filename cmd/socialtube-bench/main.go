@@ -174,6 +174,17 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Println(eo)
+		eso, err := figures.FigShardedOutage(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eso)
+		if *failOut != "" {
+			if err := figures.AppendShardedOutagePoints(*failOut, eso.Points); err != nil {
+				return err
+			}
+			fmt.Printf("appended %d sharded-outage points to %s\n\n", len(eso.Points), *failOut)
+		}
 		ef, err := figures.FigFailover(es, etr)
 		if err != nil {
 			return err

@@ -8,12 +8,20 @@
 //	socialtube-node -role tracker -trace trace.json -addr :7070
 //	socialtube-node -role peer -trace trace.json -tracker host:7070 \
 //	    -id 7 -sessions 3 -videos 10
+//
+// A sharded, replicated control plane is a -tracker spec listing every
+// tracker endpoint, shards separated by ';' and a shard's replicas by ','
+// (all elements must agree on -ring-seed):
+//
+//	socialtube-node -role peer -trace trace.json -ring-seed 1 \
+//	    -tracker 'hostA:7070,hostB:7070;hostC:7070,hostD:7070'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
@@ -38,7 +46,8 @@ func run(args []string, stop chan struct{}) error {
 		role        = fs.String("role", "", "tracker or peer")
 		tracePath   = fs.String("trace", "", "path to the shared trace JSON (see socialtube-trace -save)")
 		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
-		trackerAddr = fs.String("tracker", "", "tracker address (peer role)")
+		trackerAddr = fs.String("tracker", "", "tracker endpoints (peer role): shards separated by ';', a shard's replicas by ',' (one address = legacy single tracker)")
+		ringSeed    = fs.Int64("ring-seed", 0, "channel->shard ring seed; must match on every peer of a sharded plane (peer role)")
 		id          = fs.Int("id", 0, "peer id — the user id this peer plays (peer role)")
 		mode        = fs.String("mode", "socialtube", "protocol: socialtube, nettube or pavod")
 		sessions    = fs.Int("sessions", 1, "sessions to run before exiting (peer role)")
@@ -47,6 +56,10 @@ func run(args []string, stop chan struct{}) error {
 		seed        = fs.Int64("seed", 1, "workload seed (peer role)")
 		metrics     = fs.String("metrics", "", "serve live node metrics on this address (e.g. 127.0.0.1:8080)")
 		pprof       = fs.Bool("pprof", false, "with -metrics, also mount net/http/pprof on the metrics listener")
+		replicas    = fs.String("replicas", "", "comma-separated addresses of every replica of this tracker's shard, in shard order, this one included (tracker role; empty = unreplicated)")
+		replicaSelf = fs.Int("replica-self", 0, "this tracker's index within -replicas (tracker role)")
+		shard       = fs.Int("shard", 0, "this tracker's shard index, for the gossip seed (tracker role)")
+		gossipEvery = fs.Duration("gossip-interval", 200*time.Millisecond, "anti-entropy period between shard replicas (tracker role, with -replicas)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,15 +79,15 @@ func run(args []string, stop chan struct{}) error {
 
 	switch *role {
 	case "tracker":
-		return runTracker(tr, *addr, *metrics, *pprof, stop)
+		return runTracker(tr, *addr, *metrics, *pprof, *replicas, *replicaSelf, *shard, *ringSeed, *gossipEvery, stop)
 	case "peer":
-		return runPeer(tr, *addr, *trackerAddr, *id, *mode, *sessions, *videos, *watch, *seed, *metrics, *pprof)
+		return runPeer(tr, *addr, *trackerAddr, *ringSeed, *id, *mode, *sessions, *videos, *watch, *seed, *metrics, *pprof)
 	default:
 		return fmt.Errorf("unknown role %q (want tracker or peer)", *role)
 	}
 }
 
-func runTracker(tr *trace.Trace, addr, metricsAddr string, pprof bool, stop chan struct{}) error {
+func runTracker(tr *trace.Trace, addr, metricsAddr string, pprof bool, replicaSpec string, replicaSelf, shard int, ringSeed int64, gossipEvery time.Duration, stop chan struct{}) error {
 	cfg := emu.DefaultTrackerConfig()
 	cfg.Addr = addr
 	tk, err := emu.NewTracker(cfg, tr, emu.DefaultConditions())
@@ -85,6 +98,21 @@ func runTracker(tr *trace.Trace, addr, metricsAddr string, pprof bool, stop chan
 		return err
 	}
 	defer tk.Stop()
+	if replicaSpec != "" {
+		var reps []string
+		for _, a := range strings.Split(replicaSpec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		if replicaSelf < 0 || replicaSelf >= len(reps) {
+			return fmt.Errorf("-replica-self %d outside -replicas (%d entries)", replicaSelf, len(reps))
+		}
+		// Same per-shard gossip seed derivation StartControlPlane uses, so
+		// mixed in-process/cross-machine planes rotate partners alike.
+		tk.StartGossip(ringSeed+int64(shard)*7919, reps, replicaSelf, gossipEvery, 0)
+		fmt.Printf("gossiping as replica %d of shard %d with %v every %v\n", replicaSelf, shard, reps, gossipEvery)
+	}
 	if metricsAddr != "" {
 		srv, err := tk.ServeMetrics(metricsAddr, pprof)
 		if err != nil {
@@ -112,7 +140,29 @@ func parseMode(mode string) (emu.Mode, error) {
 	}
 }
 
-func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string, sessions, videos int, watch time.Duration, seed int64, metricsAddr string, pprof bool) error {
+// parsePlaneSpec turns a -tracker spec into a routing-only control plane:
+// shards are separated by ';', a shard's replicas by ','. A single bare
+// address yields the 1x1 legacy plane.
+func parsePlaneSpec(spec string, ringSeed int64) (*emu.ControlPlane, error) {
+	var replicas [][]string
+	for _, shard := range strings.Split(spec, ";") {
+		var reps []string
+		for _, a := range strings.Split(shard, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		if len(reps) > 0 {
+			replicas = append(replicas, reps)
+		}
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("-tracker spec %q names no endpoints", spec)
+	}
+	return emu.NewControlPlaneClient(ringSeed, replicas)
+}
+
+func runPeer(tr *trace.Trace, addr, trackerAddr string, ringSeed int64, id int, modeName string, sessions, videos int, watch time.Duration, seed int64, metricsAddr string, pprof bool) error {
 	if trackerAddr == "" {
 		return fmt.Errorf("-tracker is required for the peer role")
 	}
@@ -123,9 +173,13 @@ func runPeer(tr *trace.Trace, addr, trackerAddr string, id int, modeName string,
 	if err != nil {
 		return err
 	}
+	cp, err := parsePlaneSpec(trackerAddr, ringSeed)
+	if err != nil {
+		return err
+	}
 	cfg := emu.DefaultPeerConfig(id, mode)
 	cfg.Addr = addr
-	p, err := emu.NewPeer(cfg, tr, trackerAddr, emu.DefaultConditions())
+	p, err := emu.NewPeerWithControlPlane(cfg, tr, cp, emu.DefaultConditions())
 	if err != nil {
 		return err
 	}

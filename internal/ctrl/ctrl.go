@@ -1,0 +1,180 @@
+// Package ctrl is the control-plane layer behind the emulated cluster:
+// a rendezvous-hash ring mapping channel keys to tracker shards, a
+// directory of shard replica endpoints, a versioned membership table with
+// tombstones that replicas reconcile by anti-entropy gossip, and a seeded
+// sibling selector driving the gossip schedule.
+//
+// The paper's per-community hierarchy hands the control plane its natural
+// shard key: every tracker-path operation is keyed by the channel (or by
+// the channel owning the video), the same key the sharded event engine
+// partitions on. Sharding by channel keeps each community's membership
+// state on one shard, so a join and the lookups it feeds never straddle
+// shards.
+//
+// Replicas of one shard are deliberately NOT in the ring: the ring hashes
+// channels to shard indices only, so growing a shard from one replica to
+// three never moves a single channel. Replica choice is a client-side
+// failover walk over the shard's endpoint list.
+package ctrl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring maps int64 keys (channel ids) to shard indices by rendezvous
+// (highest-random-weight) hashing: every key scores each shard with a
+// seeded mix and picks the argmax. Deterministic for one (seed, shards)
+// pair, uniform in the limit, and minimally disruptive when a shard is
+// added — only keys whose new shard wins move.
+type Ring struct {
+	seed   int64
+	shards int
+}
+
+// NewRing builds a ring over shards shards. shards must be >= 1.
+func NewRing(seed int64, shards int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("ctrl: ring needs >= 1 shard, got %d", shards)
+	}
+	return &Ring{seed: seed, shards: shards}, nil
+}
+
+// Shards returns the number of shards the ring hashes over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard index in [0, Shards()) owning key.
+func (r *Ring) Owner(key int64) int {
+	if r.shards == 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < r.shards; s++ {
+		score := mix64(uint64(r.seed)*0x9E3779B97F4A7C15 ^ uint64(key)<<1 ^ uint64(s)*0xBF58476D1CE4E5B9)
+		if s == 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, plenty for spreading a few hundred channel keys over a handful
+// of shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Directory is the client-side view of the control plane: the ring plus
+// the replica endpoint lists, one per shard. Immutable after construction;
+// peers share one directory by value semantics (it is never mutated).
+type Directory struct {
+	ring     *Ring
+	replicas [][]string // replicas[shard][replica] = endpoint address
+	total    int
+}
+
+// NewDirectory builds a directory over the given replica endpoint lists.
+// replicas[i] holds shard i's endpoints in failover order; every shard
+// needs at least one endpoint.
+func NewDirectory(seed int64, replicas [][]string) (*Directory, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("ctrl: directory needs >= 1 shard")
+	}
+	ring, err := NewRing(seed, len(replicas))
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, reps := range replicas {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("ctrl: shard %d has no replicas", i)
+		}
+		for j, addr := range reps {
+			if addr == "" {
+				return nil, fmt.Errorf("ctrl: shard %d replica %d has empty address", i, j)
+			}
+		}
+		total += len(reps)
+	}
+	cp := make([][]string, len(replicas))
+	for i, reps := range replicas {
+		cp[i] = append([]string(nil), reps...)
+	}
+	return &Directory{ring: ring, replicas: cp, total: total}, nil
+}
+
+// NumShards returns the number of shards.
+func (d *Directory) NumShards() int { return len(d.replicas) }
+
+// Owner returns the shard index owning key.
+func (d *Directory) Owner(key int64) int { return d.ring.Owner(key) }
+
+// Replicas returns shard's endpoints in failover order. The returned
+// slice is shared; callers must not mutate it.
+func (d *Directory) Replicas(shard int) []string { return d.replicas[shard] }
+
+// Endpoints returns the total endpoint count across all shards.
+func (d *Directory) Endpoints() int { return d.total }
+
+// EndpointIndex returns a stable flat index for (shard, replica), usable
+// as a circuit-breaker id: shards are laid out in order, replicas within
+// a shard consecutively.
+func (d *Directory) EndpointIndex(shard, replica int) int {
+	idx := 0
+	for s := 0; s < shard; s++ {
+		idx += len(d.replicas[s])
+	}
+	return idx + replica
+}
+
+// All returns every endpoint address across all shards, shard-major. Used
+// for plane-wide broadcasts (register, leave).
+func (d *Directory) All() []string {
+	out := make([]string, 0, d.total)
+	for _, reps := range d.replicas {
+		out = append(out, reps...)
+	}
+	return out
+}
+
+// Gossiper yields the anti-entropy partner schedule for one replica: a
+// seeded rotation over its siblings (the other replicas of the same
+// shard). Deterministic for one seed, so gossip convergence tests and
+// same-seed cluster runs replay identically.
+type Gossiper struct {
+	siblings []int
+	next     int
+}
+
+// NewGossiper builds a partner schedule for replica self among n replicas
+// of one shard. Returns nil when there is nothing to gossip with (n < 2).
+func NewGossiper(seed int64, self, n int) *Gossiper {
+	if n < 2 || self < 0 || self >= n {
+		return nil
+	}
+	sib := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != self {
+			sib = append(sib, i)
+		}
+	}
+	// A seeded rotation start keeps replicas from thundering at the same
+	// sibling; the walk itself is round-robin so no sibling starves.
+	off := int(mix64(uint64(seed)^uint64(self)*0x9E3779B97F4A7C15) % uint64(len(sib)))
+	sort.Ints(sib)
+	g := &Gossiper{siblings: sib, next: off}
+	return g
+}
+
+// Next returns the replica index to gossip with this round.
+func (g *Gossiper) Next() int {
+	p := g.siblings[g.next%len(g.siblings)]
+	g.next++
+	return p
+}

@@ -1,0 +1,152 @@
+package ctrl
+
+import "testing"
+
+// Every key maps to exactly one shard in [0, shards), and the mapping is
+// a pure function of (seed, shards).
+func TestRingOwnershipProperty(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		r, err := NewRing(42, shards)
+		if err != nil {
+			t.Fatalf("NewRing(42, %d): %v", shards, err)
+		}
+		r2, err := NewRing(42, shards)
+		if err != nil {
+			t.Fatalf("NewRing(42, %d): %v", shards, err)
+		}
+		for key := int64(0); key < 1000; key++ {
+			s := r.Owner(key)
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d key=%d: owner %d out of range", shards, key, s)
+			}
+			if s2 := r.Owner(key); s2 != s {
+				t.Fatalf("shards=%d key=%d: owner not stable: %d then %d", shards, key, s, s2)
+			}
+			if s2 := r2.Owner(key); s2 != s {
+				t.Fatalf("shards=%d key=%d: owner differs across identical rings: %d vs %d", shards, key, s, s2)
+			}
+		}
+	}
+}
+
+// The ring hashes channels to shard indices only — replicas are not ring
+// members — so adding a replica to a shard moves no keys at all.
+func TestRingStableUnderReplicaAddition(t *testing.T) {
+	before, err := NewDirectory(7, [][]string{{"a0"}, {"b0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewDirectory(7, [][]string{{"a0", "a1"}, {"b0", "b1", "b2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := int64(0); key < 1000; key++ {
+		if before.Owner(key) != after.Owner(key) {
+			t.Fatalf("key %d moved shard (%d -> %d) when only replicas were added",
+				key, before.Owner(key), after.Owner(key))
+		}
+	}
+}
+
+// Rendezvous hashing should spread keys roughly evenly; with 1000 keys
+// over 4 shards each shard should hold well within 2x of the fair share.
+func TestRingRoughBalance(t *testing.T) {
+	const shards, keys = 4, 1000
+	r, err := NewRing(1, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for key := int64(0); key < keys; key++ {
+		counts[r.Owner(key)]++
+	}
+	for s, n := range counts {
+		if n < keys/shards/2 || n > keys/shards*2 {
+			t.Fatalf("shard %d holds %d of %d keys (counts %v) — badly unbalanced", s, n, keys, counts)
+		}
+	}
+}
+
+// Different seeds should produce different assignments (the ring is
+// actually seeded, not a fixed hash).
+func TestRingSeeded(t *testing.T) {
+	a, _ := NewRing(1, 4)
+	b, _ := NewRing(2, 4)
+	diff := 0
+	for key := int64(0); key < 1000; key++ {
+		if a.Owner(key) != b.Owner(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical assignments for 1000 keys")
+	}
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(1, nil); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	if _, err := NewDirectory(1, [][]string{{"a"}, {}}); err == nil {
+		t.Fatal("shard with no replicas accepted")
+	}
+	if _, err := NewDirectory(1, [][]string{{"a"}, {""}}); err == nil {
+		t.Fatal("empty endpoint accepted")
+	}
+	d, err := NewDirectory(1, [][]string{{"a0", "a1"}, {"b0"}, {"c0", "c1", "c2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Endpoints(); got != 6 {
+		t.Fatalf("Endpoints() = %d, want 6", got)
+	}
+	// Flat endpoint indices are stable and collision-free.
+	seen := map[int]bool{}
+	for s := 0; s < d.NumShards(); s++ {
+		for rep := range d.Replicas(s) {
+			idx := d.EndpointIndex(s, rep)
+			if seen[idx] {
+				t.Fatalf("EndpointIndex(%d,%d) = %d collides", s, rep, idx)
+			}
+			seen[idx] = true
+			if idx < 0 || idx >= d.Endpoints() {
+				t.Fatalf("EndpointIndex(%d,%d) = %d out of range", s, rep, idx)
+			}
+		}
+	}
+	if got := len(d.All()); got != 6 {
+		t.Fatalf("All() returned %d endpoints, want 6", got)
+	}
+}
+
+func TestGossiperSchedule(t *testing.T) {
+	if g := NewGossiper(1, 0, 1); g != nil {
+		t.Fatal("single-replica shard should have no gossiper")
+	}
+	g := NewGossiper(3, 1, 4)
+	if g == nil {
+		t.Fatal("nil gossiper for 4 replicas")
+	}
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		p := g.Next()
+		if p == 1 || p < 0 || p > 3 {
+			t.Fatalf("gossiper for replica 1 yielded partner %d", p)
+		}
+		seen[p]++
+	}
+	// Round-robin over 3 siblings for 9 draws: each exactly 3 times.
+	for _, sib := range []int{0, 2, 3} {
+		if seen[sib] != 3 {
+			t.Fatalf("sibling visit counts %v, want each of {0,2,3} exactly 3 times", seen)
+		}
+	}
+	// Same seed, same schedule.
+	g2 := NewGossiper(3, 1, 4)
+	g3 := NewGossiper(3, 1, 4)
+	for i := 0; i < 6; i++ {
+		if a, b := g2.Next(), g3.Next(); a != b {
+			t.Fatalf("draw %d: same-seed gossipers disagree (%d vs %d)", i, a, b)
+		}
+	}
+}

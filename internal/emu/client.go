@@ -201,7 +201,7 @@ func (p *Peer) paVoDRequest(v trace.VideoID, rec *Record) {
 	// tracker's current concurrent watchers.
 	watchStart := func() []PeerInfo {
 		rec.Messages++
-		resp, err := p.rpcRetry(p.trackerAddr, &Message{
+		resp, err := p.trackerRPC(p.chanKey(v), &Message{
 			Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
 		})
 		if err != nil || resp.Type != MsgOK {
@@ -346,7 +346,7 @@ func (p *Peer) fetchFromServer(v trace.VideoID, rec *Record) {
 func (p *Peer) fetchFromServerFrom(v trace.VideoID, from int, rec *Record) {
 	served := false
 	for c := from; c < vod.DefaultChunksPerVideo; c++ {
-		resp, err := p.rpcRetry(p.trackerAddr, &Message{
+		resp, err := p.trackerRPC(p.chanKey(v), &Message{
 			Type: MsgServe, From: p.cfg.ID, Video: int(v), Chunk: c,
 		})
 		if err != nil || resp.Type != MsgOK {
@@ -385,7 +385,7 @@ func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
 	if subscribed {
 		member = 1 // ride the membership flag in TTL
 	}
-	resp, err := p.rpcRetry(p.trackerAddr, &Message{
+	resp, err := p.trackerRPC(int64(ch), &Message{
 		Type: MsgJoin, From: p.cfg.ID, Addr: p.Addr(), Channel: int(ch), TTL: member,
 	})
 	if err != nil || resp.Type != MsgJoinOK {
@@ -470,7 +470,7 @@ func (p *Peer) connectTo(info PeerInfo, link string, channel, video int) bool {
 // to up to LinksPerOverlay members (NetTube). It returns the members the
 // tracker recommended.
 func (p *Peer) joinVideoOverlay(v trace.VideoID, provider *PeerInfo) []PeerInfo {
-	resp, err := p.rpcRetry(p.trackerAddr, &Message{
+	resp, err := p.trackerRPC(p.chanKey(v), &Message{
 		Type: MsgJoinVideo, From: p.cfg.ID, Addr: p.Addr(), Video: int(v),
 	})
 	p.mu.Lock()
@@ -506,7 +506,7 @@ func (p *Peer) FinishVideo(v trace.VideoID) {
 		p.mu.Unlock()
 		// Retried: a dropped watch_done leaves the tracker handing out
 		// this peer as a provider long after it stopped serving.
-		p.rpcRetry(p.trackerAddr, &Message{Type: MsgWatchDone, From: p.cfg.ID, Video: int(v)})
+		p.trackerRPC(p.chanKey(v), &Message{Type: MsgWatchDone, From: p.cfg.ID, Video: int(v)})
 		return // no cache, no prefetch
 	case ModeNetTube:
 		p.mu.Lock()
@@ -514,7 +514,7 @@ func (p *Peer) FinishVideo(v trace.VideoID) {
 		p.mu.Unlock()
 		// Retried: losing the advertisement silently shrinks the overlay
 		// the tracker can direct later requesters into.
-		p.rpcRetry(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
+		p.trackerRPC(p.chanKey(v), &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
 		p.netTubePrefetch(v)
 	case ModeSocialTube:
 		p.mu.Lock()
@@ -530,7 +530,7 @@ func (p *Peer) socialTubePrefetch(ch trace.ChannelID, watched trace.VideoID) {
 	if p.cfg.PrefetchCount <= 0 {
 		return
 	}
-	resp, err := p.rpcRetry(p.trackerAddr, &Message{
+	resp, err := p.trackerRPC(int64(ch), &Message{
 		Type: MsgTopList, From: p.cfg.ID, Channel: int(ch), TTL: p.cfg.PrefetchCount + 1,
 	})
 	if err != nil || resp.Type != MsgOK {
@@ -674,7 +674,11 @@ func (p *Peer) LeaveOverlays() {
 	for _, info := range nbs {
 		rpc(info.Addr, &Message{Type: MsgBye, From: p.cfg.ID}, p.cfg.RPCTimeout)
 	}
-	rpc(p.trackerAddr, &Message{Type: MsgLeave, From: p.cfg.ID}, p.cfg.RPCTimeout)
+	// Leave is plane-wide: every shard replica may hold membership rows
+	// for this peer (gossip also carries the departure between replicas).
+	for _, addr := range p.cp.All() {
+		rpc(addr, &Message{Type: MsgLeave, From: p.cfg.ID}, p.cfg.RPCTimeout)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.inner = make(map[int]PeerInfo)

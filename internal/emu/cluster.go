@@ -42,8 +42,15 @@ type ClusterConfig struct {
 	Seed int64
 	// Behavior is the 75/15/10 video-selection model.
 	Behavior vod.Behavior
-	// Tracker configures the central server.
+	// Tracker configures the central server (the template for every
+	// tracker replica when ControlPlane is set).
 	Tracker TrackerConfig
+	// ControlPlane, when non-nil, shards and replicates the tracker:
+	// Shards x Replicas trackers are started, channels map to shards by
+	// rendezvous hashing, and peers fail over between a shard's
+	// replicas. nil runs the legacy single tracker (a 1x1 plane, byte-
+	// identical behaviour).
+	ControlPlane *ControlPlaneConfig
 	// Conditions injects latency and loss (nil = pristine loopback).
 	Conditions *Conditions
 	// Tracer, when non-nil, receives the run's event stream: one serve
@@ -117,6 +124,11 @@ func (c ClusterConfig) Validate() error {
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.ControlPlane != nil {
+		if err := c.ControlPlane.Validate(); err != nil {
 			return err
 		}
 	}
@@ -260,12 +272,36 @@ func (f *faultDriver) waitRejoin(p *Peer, stop <-chan struct{}) bool {
 	return true
 }
 
+// setOutage applies an outage event's control-plane targeting: whole
+// plane (no targeting), one shard (all replicas), or one replica of one
+// shard. Shard/Replica are 1-based in the event; out-of-range targets
+// fall back to the widest enclosing scope so a plan written for a bigger
+// plane still darkens something rather than silently no-opping.
+func setOutage(cp *ControlPlane, ev faults.Event, down bool) {
+	if ev.Shard <= 0 {
+		cp.SetDown(down)
+		return
+	}
+	if ev.Shard > cp.NumShards() {
+		cp.SetDown(down)
+		return
+	}
+	sh := cp.Shard(ev.Shard - 1)
+	if ev.Replica <= 0 || ev.Replica > sh.Replicas() {
+		sh.SetDown(down)
+		return
+	}
+	if tk := sh.Replica(ev.Replica - 1); tk != nil {
+		tk.SetDown(down)
+	}
+}
+
 // drive replays the compiled schedule against the live cluster on
 // wall-clock offsets from begin. Repair events are deliberately skipped:
 // in the emulator the probe loop is the failure detector, so repair
 // happens organically when probes time out on the crashed peer.
 func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan struct{},
-	peers []*Peer, tracker *Tracker, cond *Conditions, res *ClusterResult, resMu *sync.Mutex) {
+	peers []*Peer, cp *ControlPlane, cond *Conditions, res *ClusterResult, resMu *sync.Mutex) {
 	defer close(f.done)
 	for _, ev := range sched.Events {
 		if !sleepUntil(begin.Add(ev.At), stop) {
@@ -294,14 +330,14 @@ func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan
 			cond.ClearBurst()
 		case faults.KindOutageStart:
 			f.outage.Store(true)
-			tracker.SetDown(true)
+			setOutage(cp, ev, true)
 		case faults.KindOutageEnd:
 			f.outage.Store(false)
-			tracker.SetDown(false)
+			setOutage(cp, ev, false)
 		case faults.KindBrownoutStart:
-			tracker.SetCapacityFactor(ev.CapacityFactor)
+			cp.SetCapacityFactor(ev.CapacityFactor)
 		case faults.KindBrownoutEnd:
-			tracker.SetCapacityFactor(1)
+			cp.SetCapacityFactor(1)
 		case faults.KindChaosStart:
 			cond.SetChaos(&ChaosMix{
 				CorruptP:   ev.CorruptP,
@@ -376,14 +412,18 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 		}
 	}
 
-	tracker, err := NewTracker(cfg.Tracker, tr, cfg.Conditions)
+	// A nil ControlPlane runs the legacy single tracker as a 1x1 plane:
+	// one shard owns every channel and routing reduces to plain rpcRetry
+	// against it, so legacy results are unchanged.
+	cpCfg := ControlPlaneConfig{Shards: 1, Replicas: 1}
+	if cfg.ControlPlane != nil {
+		cpCfg = *cfg.ControlPlane
+	}
+	plane, err := StartControlPlane(cpCfg, cfg.Tracker, tr, cfg.Conditions)
 	if err != nil {
 		return nil, err
 	}
-	if err := tracker.Start(); err != nil {
-		return nil, err
-	}
-	defer tracker.Stop()
+	defer plane.Stop()
 
 	peers := make([]*Peer, 0, cfg.Peers)
 	defer func() {
@@ -404,7 +444,7 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 		if cfg.RetryBackoff > 0 {
 			pc.RetryBackoff = cfg.RetryBackoff
 		}
-		p, err := NewPeer(pc, tr, tracker.Addr(), cfg.Conditions)
+		p, err := NewPeerWithControlPlane(pc, tr, plane, cfg.Conditions)
 		if err != nil {
 			return nil, err
 		}
@@ -424,9 +464,9 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 		memW := obs.NewMemWatermark(1) // refreshed on every scrape
 		traceBytes := tr.Bytes()
 		prom := func(w io.Writer) {
-			// Live counter view: the tracker's block merged with every
+			// Live counter view: the plane's block merged with every
 			// peer's, same fold the final result performs.
-			ctr := tracker.Counters()
+			ctr := plane.Counters()
 			for _, p := range peers {
 				ctr.Merge(p.Counters())
 			}
@@ -437,7 +477,7 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 			obs.WritePromHist(w, "socialtube_startup_delay_ms", &hist)
 		}
 		srv, err := obs.ServeMetrics(cfg.MetricsAddr, func() any {
-			return liveMetrics(cfg, tracker, res, &resMu, memW, traceBytes, len(tr.Users))
+			return liveMetrics(cfg, plane.First(), res, &resMu, memW, traceBytes, len(tr.Users))
 		}, prom, cfg.PprofEnabled)
 		if err != nil {
 			return nil, fmt.Errorf("cluster metrics: %w", err)
@@ -474,7 +514,7 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 		faultWG.Add(1)
 		go func() {
 			defer faultWG.Done()
-			fd.drive(sched, begin, stop, peers, tracker, cfg.Conditions, res, &resMu)
+			fd.drive(sched, begin, stop, peers, plane, cfg.Conditions, res, &resMu)
 		}()
 	}
 
@@ -491,8 +531,8 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 	faultWG.Wait()
 
 	res.Elapsed = time.Since(begin)
-	res.ServerBytes = tracker.ServedBytes()
-	res.Obs = tracker.Counters()
+	res.ServerBytes = plane.ServedBytes()
+	res.Obs = plane.Counters()
 	for _, p := range peers {
 		res.PeerBytes += p.ServedBytes()
 		res.Obs.Merge(p.Counters())

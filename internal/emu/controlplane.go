@@ -1,0 +1,311 @@
+package emu
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/ctrl"
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/obs"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// ControlPlaneConfig shapes the sharded, replicated tracker plane:
+// Shards tracker shards, each holding the channels the rendezvous ring
+// assigns it, replicated Replicas ways with anti-entropy gossip between
+// the replicas of a shard. {1, 1} is the legacy single tracker.
+type ControlPlaneConfig struct {
+	// Shards is the number of tracker shards (>= 1). Channels map to
+	// shards by rendezvous hashing; every tracker-path RPC routes to the
+	// shard owning the video's channel.
+	Shards int
+	// Replicas is the number of replicas per shard (>= 1). Peers fail
+	// over between a shard's replicas; replicas reconcile membership by
+	// gossip.
+	Replicas int
+	// RingSeed seeds the channel -> shard rendezvous hash and the gossip
+	// partner rotation.
+	RingSeed int64
+	// GossipInterval is the anti-entropy period per replica (0 with
+	// Replicas > 1 selects the default; irrelevant for Replicas = 1).
+	GossipInterval time.Duration
+	// GossipTimeout bounds one sync exchange (0 selects 1s).
+	GossipTimeout time.Duration
+}
+
+// DefaultControlPlaneConfig returns the 2x2 plane the sharded-outage
+// figure runs: two shards, two replicas each, gossiping every 20ms so a
+// recovered replica converges within a couple of workload beats.
+func DefaultControlPlaneConfig() ControlPlaneConfig {
+	return ControlPlaneConfig{
+		Shards:         2,
+		Replicas:       2,
+		RingSeed:       1,
+		GossipInterval: 20 * time.Millisecond,
+		GossipTimeout:  time.Second,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c ControlPlaneConfig) Validate() error {
+	switch {
+	case c.Shards < 1 || c.Replicas < 1:
+		return fmt.Errorf("%w: control plane needs >= 1 shard and >= 1 replica, got %dx%d",
+			dist.ErrBadParameter, c.Shards, c.Replicas)
+	case c.Replicas > 256:
+		return fmt.Errorf("%w: %d replicas exceed the 8-bit version stamp", dist.ErrBadParameter, c.Replicas)
+	case c.GossipInterval < 0 || c.GossipTimeout < 0:
+		return fmt.Errorf("%w: negative gossip timing", dist.ErrBadParameter)
+	}
+	return nil
+}
+
+// ControlPlane is the tracker plane behind a cluster: the directory every
+// peer routes by (which shard owns a channel, which replica endpoints
+// serve a shard), and — when built by StartControlPlane — the in-process
+// tracker replicas themselves, addressable for fault injection as
+// plane.Shard(i).SetDown(...).
+//
+// Two constructors, one type: StartControlPlane launches the trackers
+// in-process (RunClusterCtx, figures, tests); NewControlPlaneClient holds
+// only the directory, for peers connecting to tracker processes started
+// elsewhere (cmd/socialtube-node). Server-side methods are no-ops on a
+// client-only plane.
+type ControlPlane struct {
+	cfg ControlPlaneConfig
+	dir *ctrl.Directory
+	// trackers[shard][replica]; nil on a client-only plane.
+	trackers [][]*Tracker
+}
+
+// NewControlPlaneClient builds a routing-only plane over already-running
+// tracker endpoints: replicas[shard][replica] lists their addresses.
+// ringSeed must match the seed the tracker processes were sharded with.
+func NewControlPlaneClient(ringSeed int64, replicas [][]string) (*ControlPlane, error) {
+	dir, err := ctrl.NewDirectory(ringSeed, replicas)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ControlPlaneConfig{Shards: len(replicas), Replicas: 1, RingSeed: ringSeed}
+	return &ControlPlane{cfg: cfg, dir: dir}, nil
+}
+
+// SingleTracker wraps one tracker address as a 1x1 control plane — the
+// documented shim keeping the legacy NewPeer(cfg, tr, trackerAddr, cond)
+// path alive. Routing through it is bit-identical to dialing the address
+// directly: one shard owns every channel and the single endpoint never
+// enters the failover walk.
+func SingleTracker(addr string) *ControlPlane {
+	cp, err := NewControlPlaneClient(0, [][]string{{addr}})
+	if err != nil {
+		// Only possible for an empty address; keep the legacy constructor
+		// signature (no error) and let the first RPC surface the problem.
+		cp = &ControlPlane{cfg: ControlPlaneConfig{Shards: 1, Replicas: 1}}
+		cp.dir, _ = ctrl.NewDirectory(0, [][]string{{"invalid:0"}})
+	}
+	return cp
+}
+
+// StartControlPlane launches Shards x Replicas trackers over the trace
+// and wires each shard's replicas together with gossip. The tracker
+// template tc supplies every tracker's parameters; replica trackers get
+// deterministic per-replica seed offsets (shard 0 replica 0 keeps tc.Seed
+// exactly, so a 1x1 plane is byte-identical to the legacy single
+// tracker). The caller owns Stop.
+func StartControlPlane(cfg ControlPlaneConfig, tc TrackerConfig, tr *trace.Trace, cond *Conditions) (*ControlPlane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replicas > 1 && cfg.GossipInterval == 0 {
+		cfg.GossipInterval = DefaultControlPlaneConfig().GossipInterval
+	}
+	trackers := make([][]*Tracker, cfg.Shards)
+	ok := false
+	defer func() {
+		if !ok {
+			for _, reps := range trackers {
+				for _, tk := range reps {
+					if tk != nil {
+						tk.Stop()
+					}
+				}
+			}
+		}
+	}()
+	addrs := make([][]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		trackers[s] = make([]*Tracker, cfg.Replicas)
+		addrs[s] = make([]string, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			rtc := tc
+			// Distinct recommendation streams per tracker, anchored so a
+			// 1x1 plane keeps the template seed untouched.
+			rtc.Seed = tc.Seed + int64(s*cfg.Replicas+r)*104_729
+			tk, err := NewTracker(rtc, tr, cond)
+			if err != nil {
+				return nil, fmt.Errorf("control plane shard %d replica %d: %w", s, r, err)
+			}
+			if err := tk.Start(); err != nil {
+				return nil, fmt.Errorf("control plane shard %d replica %d: %w", s, r, err)
+			}
+			trackers[s][r] = tk
+			addrs[s][r] = tk.Addr()
+		}
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			trackers[s][r].StartGossip(cfg.RingSeed+int64(s)*7919, addrs[s], r,
+				cfg.GossipInterval, cfg.GossipTimeout)
+		}
+	}
+	dir, err := ctrl.NewDirectory(cfg.RingSeed, addrs)
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &ControlPlane{cfg: cfg, dir: dir, trackers: trackers}, nil
+}
+
+// NumShards returns the number of shards.
+func (cp *ControlPlane) NumShards() int { return cp.dir.NumShards() }
+
+// Owner returns the shard index owning a channel key.
+func (cp *ControlPlane) Owner(key int64) int { return cp.dir.Owner(key) }
+
+// Replicas returns a shard's endpoints in failover order (shared slice —
+// do not mutate).
+func (cp *ControlPlane) Replicas(shard int) []string { return cp.dir.Replicas(shard) }
+
+// Endpoints returns the total endpoint count across all shards.
+func (cp *ControlPlane) Endpoints() int { return cp.dir.Endpoints() }
+
+// EndpointIndex returns the stable flat index of (shard, replica) — the
+// circuit-breaker id peers key endpoint health by.
+func (cp *ControlPlane) EndpointIndex(shard, replica int) int {
+	return cp.dir.EndpointIndex(shard, replica)
+}
+
+// All returns every endpoint address, shard-major (plane-wide broadcasts:
+// register, leave).
+func (cp *ControlPlane) All() []string { return cp.dir.All() }
+
+// ShardHandle addresses one shard's replicas for fault injection.
+type ShardHandle struct {
+	trackers []*Tracker
+}
+
+// Shard returns the addressable handle for shard i. On a client-only
+// plane (or out-of-range i) the handle is empty and every method is a
+// no-op, so fault drivers can target shards unconditionally.
+func (cp *ControlPlane) Shard(i int) ShardHandle {
+	if cp.trackers == nil || i < 0 || i >= len(cp.trackers) {
+		return ShardHandle{}
+	}
+	return ShardHandle{trackers: cp.trackers[i]}
+}
+
+// SetDown starts (true) or ends (false) an outage on every replica of
+// the shard.
+func (s ShardHandle) SetDown(v bool) {
+	for _, tk := range s.trackers {
+		tk.SetDown(v)
+	}
+}
+
+// SetCapacityFactor throttles every replica of the shard.
+func (s ShardHandle) SetCapacityFactor(f float64) {
+	for _, tk := range s.trackers {
+		tk.SetCapacityFactor(f)
+	}
+}
+
+// Replicas returns the shard's replica count (0 for an empty handle).
+func (s ShardHandle) Replicas() int { return len(s.trackers) }
+
+// Replica returns one replica's tracker (nil when out of range), for
+// single-replica fault targeting: plane.Shard(i).Replica(j).SetDown(true).
+func (s ShardHandle) Replica(j int) *Tracker {
+	if j < 0 || j >= len(s.trackers) {
+		return nil
+	}
+	return s.trackers[j]
+}
+
+// SetDown starts or ends an outage on the whole plane — the legacy
+// tracker-dark fault. No-op on a client-only plane.
+func (cp *ControlPlane) SetDown(v bool) {
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			tk.SetDown(v)
+		}
+	}
+}
+
+// SetCapacityFactor throttles the whole plane. No-op on a client-only
+// plane.
+func (cp *ControlPlane) SetCapacityFactor(f float64) {
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			tk.SetCapacityFactor(f)
+		}
+	}
+}
+
+// Stop shuts every tracker down. No-op on a client-only plane.
+func (cp *ControlPlane) Stop() {
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			tk.Stop()
+		}
+	}
+}
+
+// Trackers returns the plane's trackers shard-major (nil on a client-only
+// plane).
+func (cp *ControlPlane) Trackers() []*Tracker {
+	if cp.trackers == nil {
+		return nil
+	}
+	out := make([]*Tracker, 0, cp.dir.Endpoints())
+	for _, reps := range cp.trackers {
+		out = append(out, reps...)
+	}
+	return out
+}
+
+// First returns shard 0 replica 0 (the legacy "the tracker"; nil on a
+// client-only plane). Live metrics snapshots key on it.
+func (cp *ControlPlane) First() *Tracker {
+	if cp.trackers == nil {
+		return nil
+	}
+	return cp.trackers[0][0]
+}
+
+// ServedBytes sums bytes served across the plane.
+func (cp *ControlPlane) ServedBytes() int64 {
+	var n int64
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			n += tk.ServedBytes()
+		}
+	}
+	return n
+}
+
+// Counters merges every tracker's counter snapshot.
+func (cp *ControlPlane) Counters() obs.Counters {
+	var ctr obs.Counters
+	first := true
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			if first {
+				ctr = tk.Counters()
+				first = false
+				continue
+			}
+			ctr.Merge(tk.Counters())
+		}
+	}
+	return ctr
+}

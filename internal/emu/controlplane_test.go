@@ -1,0 +1,209 @@
+package emu
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// startPlane builds and starts an in-process control plane with fast
+// conditions for tests.
+func startPlane(t *testing.T, tr *trace.Trace, cfg ControlPlaneConfig) *ControlPlane {
+	t.Helper()
+	cp, err := StartControlPlane(cfg, DefaultTrackerConfig(), tr, fastConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cp.Stop)
+	return cp
+}
+
+// TestSingleTrackerShim pins the legacy shim's shape: one shard owning
+// every key, one endpoint, and inert server-side methods (a client-only
+// plane must be safe to target with fault handles).
+func TestSingleTrackerShim(t *testing.T) {
+	cp := SingleTracker("127.0.0.1:1")
+	if cp.NumShards() != 1 || cp.Endpoints() != 1 {
+		t.Fatalf("shim plane is %dx%d endpoints=%d, want 1x1", cp.NumShards(), 1, cp.Endpoints())
+	}
+	for _, key := range []int64{0, 1, 42, 1 << 40} {
+		if cp.Owner(key) != 0 {
+			t.Fatalf("Owner(%d) = %d, want 0", key, cp.Owner(key))
+		}
+	}
+	if got := cp.All(); len(got) != 1 || got[0] != "127.0.0.1:1" {
+		t.Fatalf("All() = %v", got)
+	}
+	// Client-only plane: every server-side method is a no-op.
+	cp.SetDown(true)
+	cp.SetCapacityFactor(0.5)
+	cp.Shard(0).SetDown(true)
+	cp.Shard(99).SetDown(true)
+	if cp.First() != nil || cp.Trackers() != nil {
+		t.Fatal("client-only plane exposes trackers")
+	}
+	cp.Stop()
+}
+
+// TestTrackerRPCRoutesToOwningShard drives member joins through a peer's
+// control-plane routing on a 2-shard plane and asserts the membership
+// lands on exactly the ring-designated shard.
+func TestTrackerRPCRoutesToOwningShard(t *testing.T) {
+	tr := emuTrace(t)
+	cp := startPlane(t, tr, ControlPlaneConfig{Shards: 2, Replicas: 1, RingSeed: 3})
+	cfg := DefaultPeerConfig(0, ModeSocialTube)
+	p, err := NewPeerWithControlPlane(cfg, tr, cp, fastConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+
+	routedTo := map[int]bool{}
+	for i := 0; i < 8 && i < len(tr.Channels); i++ {
+		ch := tr.Channels[i].ID
+		resp, err := p.trackerRPC(int64(ch), &Message{
+			Type: MsgJoin, From: 0, Addr: p.Addr(), Channel: int(ch), TTL: 1,
+		})
+		if err != nil || resp.Type != MsgJoinOK {
+			t.Fatalf("join channel %d: %v %+v", ch, err, resp)
+		}
+		owner := cp.Owner(int64(ch))
+		other := 1 - owner
+		routedTo[owner] = true
+		if got := cp.trackers[owner][0].channels.Live(int64(ch)); got[0] != p.Addr() {
+			t.Fatalf("channel %d membership missing on owning shard %d: %v", ch, owner, got)
+		}
+		if got := cp.trackers[other][0].channels.Live(int64(ch)); got != nil {
+			t.Fatalf("channel %d membership leaked to shard %d: %v", ch, other, got)
+		}
+	}
+	if len(routedTo) != 2 {
+		t.Fatalf("all sampled channels landed on shards %v; want both shards exercised", routedTo)
+	}
+}
+
+// TestJoinMembershipExclusive is the regression test for the channel-map
+// staleness bug: a member join used to leave the peer's entry under its
+// previous home channel alive, so the tracker kept recommending a peer
+// that had moved away. With exclusive membership the old row is
+// tombstoned the moment the peer joins its new home.
+func TestJoinMembershipExclusive(t *testing.T) {
+	tr := emuTrace(t)
+	tk := startTracker(t, tr, fastConditions())
+	chA, chB := tr.Channels[0].ID, tr.Channels[1].ID
+	join := func(ch trace.ChannelID) {
+		t.Helper()
+		resp, err := rpc(tk.Addr(), &Message{
+			Type: MsgJoin, From: 7, Addr: "127.0.0.1:9", Channel: int(ch), TTL: 1,
+		}, 2*time.Second)
+		if err != nil || resp.Type != MsgJoinOK {
+			t.Fatalf("join %d: %v %+v", ch, err, resp)
+		}
+	}
+	join(chA)
+	if got := tk.channels.Live(int64(chA)); got[7] == "" {
+		t.Fatalf("member missing after join: %v", got)
+	}
+	join(chB)
+	if got := tk.channels.Live(int64(chA)); got != nil {
+		t.Fatalf("stale membership under previous home channel %d: %v", chA, got)
+	}
+	if got := tk.channels.Live(int64(chB)); got[7] == "" {
+		t.Fatalf("member missing under new home channel %d: %v", chB, got)
+	}
+}
+
+// TestTrackerGossipConvergesOverTCP runs two live tracker replicas wired
+// by StartGossip and checks anti-entropy over real sockets: state written
+// to one replica appears on the other; a downed replica diverges and
+// re-converges after recovery.
+func TestTrackerGossipConvergesOverTCP(t *testing.T) {
+	tr := emuTrace(t)
+	ta := startTracker(t, tr, fastConditions())
+	tb := startTracker(t, tr, fastConditions())
+	addrs := []string{ta.Addr(), tb.Addr()}
+	ta.StartGossip(11, addrs, 0, 2*time.Millisecond, time.Second)
+	tb.StartGossip(11, addrs, 1, 2*time.Millisecond, time.Second)
+
+	ch := tr.Channels[0].ID
+	join := func(id int) {
+		t.Helper()
+		resp, err := rpc(ta.Addr(), &Message{
+			Type: MsgJoin, From: id, Addr: "127.0.0.1:9", Channel: int(ch), TTL: 1,
+		}, 2*time.Second)
+		if err != nil || resp.Type != MsgJoinOK {
+			t.Fatalf("join: %v %+v", err, resp)
+		}
+	}
+	waitLive := func(tk *Tracker, id int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if m := tk.channels.Live(int64(ch)); m[id] != "" {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("replica never learned member %d: %v", id, tk.channels.Live(int64(ch)))
+	}
+
+	join(1)
+	waitLive(tb, 1)
+
+	// A dark replica drops sync requests, diverges, and must re-converge
+	// once it recovers.
+	tb.SetDown(true)
+	join(2)
+	time.Sleep(10 * time.Millisecond)
+	if m := tb.channels.Live(int64(ch)); m[2] != "" {
+		t.Fatal("downed replica accepted gossip")
+	}
+	tb.SetDown(false)
+	waitLive(tb, 2)
+}
+
+// TestShardedClusterShutdownReleasesEverything pins multi-tracker
+// shutdown: a full 2x2-plane cluster run (gossip loops included) leaves
+// no goroutine behind.
+func TestShardedClusterShutdownReleasesEverything(t *testing.T) {
+	tr := emuTrace(t)
+	before := runtime.NumGoroutine()
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.Peers = 8
+	cfg.Sessions = 1
+	cfg.VideosPerSession = 3
+	cfg.ControlPlane = &ControlPlaneConfig{Shards: 2, Replicas: 2, RingSeed: 1, GossipInterval: 2 * time.Millisecond}
+	if _, err := RunCluster(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestShardedReplicaKillNoFailedRequests is the redesign's headline: with
+// 2 shards x 2 replicas, killing one tracker replica mid-run costs zero
+// requests — peers fail over to the shard's surviving replica.
+func TestShardedReplicaKillNoFailedRequests(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.ControlPlane = &ControlPlaneConfig{Shards: 2, Replicas: 2, RingSeed: 1, GossipInterval: 2 * time.Millisecond}
+	cfg.Faults = faults.ReplicaOutagePlan(cfg.Seed, 30*time.Millisecond, 1, 1)
+	cfg.RPCTimeout = 100 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = 5 * time.Millisecond
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("lost %d requests with a replicated shard down; want 0", res.FailedRequests)
+	}
+	if res.CacheHits+res.PeerHits+res.ServerHits == 0 {
+		t.Fatal("run served nothing")
+	}
+}

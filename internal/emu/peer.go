@@ -131,13 +131,13 @@ func (c PeerConfig) Validate() error {
 // Peer is one TCP node. Start it, drive it with RequestVideo/FinishVideo,
 // and Stop it to release all goroutines.
 type Peer struct {
-	cfg         PeerConfig
-	tr          *trace.Trace
-	cond        *Conditions
-	trackerAddr string
-	ln          net.Listener
-	wg          sync.WaitGroup
-	closeCh     chan struct{}
+	cfg     PeerConfig
+	tr      *trace.Trace
+	cond    *Conditions
+	cp      *ControlPlane
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closeCh chan struct{}
 	// crashed marks an abrupt failure: the process is alive but drops
 	// every incoming message, exactly like a host that lost power —
 	// neighbors keep dangling links until their probes time out.
@@ -147,9 +147,12 @@ type Peer struct {
 	// epoch anchors breaker time: health.Set wants monotonic offsets,
 	// so every breaker call passes time.Since(epoch).
 	epoch time.Time
-	// brk short-circuits RPCs to neighbours that keep failing.
+	// brk short-circuits RPCs to neighbours that keep failing; tbrk does
+	// the same for control-plane endpoints, keyed by the directory's flat
+	// endpoint index, so the failover walk skips replicas known dark.
 	brkMu sync.Mutex
 	brk   *health.Set
+	tbrk  *health.Set
 
 	mu     sync.Mutex
 	g      *dist.RNG
@@ -174,22 +177,40 @@ type Peer struct {
 	onChunk func(v trace.VideoID, chunk, provider int)
 }
 
-// NewPeer builds a peer over the trace. Call Start before use.
+// NewPeer builds a peer that talks to one tracker address. It is the
+// documented single-shard shim over NewPeerWithControlPlane: the address
+// is wrapped in a 1x1 SingleTracker plane, whose routing is identical to
+// dialing the address directly. New code should build a ControlPlane and
+// use NewPeerWithControlPlane.
 func NewPeer(cfg PeerConfig, tr *trace.Trace, trackerAddr string, cond *Conditions) (*Peer, error) {
+	return NewPeerWithControlPlane(cfg, tr, SingleTracker(trackerAddr), cond)
+}
+
+// NewPeerWithControlPlane builds a peer over the trace, routing every
+// tracker-path RPC through the control plane's shard directory. Call
+// Start before use.
+func NewPeerWithControlPlane(cfg PeerConfig, tr *trace.Trace, cp *ControlPlane, cond *Conditions) (*Peer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("peer config: %w", err)
 	}
 	if tr == nil || len(tr.Videos) == 0 {
 		return nil, fmt.Errorf("%w: peer needs a non-empty trace", dist.ErrBadParameter)
 	}
+	if cp == nil {
+		return nil, fmt.Errorf("%w: peer needs a control plane", dist.ErrBadParameter)
+	}
 	p := &Peer{
-		cfg:         cfg,
-		tr:          tr,
-		cond:        cond,
-		trackerAddr: trackerAddr,
-		closeCh:     make(chan struct{}),
-		epoch:       time.Now(),
+		cfg:     cfg,
+		tr:      tr,
+		cond:    cond,
+		cp:      cp,
+		closeCh: make(chan struct{}),
+		epoch:   time.Now(),
 		brk: health.NewSet(health.Config{
+			Threshold: cfg.BreakerThreshold,
+			OpenFor:   cfg.BreakerOpenFor,
+		}, 0),
+		tbrk: health.NewSet(health.Config{
 			Threshold: cfg.BreakerThreshold,
 			OpenFor:   cfg.BreakerOpenFor,
 		}, 0),
@@ -220,11 +241,12 @@ func (p *Peer) Start() error {
 	p.ln = ln
 	p.wg.Add(1)
 	go p.acceptLoop()
-	_, err = rpc(p.trackerAddr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}, p.cfg.RPCTimeout)
-	if err != nil {
-		// Registration is retried implicitly by later joins; losing
-		// this RPC mirrors a lossy network, not a fatal error.
-		return nil
+	// Registration is plane-wide (every shard replica tracks the address
+	// book) and best-effort: it is retried implicitly by later joins, so
+	// losing an RPC here mirrors a lossy network, not a fatal error.
+	reg := &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}
+	for _, addr := range p.cp.All() {
+		rpc(addr, reg, p.cfg.RPCTimeout)
 	}
 	return nil
 }
@@ -329,10 +351,10 @@ func (p *Peer) handle(conn net.Conn) {
 func (p *Peer) Counters() obs.Counters {
 	c := p.ctr.Snapshot()
 	p.brkMu.Lock()
-	c.BreakerOpens = p.brk.Opens
-	c.BreakerSkips = p.brk.Skips
-	c.BreakerProbes = p.brk.Probes
-	c.BreakerRecoveries = p.brk.Recoveries
+	c.BreakerOpens = p.brk.Opens + p.tbrk.Opens
+	c.BreakerSkips = p.brk.Skips + p.tbrk.Skips
+	c.BreakerProbes = p.brk.Probes + p.tbrk.Probes
+	c.BreakerRecoveries = p.brk.Recoveries + p.tbrk.Recoveries
 	p.brkMu.Unlock()
 	return c
 }
@@ -399,7 +421,9 @@ func (p *Peer) Rejoin() {
 	p.perVideo = make(map[trace.VideoID]map[int]PeerInfo)
 	p.home = -1
 	p.mu.Unlock()
-	p.rpcRetry(p.trackerAddr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()})
+	for _, addr := range p.cp.All() {
+		p.rpcRetry(addr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()})
+	}
 	if p.cfg.Mode == ModeSocialTube && home >= 0 {
 		p.socialTubePrefetch(home, -1)
 	}
@@ -428,6 +452,104 @@ func (p *Peer) rpcRetry(addr string, req *Message) (*Message, error) {
 		}
 		backoff *= 2
 	}
+}
+
+// chanKey returns the routing key for a video-keyed tracker RPC: the
+// video's owning channel, so a video and its channel land on the same
+// shard and the tracker's per-channel state stays shard-local.
+func (p *Peer) chanKey(v trace.VideoID) int64 {
+	if vd := p.tr.Video(v); vd != nil {
+		return int64(vd.Channel)
+	}
+	return int64(v)
+}
+
+// trackerRPC routes one tracker-path RPC to the shard owning key, failing
+// over between the shard's replicas. On a single-endpoint plane (the
+// legacy path) it reduces to exactly rpcRetry against that address — no
+// breaker is consulted, so legacy behaviour is unchanged.
+//
+// With replicas, each retry round walks the replica set starting from a
+// peer-stable preferred replica (spreading load across replicas), skips
+// endpoints whose breaker is open, and feeds transport outcomes back into
+// the endpoint breaker. If every breaker is open the preferred replica is
+// tried anyway — total shard darkness must keep probing for recovery.
+// Backoff doubles between rounds exactly like rpcRetry.
+func (p *Peer) trackerRPC(key int64, req *Message) (*Message, error) {
+	shard := p.cp.Owner(key)
+	reps := p.cp.Replicas(shard)
+	if p.cp.Endpoints() == 1 {
+		return p.rpcRetry(reps[0], req)
+	}
+	pref := p.cfg.ID % len(reps)
+	if pref < 0 {
+		pref += len(reps)
+	}
+	backoff := p.cfg.RetryBackoff
+	var lastResp *Message
+	var lastErr error
+	for round := 0; ; round++ {
+		tried := false
+		for k := 0; k < len(reps); k++ {
+			r := (pref + k) % len(reps)
+			idx := p.cp.EndpointIndex(shard, r)
+			if !p.allowEndpoint(idx) {
+				continue
+			}
+			tried = true
+			resp, err := rpc(reps[r], req, p.cfg.RPCTimeout)
+			if err == nil {
+				p.endpointOK(idx)
+				return resp, nil
+			}
+			p.endpointFail(idx)
+			lastResp, lastErr = resp, err
+		}
+		if !tried {
+			idx := p.cp.EndpointIndex(shard, pref)
+			resp, err := rpc(reps[pref], req, p.cfg.RPCTimeout)
+			if err == nil {
+				p.endpointOK(idx)
+				return resp, nil
+			}
+			p.endpointFail(idx)
+			lastResp, lastErr = resp, err
+		}
+		if round >= p.cfg.MaxRetries {
+			atomic.AddUint64(&p.ctr.RPCFailures, 1)
+			return lastResp, lastErr
+		}
+		select {
+		case <-p.closeCh:
+			atomic.AddUint64(&p.ctr.RPCFailures, 1)
+			return nil, lastErr
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// allowEndpoint / endpointOK / endpointFail mirror the per-neighbour
+// breaker helpers for control-plane endpoints, keyed by flat endpoint
+// index.
+func (p *Peer) allowEndpoint(idx int) bool {
+	p.brkMu.Lock()
+	defer p.brkMu.Unlock()
+	p.tbrk.Ensure(idx)
+	return p.tbrk.Allow(idx, time.Since(p.epoch))
+}
+
+func (p *Peer) endpointOK(idx int) {
+	p.brkMu.Lock()
+	p.tbrk.Success(idx)
+	p.brkMu.Unlock()
+}
+
+func (p *Peer) endpointFail(idx int) {
+	p.brkMu.Lock()
+	p.tbrk.Ensure(idx)
+	p.tbrk.Failure(idx, time.Since(p.epoch))
+	p.brkMu.Unlock()
 }
 
 func (p *Peer) dispatch(req *Message) *Message {

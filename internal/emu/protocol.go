@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/socialtube/socialtube/internal/ctrl"
 	"github.com/socialtube/socialtube/internal/obs"
 )
 
@@ -44,6 +45,12 @@ const (
 	// MsgCacheSample asks a peer for a random sample of its cached video
 	// ids (NetTube prefetches randomly from neighbours' watched videos).
 	MsgCacheSample MsgType = "cache_sample"
+
+	// Tracker -> tracker RPC.
+	// MsgSync is one anti-entropy push-pull round between two replicas of
+	// a tracker shard: the request carries the sender's membership
+	// snapshot, the response the receiver's. Both sides merge by version.
+	MsgSync MsgType = "sync"
 
 	// Responses.
 	MsgJoinOK MsgType = "join_ok" // recommended neighbours
@@ -93,6 +100,9 @@ type Message struct {
 	Link string `json:"link,omitempty"`
 	// Accepted reports connect success.
 	Accepted bool `json:"accepted,omitempty"`
+	// Sync carries membership-table snapshots between tracker replicas
+	// (MsgSync requests and responses only).
+	Sync []ctrl.TableSync `json:"sync,omitempty"`
 }
 
 // PeerInfo is a node id/address pair with the channel it currently serves.
@@ -124,6 +134,11 @@ const (
 	maxWireList    = 4096    // Peers / Providers entries
 	maxWireVisited = 1 << 16 // flood dedup set
 	maxWireVideos  = 1 << 16 // top-list / cache-sample entries
+	// maxWireSyncTables / maxWireSyncRecs bound one anti-entropy exchange:
+	// a handful of named tables, each at most one row per (overlay, peer)
+	// pair at the largest emulated scale.
+	maxWireSyncTables = 8
+	maxWireSyncRecs   = 1 << 17
 )
 
 // validWireTypes is the closed set of message types a handler dispatches
@@ -132,7 +147,7 @@ var validWireTypes = map[MsgType]bool{
 	MsgRegister: true, MsgJoin: true, MsgJoinVideo: true, MsgLeave: true,
 	MsgServe: true, MsgTopList: true, MsgWatchStart: true, MsgWatchDone: true,
 	MsgHave: true, MsgQuery: true, MsgChunkReq: true, MsgConnect: true,
-	MsgProbe: true, MsgBye: true, MsgCacheSample: true,
+	MsgProbe: true, MsgBye: true, MsgCacheSample: true, MsgSync: true,
 	MsgJoinOK: true, MsgOK: true, MsgMiss: true,
 }
 
@@ -168,6 +183,21 @@ func (m *Message) Validate() error {
 		return fmt.Errorf("%w: providers len %d", ErrInvalidMessage, len(m.Providers))
 	case len(m.Videos) > maxWireVideos:
 		return fmt.Errorf("%w: videos len %d", ErrInvalidMessage, len(m.Videos))
+	case len(m.Sync) > maxWireSyncTables:
+		return fmt.Errorf("%w: sync tables %d", ErrInvalidMessage, len(m.Sync))
+	}
+	for _, ts := range m.Sync {
+		if ts.Table == "" {
+			return fmt.Errorf("%w: unnamed sync table", ErrInvalidMessage)
+		}
+		if len(ts.Recs) > maxWireSyncRecs {
+			return fmt.Errorf("%w: sync table %q has %d records", ErrInvalidMessage, ts.Table, len(ts.Recs))
+		}
+		for _, r := range ts.Recs {
+			if r.Key < -1 || r.ID < -1 {
+				return fmt.Errorf("%w: sync record %+v", ErrInvalidMessage, r)
+			}
+		}
 	}
 	for _, id := range m.Visited {
 		if id < -1 {

@@ -32,7 +32,7 @@ func (p *Peer) JoinChannel(ch trace.ChannelID) {
 // AnnounceHave advertises v to the tracker (NetTube's have message), so
 // the tracker can direct later first requests at this peer.
 func (p *Peer) AnnounceHave(v trace.VideoID) {
-	p.rpcRetry(p.trackerAddr, &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
+	p.trackerRPC(p.chanKey(v), &Message{Type: MsgHave, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
 }
 
 // StartWatching registers the peer as a current watcher of v (PA-VoD),
@@ -41,7 +41,7 @@ func (p *Peer) StartWatching(v trace.VideoID) {
 	p.mu.Lock()
 	p.watching = v
 	p.mu.Unlock()
-	p.rpcRetry(p.trackerAddr, &Message{Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
+	p.trackerRPC(p.chanKey(v), &Message{Type: MsgWatchStart, From: p.cfg.ID, Addr: p.Addr(), Video: int(v)})
 }
 
 // SetOnChunk installs fn as the delivery observer: it is called once per

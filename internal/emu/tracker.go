@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/socialtube/socialtube/internal/ctrl"
 	"github.com/socialtube/socialtube/internal/dist"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
@@ -73,12 +74,21 @@ type Tracker struct {
 	mu    sync.Mutex
 	g     *dist.RNG
 	addrs map[int]string
-	// channelMembers: online SocialTube members per channel overlay.
-	channelMembers map[trace.ChannelID]map[int]string
-	// videoMembers: online NetTube members per per-video overlay.
-	videoMembers map[trace.VideoID]map[int]string
+	// Membership state lives in replicated, versioned tables (tombstoned
+	// departures, last-writer-wins merge) so shard replicas reconcile by
+	// anti-entropy gossip. On a single unreplicated tracker they behave
+	// exactly like the plain maps they replaced: Live() hands handlers an
+	// id -> addr map and every selection goes through a sorted view.
+	//
+	// channels: online SocialTube members per channel overlay. Membership
+	// is exclusive — a peer's home is one channel, so registering it under
+	// a new channel tombstones it everywhere else (stale entries used to
+	// outlive a home switch and feed dead recommendations).
+	channels *ctrl.MemberTable
+	// videos: online NetTube members per per-video overlay.
+	videos *ctrl.MemberTable
 	// watchers: PA-VoD current watchers per video.
-	watchers map[trace.VideoID]map[int]string
+	watchers *ctrl.MemberTable
 	// busyUntil models the FIFO uplink queue.
 	busyUntil time.Time
 	// servedBytes counts bytes the server shipped.
@@ -87,6 +97,15 @@ type Tracker struct {
 	requests map[MsgType]int64
 	// byCat indexes channels by primary category.
 	byCat map[trace.CategoryID][]trace.ChannelID
+
+	// Anti-entropy gossip between this replica and its shard siblings
+	// (configured by StartGossip; zero value = standalone tracker).
+	gossipMu       sync.Mutex
+	gossipAddrs    []string
+	gossipSelf     int
+	gossipInterval time.Duration
+	gossipTimeout  time.Duration
+	gossiper       *ctrl.Gossiper
 }
 
 // NewTracker builds a tracker over the trace. Call Start to begin serving.
@@ -98,17 +117,17 @@ func NewTracker(cfg TrackerConfig, tr *trace.Trace, cond *Conditions) (*Tracker,
 		return nil, fmt.Errorf("%w: tracker config %+v", dist.ErrBadParameter, cfg)
 	}
 	t := &Tracker{
-		cfg:            cfg,
-		tr:             tr,
-		cond:           cond,
-		close:          make(chan struct{}),
-		g:              dist.NewRNG(cfg.Seed),
-		addrs:          make(map[int]string),
-		channelMembers: make(map[trace.ChannelID]map[int]string),
-		videoMembers:   make(map[trace.VideoID]map[int]string),
-		watchers:       make(map[trace.VideoID]map[int]string),
-		requests:       make(map[MsgType]int64),
-		byCat:          make(map[trace.CategoryID][]trace.ChannelID),
+		cfg:      cfg,
+		tr:       tr,
+		cond:     cond,
+		close:    make(chan struct{}),
+		g:        dist.NewRNG(cfg.Seed),
+		addrs:    make(map[int]string),
+		channels: ctrl.NewMemberTable(0),
+		videos:   ctrl.NewMemberTable(0),
+		watchers: ctrl.NewMemberTable(0),
+		requests: make(map[MsgType]int64),
+		byCat:    make(map[trace.CategoryID][]trace.ChannelID),
 	}
 	for _, ch := range tr.Channels {
 		t.byCat[ch.Primary] = append(t.byCat[ch.Primary], ch.ID)
@@ -126,6 +145,103 @@ func (t *Tracker) Start() error {
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return nil
+}
+
+// StartGossip turns on anti-entropy with this replica's shard siblings:
+// replicaAddrs lists every replica of the shard (this one included) in
+// replica order, self is this replica's index. Every interval the replica
+// exchanges full membership snapshots with one seeded-rotation sibling
+// and both sides merge by version. Call after every replica of the shard
+// has Started (their addresses must be known) and before peers register,
+// so the tables' version stamps carry the replica id from the first
+// write. No-op for single-replica shards.
+func (t *Tracker) StartGossip(seed int64, replicaAddrs []string, self int, interval, timeout time.Duration) {
+	t.channels.SetNode(self)
+	t.videos.SetNode(self)
+	t.watchers.SetNode(self)
+	g := ctrl.NewGossiper(seed, self, len(replicaAddrs))
+	if g == nil || interval <= 0 {
+		return
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	t.gossipMu.Lock()
+	t.gossipAddrs = append([]string(nil), replicaAddrs...)
+	t.gossipSelf = self
+	t.gossipInterval = interval
+	t.gossipTimeout = timeout
+	t.gossiper = g
+	t.gossipMu.Unlock()
+	t.wg.Add(1)
+	go t.gossipLoop()
+}
+
+// gossipLoop drives the replica's anti-entropy rounds until Stop. A
+// replica in a simulated outage neither initiates nor (via handle's down
+// check) answers sync exchanges — it diverges while dark and re-converges
+// after recovery, exactly the takeover path the gossip exists for.
+func (t *Tracker) gossipLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.gossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.close:
+			return
+		case <-ticker.C:
+		}
+		if t.down.Load() {
+			continue
+		}
+		t.gossipMu.Lock()
+		partner := t.gossipAddrs[t.gossiper.Next()]
+		timeout := t.gossipTimeout
+		t.gossipMu.Unlock()
+		resp, err := rpc(partner, &Message{Type: MsgSync, From: -1, Sync: t.syncSnapshot()}, timeout)
+		if err != nil || resp.Type != MsgOK {
+			continue
+		}
+		t.syncMerge(resp.Sync)
+	}
+}
+
+// Membership table names on the wire.
+const (
+	syncTableChannels = "channels"
+	syncTableVideos   = "videos"
+	syncTableWatchers = "watchers"
+)
+
+// syncSnapshot captures every membership table in wire form.
+func (t *Tracker) syncSnapshot() []ctrl.TableSync {
+	return []ctrl.TableSync{
+		{Table: syncTableChannels, Recs: t.channels.Snapshot()},
+		{Table: syncTableVideos, Recs: t.videos.Snapshot()},
+		{Table: syncTableWatchers, Recs: t.watchers.Snapshot()},
+	}
+}
+
+// syncMerge folds a sibling's snapshot into the local tables. Unknown
+// table names are skipped (wire compatibility across versions).
+func (t *Tracker) syncMerge(ts []ctrl.TableSync) {
+	for _, s := range ts {
+		switch s.Table {
+		case syncTableChannels:
+			t.channels.Merge(s.Recs)
+		case syncTableVideos:
+			t.videos.Merge(s.Recs)
+		case syncTableWatchers:
+			t.watchers.Merge(s.Recs)
+		}
+	}
+}
+
+// handleSync is the receiving half of a push-pull round: merge the
+// sender's snapshot, answer with ours.
+func (t *Tracker) handleSync(req *Message) *Message {
+	t.syncMerge(req.Sync)
+	return &Message{Type: MsgOK, From: -1, Sync: t.syncSnapshot()}
 }
 
 // Addr returns the tracker's listen address (valid after Start).
@@ -310,6 +426,8 @@ func (t *Tracker) dispatch(req *Message) *Message {
 		return t.handleWatchDone(req)
 	case MsgHave:
 		return t.handleHave(req)
+	case MsgSync:
+		return t.handleSync(req)
 	default:
 		return &Message{Type: MsgMiss, From: -1}
 	}
@@ -337,19 +455,17 @@ func (t *Tracker) handleJoin(req *Message) *Message {
 	atomic.AddUint64(&t.ctr.OverlayJoins, 1)
 	resp := &Message{Type: MsgJoinOK, From: -1}
 	// One random member of the channel overlay itself.
-	if info, ok := t.randomMemberLocked(t.channelMembers[ch], req.From, int(ch)); ok {
+	if info, ok := t.randomMemberLocked(t.channels.Live(int64(ch)), req.From, int(ch)); ok {
 		resp.Peers = append(resp.Peers, info)
 	}
 	// Subscribers become members; non-subscribers only get category
 	// recommendations (the Visited field doubles as a "member" flag: the
-	// peer sets TTL=1 when it wants membership).
+	// peer sets TTL=1 when it wants membership). Membership is exclusive:
+	// a peer whose home moved is tombstoned under its previous channel,
+	// so it is never again recommended for an overlay it left (it would
+	// reject the inner link, wasting the requester's entry point).
 	if req.TTL > 0 {
-		m := t.channelMembers[ch]
-		if m == nil {
-			m = make(map[int]string)
-			t.channelMembers[ch] = m
-		}
-		m[req.From] = req.Addr
+		t.channels.PutExclusive(int64(ch), req.From, req.Addr)
 	}
 	// One random member per sibling channel of the category.
 	cat := chn.Primary
@@ -363,7 +479,7 @@ func (t *Tracker) handleJoin(req *Message) *Message {
 		if sib == ch {
 			continue
 		}
-		if info, ok := t.randomMemberLocked(t.channelMembers[sib], req.From, int(sib)); ok {
+		if info, ok := t.randomMemberLocked(t.channels.Live(int64(sib)), req.From, int(sib)); ok {
 			resp.Peers = append(resp.Peers, info)
 		}
 	}
@@ -382,18 +498,14 @@ func (t *Tracker) handleJoinVideo(req *Message) *Message {
 	}
 	atomic.AddUint64(&t.ctr.OverlayJoins, 1)
 	resp := &Message{Type: MsgJoinOK, From: -1}
-	members := t.videoMembers[v]
+	members := t.videos.Live(int64(v))
 	for _, id := range sortedMemberIDs(members, req.From) {
 		resp.Peers = append(resp.Peers, PeerInfo{ID: id, Addr: members[id], Channel: req.Video})
 		if len(resp.Peers) >= t.cfg.JoinPeers {
 			break
 		}
 	}
-	if members == nil {
-		members = make(map[int]string)
-		t.videoMembers[v] = members
-	}
-	members[req.From] = req.Addr
+	t.videos.Put(int64(v), req.From, req.Addr)
 	return resp
 }
 
@@ -402,15 +514,11 @@ func (t *Tracker) handleLeave(req *Message) *Message {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.addrs, req.From)
-	for _, m := range t.channelMembers {
-		delete(m, req.From)
-	}
-	for _, m := range t.videoMembers {
-		delete(m, req.From)
-	}
-	for _, m := range t.watchers {
-		delete(m, req.From)
-	}
+	// Tombstones, not deletions: gossip carries the departure to the
+	// shard's other replicas instead of letting them resurrect the peer.
+	t.channels.RemoveEverywhere(req.From)
+	t.videos.RemoveEverywhere(req.From)
+	t.watchers.RemoveEverywhere(req.From)
 	return &Message{Type: MsgOK, From: -1}
 }
 
@@ -476,7 +584,7 @@ func (t *Tracker) handleWatchStart(req *Message) *Message {
 		return &Message{Type: MsgMiss, From: -1}
 	}
 	resp := &Message{Type: MsgOK, From: -1, Provider: -1}
-	candidates := t.watchers[v]
+	candidates := t.watchers.Live(int64(v))
 	if t.cfg.ISPs > 1 {
 		// ISP-localized assistance: only same-ISP watchers qualify.
 		local := make(map[int]string)
@@ -500,21 +608,14 @@ func (t *Tracker) handleWatchStart(req *Message) *Message {
 		resp.ProviderAddr = resp.Providers[0].Addr
 		atomic.AddUint64(&t.ctr.HitsServerAssist, 1)
 	}
-	m := t.watchers[v]
-	if m == nil {
-		m = make(map[int]string)
-		t.watchers[v] = m
-	}
-	m[req.From] = req.Addr
+	t.watchers.Put(int64(v), req.From, req.Addr)
 	return resp
 }
 
 func (t *Tracker) handleWatchDone(req *Message) *Message {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if m, ok := t.watchers[trace.VideoID(req.Video)]; ok {
-		delete(m, req.From)
-	}
+	t.watchers.Remove(int64(req.Video), req.From)
 	return &Message{Type: MsgOK, From: -1}
 }
 
@@ -527,12 +628,7 @@ func (t *Tracker) handleHave(req *Message) *Message {
 	if t.tr.Video(v) == nil {
 		return &Message{Type: MsgMiss, From: -1}
 	}
-	m := t.videoMembers[v]
-	if m == nil {
-		m = make(map[int]string)
-		t.videoMembers[v] = m
-	}
-	m[req.From] = req.Addr
+	t.videos.Put(int64(v), req.From, req.Addr)
 	return &Message{Type: MsgOK, From: -1}
 }
 

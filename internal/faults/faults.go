@@ -56,11 +56,21 @@ type LinkBurst struct {
 	LossP float64
 }
 
-// Outage takes the tracker/server fully offline for a window: requests
-// to it go unanswered until the window closes.
+// Outage takes the tracker/server offline for a window: requests to it
+// go unanswered until the window closes. On a sharded control plane the
+// outage can be narrowed to one shard, or one replica of one shard; the
+// zero targeting (legacy plans) darkens the whole plane.
 type Outage struct {
 	At       time.Duration
 	Duration time.Duration
+	// Shard targets one tracker shard, 1-based (Shard s darkens shard
+	// s-1). 0 targets the whole control plane — the legacy whole-tracker
+	// outage.
+	Shard int
+	// Replica narrows a sharded outage to one replica of the shard,
+	// 1-based. 0 takes every replica of the targeted shard down.
+	// Replica > 0 requires Shard > 0.
+	Replica int
 }
 
 // Brownout throttles the server uplink to CapacityFactor×nominal for a
@@ -191,6 +201,13 @@ type Event struct {
 	LossP         float64 `json:"lossP,omitempty"`
 	// CapacityFactor carries a brownout's remaining capacity.
 	CapacityFactor float64 `json:"capacityFactor,omitempty"`
+	// Shard and Replica carry an outage's control-plane targeting
+	// (1-based; 0 = whole plane / all replicas). Both appear on the
+	// start and end events, so replays never have to pair windows to
+	// find the target. omitempty keeps legacy whole-plane schedules
+	// byte-identical.
+	Shard   int `json:"shard,omitempty"`
+	Replica int `json:"replica,omitempty"`
 	// CorruptP, TruncateP, DuplicateP, StallP and StallFor carry a chaos
 	// burst's frame-fault mix.
 	CorruptP   float64       `json:"corruptP,omitempty"`
@@ -245,8 +262,14 @@ func (p *Plan) Validate() error {
 		}
 	}
 	for i, o := range p.Outages {
-		if o.At < 0 || o.Duration <= 0 {
+		switch {
+		case o.At < 0 || o.Duration <= 0:
 			return fmt.Errorf("faults: outage %d needs At ≥ 0 and Duration > 0", i)
+		case o.Shard < 0 || o.Replica < 0:
+			return fmt.Errorf("faults: outage %d targeting is 1-based (0 = whole plane), got shard %d replica %d",
+				i, o.Shard, o.Replica)
+		case o.Replica > 0 && o.Shard == 0:
+			return fmt.Errorf("faults: outage %d targets replica %d without a shard", i, o.Replica)
 		}
 	}
 	for i, b := range p.Brownouts {
@@ -339,8 +362,8 @@ func (p *Plan) Compile(nodes int) (*Schedule, error) {
 	for _, o := range p.Outages {
 		end := o.At + o.Duration
 		evs = append(evs,
-			Event{At: o.At, Kind: KindOutageStart, Node: -1, Until: end},
-			Event{At: end, Kind: KindOutageEnd, Node: -1})
+			Event{At: o.At, Kind: KindOutageStart, Node: -1, Until: end, Shard: o.Shard, Replica: o.Replica},
+			Event{At: end, Kind: KindOutageEnd, Node: -1, Shard: o.Shard, Replica: o.Replica})
 	}
 	for _, b := range p.Brownouts {
 		end := b.At + b.Duration
@@ -416,6 +439,21 @@ func ChaosPlan(seed int64, unit time.Duration) *Plan {
 			{At: unit, Duration: 2 * unit,
 				CorruptP: 0.1, TruncateP: 0.05, DuplicateP: 0.05,
 				StallP: 0.05, StallFor: unit / 2},
+		},
+	}
+}
+
+// ReplicaOutagePlan darkens one replica of one tracker shard (1-based)
+// for two units starting at one unit, with no churn and no other faults.
+// It is the sharded-outage figure's stressor: with a replicated control
+// plane the expected effect on the hit rate is ~zero, because peers fail
+// over to the shard's surviving replica, and the absence of churn keeps
+// request totals deterministic for the comparison.
+func ReplicaOutagePlan(seed int64, unit time.Duration, shard, replica int) *Plan {
+	return &Plan{
+		Seed: seed,
+		Outages: []Outage{
+			{At: unit, Duration: 2 * unit, Shard: shard, Replica: replica},
 		},
 	}
 }

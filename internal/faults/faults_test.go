@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 	"time"
@@ -228,5 +229,69 @@ func TestHelperPlansCompile(t *testing.T) {
 	}
 	if start.CorruptP <= 0 || start.TruncateP <= 0 || start.DuplicateP <= 0 || start.StallP <= 0 || start.StallFor <= 0 {
 		t.Fatalf("chaos: parameters not carried: %+v", start)
+	}
+}
+
+// TestReplicaOutageTargeting pins the control-plane addressing added for
+// the sharded tracker: shard/replica targets survive compilation on both
+// the start and end events, and a targetless plan's wire form stays
+// byte-identical to the pre-sharding schema (omitempty fields).
+func TestReplicaOutageTargeting(t *testing.T) {
+	plan := ReplicaOutagePlan(3, time.Minute, 2, 1)
+	sched, err := plan.Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, ends int
+	for _, ev := range sched.Events {
+		switch ev.Kind {
+		case KindOutageStart:
+			starts++
+		case KindOutageEnd:
+			ends++
+		default:
+			continue
+		}
+		if ev.Shard != 2 || ev.Replica != 1 {
+			t.Fatalf("%s lost its target: shard %d replica %d", ev.Kind, ev.Shard, ev.Replica)
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Fatalf("replica outage compiled to %d starts / %d ends", starts, ends)
+	}
+
+	// A legacy whole-plane outage event must serialize without any
+	// shard/replica keys at all, so archived schedules stay comparable.
+	legacy, err := (&Plan{Seed: 1, Outages: []Outage{{At: time.Minute, Duration: time.Minute}}}).Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shard", "replica"} {
+		if bytes.Contains(j, []byte(`"`+key+`"`)) {
+			t.Fatalf("legacy schedule wire form grew a %q field:\n%s", key, j)
+		}
+	}
+}
+
+// TestValidateRejectsBadTargets covers the new Outage target rules: no
+// negative indices, and a replica target needs a shard to live in.
+func TestValidateRejectsBadTargets(t *testing.T) {
+	for name, o := range map[string]Outage{
+		"negative shard":        {At: time.Minute, Duration: time.Minute, Shard: -1},
+		"negative replica":      {At: time.Minute, Duration: time.Minute, Replica: -1},
+		"replica without shard": {At: time.Minute, Duration: time.Minute, Replica: 2},
+	} {
+		p := &Plan{Seed: 1, Outages: []Outage{o}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, o)
+		}
+	}
+	ok := &Plan{Seed: 1, Outages: []Outage{{At: time.Minute, Duration: time.Minute, Shard: 1, Replica: 2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid target rejected: %v", err)
 	}
 }

@@ -1,0 +1,174 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// ShardedOutageEnv carries a point's environmental measurements; like
+// FailoverEnv they ride along in the bench file but stay out of
+// determinism comparisons. The cache/peer/server source split and the
+// breaker counters live here because they are decided by real-socket
+// races (which replica answers first, when a breaker trips) — only the
+// request total and the failure count are schedule-determined.
+type ShardedOutageEnv struct {
+	WallMs       float64 `json:"wallMs"`
+	PeerHits     int64   `json:"peerHits"`
+	ServerHits   int64   `json:"serverHits"`
+	CacheHits    int64   `json:"cacheHits"`
+	BreakerOpens uint64  `json:"breakerOpens"`
+	BreakerSkips uint64  `json:"breakerSkips"`
+	RPCFailures  uint64  `json:"rpcFailures"`
+}
+
+// ShardedOutagePoint is one cell of the sharded-outage figure: SocialTube
+// on a sharded, replicated control plane with at most one tracker replica
+// dark. HitRate is the fraction of requests that were served at all
+// (1 - failed/requests); the figure's headline is that it stays ~flat
+// across every choice of dead replica.
+type ShardedOutagePoint struct {
+	Variant  string `json:"variant"` // "baseline" or "shardS-replicaR-down"
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	// DownShard/DownReplica name the darkened replica (1-based; 0 on the
+	// baseline).
+	DownShard   int `json:"downShard,omitempty"`
+	DownReplica int `json:"downReplica,omitempty"`
+	// Deterministic outcomes: the run is closed-loop, so the request
+	// total is fixed by the workload and the failure count by the fault
+	// schedule plus failover.
+	Requests int64   `json:"requests"`
+	Failed   int64   `json:"failed"`
+	HitRate  float64 `json:"hitRate"`
+
+	Env ShardedOutageEnv `json:"env"`
+}
+
+// Canonical returns the point with its environmental block zeroed — the
+// form determinism comparisons use.
+func (p ShardedOutagePoint) Canonical() ShardedOutagePoint {
+	p.Env = ShardedOutageEnv{}
+	return p
+}
+
+// FigShardedOutageResult bundles the figure's table with the raw points
+// for BENCH_failover.json.
+type FigShardedOutageResult struct {
+	Table  *metrics.Table
+	Points []ShardedOutagePoint
+}
+
+// String renders the table.
+func (f *FigShardedOutageResult) String() string { return f.Table.String() }
+
+func shardedOutagePoint(s EmuScale, cp emu.ControlPlaneConfig, variant string,
+	shard, replica int, res *emu.ClusterResult) ShardedOutagePoint {
+	requests := res.CacheHits + res.PeerHits + res.ServerHits
+	hitRate := 1.0
+	if requests > 0 {
+		hitRate = 1 - float64(res.FailedRequests)/float64(requests)
+	}
+	return ShardedOutagePoint{
+		Variant:     variant,
+		Protocol:    res.Protocol,
+		Seed:        s.Seed,
+		Shards:      cp.Shards,
+		Replicas:    cp.Replicas,
+		DownShard:   shard,
+		DownReplica: replica,
+		Requests:    requests,
+		Failed:      res.FailedRequests,
+		HitRate:     hitRate,
+		Env: ShardedOutageEnv{
+			WallMs:       float64(res.Elapsed.Nanoseconds()) / 1e6,
+			PeerHits:     res.PeerHits,
+			ServerHits:   res.ServerHits,
+			CacheHits:    res.CacheHits,
+			BreakerOpens: res.Obs.BreakerOpens,
+			BreakerSkips: res.Obs.BreakerSkips,
+			RPCFailures:  res.Obs.RPCFailures,
+		},
+	}
+}
+
+// FigShardedOutage measures SocialTube's service continuity on a sharded,
+// replicated control plane (default 2 shards x 2 replicas) when a single
+// tracker replica goes dark mid-run: one no-fault baseline, then one run
+// per replica with exactly that replica down for two workload units. The
+// plan injects no churn, so request totals are deterministic and the hit
+// rates compare directly. With peers failing over to the shard's
+// surviving replica, every down-one-replica hit rate should sit within a
+// few percent of the baseline — the headline of the control-plane
+// redesign, versus the whole-plane outage of FigOutage where the dark
+// window visibly costs requests.
+func FigShardedOutage(s EmuScale, tr *trace.Trace) (*FigShardedOutageResult, error) {
+	cp := emu.DefaultControlPlaneConfig()
+	cp.RingSeed = s.Seed
+	unit := s.outageUnit()
+	t := metrics.NewTable(
+		fmt.Sprintf("SocialTube hit rate, %dx%d control plane, one replica dark for 2x%s (TCP emulation)",
+			cp.Shards, cp.Replicas, unit),
+		"variant", "requests", "failed", "hitRate", "deltaVsBaseline", "brkOpens")
+	run := func(plan *faults.Plan) (*emu.ClusterResult, error) {
+		return s.runMode(tr, emu.ModeSocialTube, func(c *emu.ClusterConfig) {
+			c.ControlPlane = &cp
+			c.Faults = plan
+			// Same tight retry policy as FigOutage: a request's budget is
+			// on the order of the outage window, so survival comes from
+			// failover, not patience.
+			c.RPCTimeout = 250 * time.Millisecond
+			c.MaxRetries = 1
+			c.RetryBackoff = 25 * time.Millisecond
+		})
+	}
+	base, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ShardedOutagePoint, 0, 1+cp.Shards*cp.Replicas)
+	basePoint := shardedOutagePoint(s, cp, "baseline", 0, 0, base)
+	points = append(points, basePoint)
+	t.AddRow(basePoint.Variant, basePoint.Requests, basePoint.Failed, basePoint.HitRate, 0.0,
+		basePoint.Env.BreakerOpens)
+	for shard := 1; shard <= cp.Shards; shard++ {
+		for replica := 1; replica <= cp.Replicas; replica++ {
+			res, err := run(faults.ReplicaOutagePlan(s.Seed, unit, shard, replica))
+			if err != nil {
+				return nil, err
+			}
+			variant := fmt.Sprintf("shard%d-replica%d-down", shard, replica)
+			pt := shardedOutagePoint(s, cp, variant, shard, replica, res)
+			points = append(points, pt)
+			t.AddRow(pt.Variant, pt.Requests, pt.Failed, pt.HitRate,
+				pt.HitRate-basePoint.HitRate, pt.Env.BreakerOpens)
+		}
+	}
+	return &FigShardedOutageResult{Table: t, Points: points}, nil
+}
+
+// AppendShardedOutagePoints appends one JSON line per point to path —
+// same JSONL convention as AppendFailoverPoints, and by default the same
+// BENCH_failover.json file (the points are self-describing via Variant).
+func AppendShardedOutagePoints(path string, points []ShardedOutagePoint) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -29,6 +29,12 @@ echo "== resilient delivery path (race, explicitly) =="
 go test -race -count=1 -run 'Failover|Handoff|Breaker|Chaos|Retry|Malformed|MidStream|Open|Probation|Streak' \
 	./internal/emu/ ./internal/core/ ./internal/health/ ./internal/figures/
 
+echo "== sharded control plane (race, explicitly) =="
+# The gossip loop, ring routing, membership merge and the multi-tracker
+# shutdown/failover paths under the race detector.
+go test -race -count=1 -run 'Gossip|Shard|ControlPlane|Ring|Sync|Exclusive|MemberTable|ReplicaOutage' \
+	./internal/ctrl/ ./internal/emu/ ./internal/faults/ ./internal/figures/
+
 echo "== wire-layer fuzz smoke (30s per target) =="
 go test ./internal/emu -run '^$' -fuzz '^FuzzReadMessage$' -fuzztime 30s
 go test ./internal/emu -run '^$' -fuzz '^FuzzHandleMessage$' -fuzztime 30s
@@ -66,6 +72,16 @@ echo "$spans"
 case "$spans" in
 "# 0 spans" | "") echo "generated trace contains no request spans"; exit 1 ;;
 esac
+
+echo "== sharded-outage smoke (one replica dark, zero failed requests) =="
+# A 2x2 control plane with each tracker replica killed in turn: the
+# failover walk must keep every request alive, so the bench file's
+# down-variant points must all report failed == 0.
+go run ./cmd/socialtube-emu -fig outage-shard -peers 12 -sessions 1 -videos 4 -watch 10ms \
+	-bench-out "$tracetmp/BENCH_failover.json" > /dev/null
+test -s "$tracetmp/BENCH_failover.json" || { echo "sharded-outage figure emitted no bench points"; exit 1; }
+grep -o '"failed":[0-9]*' "$tracetmp/BENCH_failover.json" | grep -v '"failed":0' \
+	&& { echo "sharded-outage run lost requests with a replicated shard down"; exit 1; } || true
 
 echo "== timeline figure smoke =="
 go run ./cmd/socialtube-sim -fig timeline -bench-out "$tracetmp/BENCH_timeline.json" > /dev/null

@@ -234,17 +234,24 @@ func ChurnPlan(seed int64, unit time.Duration) *FaultPlan { return faults.ChurnP
 // OutagePlan returns a canonical tracker-outage plan scaled by unit.
 func OutagePlan(seed int64, unit time.Duration) *FaultPlan { return faults.OutagePlan(seed, unit) }
 
+// ReplicaOutagePlan darkens one replica of one tracker shard (1-based)
+// for two units — the sharded control plane's canonical outage stress.
+func ReplicaOutagePlan(seed int64, unit time.Duration, shard, replica int) *FaultPlan {
+	return faults.ReplicaOutagePlan(seed, unit, shard, replica)
+}
+
 // Scenario bundles a run's cross-cutting concerns: the network model,
 // emulated WAN conditions, a fault plan, a tracer and a counter sink.
 // Build one implicitly by passing RunOptions to RunExperimentCtx /
 // RunClusterCtx, or explicitly with NewScenario.
 type Scenario struct {
-	network    NetworkConfig
-	hasNetwork bool
-	conditions *Conditions
-	faults     *FaultPlan
-	tracer     Tracer
-	counters   *Counters
+	network      NetworkConfig
+	hasNetwork   bool
+	conditions   *Conditions
+	faults       *FaultPlan
+	tracer       Tracer
+	counters     *Counters
+	controlPlane *ControlPlaneConfig
 }
 
 // RunOption configures one aspect of a Scenario.
@@ -288,6 +295,15 @@ func WithTracer(tr Tracer) RunOption {
 // when the run completes successfully.
 func WithCounters(dst *Counters) RunOption {
 	return func(s *Scenario) { s.counters = dst }
+}
+
+// WithControlPlane shards and replicates the cluster's tracker (cluster
+// runs only): cp.Shards x cp.Replicas trackers are started, channels map
+// to shards by rendezvous hashing, and peers fail over between a shard's
+// replicas. Without this option the cluster runs the legacy single
+// tracker.
+func WithControlPlane(cp ControlPlaneConfig) RunOption {
+	return func(s *Scenario) { s.controlPlane = &cp }
 }
 
 // DefaultExperimentConfig returns Table I's workload parameters.
@@ -337,10 +353,18 @@ type (
 	Peer = emu.Peer
 	// PeerConfig sets one TCP node's parameters.
 	PeerConfig = emu.PeerConfig
-	// Tracker is the central TCP server.
+	// Tracker is the central TCP server (one control-plane replica).
 	Tracker = emu.Tracker
 	// TrackerConfig sets the central server's parameters.
 	TrackerConfig = emu.TrackerConfig
+	// ControlPlane is the sharded, replicated tracker plane peers route
+	// tracker-path RPCs through.
+	ControlPlane = emu.ControlPlane
+	// ControlPlaneConfig shapes the plane (shards, replicas per shard,
+	// ring seed, gossip cadence).
+	ControlPlaneConfig = emu.ControlPlaneConfig
+	// ShardHandle addresses one shard's replicas for fault injection.
+	ShardHandle = emu.ShardHandle
 )
 
 // Emulation protocol modes.
@@ -370,10 +394,39 @@ func NewTracker(cfg TrackerConfig, tr *Trace, cond *Conditions) (*Tracker, error
 	return emu.NewTracker(cfg, tr, cond)
 }
 
-// NewPeer builds one TCP peer over the trace.
+// NewPeer builds one TCP peer over the trace against a single tracker
+// address. It is the documented single-shard shim over
+// NewPeerWithControlPlane (the address becomes a 1x1 SingleTracker
+// plane); new code should build a ControlPlane and use the Ctx-era form.
 func NewPeer(cfg PeerConfig, tr *Trace, trackerAddr string, cond *Conditions) (*Peer, error) {
 	return emu.NewPeer(cfg, tr, trackerAddr, cond)
 }
+
+// NewPeerWithControlPlane builds one TCP peer that routes tracker-path
+// RPCs through the control plane's shard directory and fails over
+// between a shard's replicas.
+func NewPeerWithControlPlane(cfg PeerConfig, tr *Trace, cp *ControlPlane, cond *Conditions) (*Peer, error) {
+	return emu.NewPeerWithControlPlane(cfg, tr, cp, cond)
+}
+
+// DefaultControlPlaneConfig returns the canonical 2x2 sharded plane.
+func DefaultControlPlaneConfig() ControlPlaneConfig { return emu.DefaultControlPlaneConfig() }
+
+// StartControlPlane launches a sharded, replicated tracker plane
+// in-process; the caller owns Stop.
+func StartControlPlane(cfg ControlPlaneConfig, tc TrackerConfig, tr *Trace, cond *Conditions) (*ControlPlane, error) {
+	return emu.StartControlPlane(cfg, tc, tr, cond)
+}
+
+// NewControlPlaneClient builds a routing-only plane over already-running
+// tracker endpoints (replicas[shard][replica] lists their addresses).
+func NewControlPlaneClient(ringSeed int64, replicas [][]string) (*ControlPlane, error) {
+	return emu.NewControlPlaneClient(ringSeed, replicas)
+}
+
+// SingleTracker wraps one tracker address as a 1x1 control plane — the
+// legacy single-tracker topology.
+func SingleTracker(addr string) *ControlPlane { return emu.SingleTracker(addr) }
 
 // RunCluster starts a tracker plus peers, drives the session workload and
 // returns aggregated metrics. It is the legacy positional form of
@@ -397,6 +450,9 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *Trace, opts ...Ru
 	}
 	if sc.tracer != nil {
 		cfg.Tracer = sc.tracer
+	}
+	if sc.controlPlane != nil {
+		cfg.ControlPlane = sc.controlPlane
 	}
 	res, err := emu.RunClusterCtx(ctx, cfg, tr)
 	if err != nil {
