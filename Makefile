@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m emu faults-demo failover-demo outage-shard-demo fuzz-smoke trace-demo timeline-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m load-demo emu faults-demo failover-demo outage-shard-demo fuzz-smoke trace-demo timeline-demo cover clean
 
 all: build test
 
@@ -50,6 +50,12 @@ scale-paper:
 # interest category, epoch-barrier mailboxes). Hours-scale on one core.
 scale-10m:
 	$(GO) run ./cmd/socialtube-sim -fig scale -scale 10m -shards 1
+
+# Open-loop load sweep: steady 2/6/18 offered RPS per protocol against a
+# bounded server admission queue — p50/p99/p999 startup delay, server
+# offload, shed rate — appended to BENCH_load.json. Seconds.
+load-demo:
+	$(GO) run ./cmd/socialtube-sim -fig load
 
 # Run the TCP emulation at the paper's 250-node PlanetLab scale.
 emu:

@@ -1,8 +1,9 @@
 // Command socialtube-bench regenerates every table and figure of the
 // paper's evaluation in one run: the Section III trace analysis (Figs.
 // 2–13), the analytical models (Fig. 15, §IV-B), the simulation evaluation
-// (Figs. 16a/17a/18a, Table I, churn resilience) and the TCP emulation
-// (Figs. 16b/17b/18b, tracker-outage resilience).
+// (Figs. 16a/17a/18a, Table I, churn resilience), the open-loop load
+// sweep (offered RPS vs startup delay and shed rate, BENCH_load.json)
+// and the TCP emulation (Figs. 16b/17b/18b, tracker-outage resilience).
 //
 // Usage:
 //
@@ -35,14 +36,19 @@ func run(args []string) (retErr error) {
 		seed      = fs.Int64("seed", 1, "experiment seed")
 		skipEmu   = fs.Bool("skip-emu", false, "skip the TCP emulation figures")
 		skipScale = fs.Bool("skip-scale", false, "skip the small-N scalability sweep")
+		skipLoad  = fs.Bool("skip-load", false, "skip the open-loop load sweep")
 		shards    = fs.Int("shards", 0, "run the scalability sweep on the community-sharded engine with this many workers (0 = classic single-loop engine)")
 		benchOut  = fs.String("bench-out", "BENCH_scale.json", "append scale-sweep points to this JSONL file (empty disables)")
 		failOut   = fs.String("failover-out", "BENCH_failover.json", "append failover points to this JSONL file (empty disables)")
 		tlOut     = fs.String("timeline-out", "BENCH_timeline.json", "append telemetry-timeline points to this JSONL file (empty disables)")
+		loadOut   = fs.String("load-out", "BENCH_load.json", "append open-loop load points to this JSONL file (empty disables)")
 		traceOut  = fs.String("trace-out", "", "write simulation protocol events as JSON Lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", *shards)
 	}
 	var s figures.Scale
 	switch *scale {
@@ -124,6 +130,25 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		fmt.Printf("appended %d timeline points to %s\n\n", len(tt.Points), *tlOut)
+	}
+
+	if !*skipLoad {
+		// The smoke columns: the full arc is socialtube-sim -fig load.
+		fmt.Println("---- Section V: open-loop load sweep (smoke columns) ----")
+		lw := figures.SmokeLoadSweep()
+		lw.Seed = *seed
+		lw.Shards = *shards
+		fl, err := figures.RunLoad(lw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fl)
+		if *loadOut != "" {
+			if err := figures.AppendLoadPoints(*loadOut, fl.Points); err != nil {
+				return err
+			}
+			fmt.Printf("appended %d load points to %s\n\n", len(fl.Points), *loadOut)
+		}
 	}
 
 	if !*skipScale {

@@ -21,12 +21,13 @@ func TestRunSmallSkipEmu(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full small-scale evaluation")
 	}
-	// Redirect the bench logs so the test never writes BENCH_scale.json
-	// or BENCH_timeline.json into the working tree.
+	// Redirect the bench logs so the test never writes BENCH_*.json
+	// into the working tree.
 	dir := t.TempDir()
 	if err := run([]string{"-skip-emu",
 		"-bench-out", filepath.Join(dir, "BENCH_scale.json"),
 		"-timeline-out", filepath.Join(dir, "BENCH_timeline.json"),
+		"-load-out", filepath.Join(dir, "BENCH_load.json"),
 	}); err != nil {
 		t.Fatalf("run: %v", err)
 	}

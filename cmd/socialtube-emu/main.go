@@ -43,6 +43,17 @@ func run(args []string) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast on nonsensical counts before any cluster is spun up.
+	switch {
+	case *peers <= 0:
+		return fmt.Errorf("-peers must be > 0, got %d", *peers)
+	case *sessions <= 0:
+		return fmt.Errorf("-sessions must be > 0, got %d", *sessions)
+	case *videos <= 0:
+		return fmt.Errorf("-videos must be > 0, got %d", *videos)
+	case *watch <= 0:
+		return fmt.Errorf("-watch must be > 0, got %v", *watch)
+	}
 	s := figures.EmuScale{
 		Peers:            *peers,
 		Sessions:         *sessions,

@@ -30,8 +30,24 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
-func TestRunBadPeerCount(t *testing.T) {
-	if err := run([]string{"-fig", "16b", "-peers", "0"}); err == nil {
-		t.Fatal("expected error for zero peers")
+// TestRunRejectsBadCounts pins the fail-fast flag validation: nonpositive
+// workload counts error out before any TCP cluster is spun up.
+func TestRunRejectsBadCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"zero peers", []string{"-fig", "16b", "-peers", "0"}},
+		{"negative peers", []string{"-fig", "16b", "-peers", "-8"}},
+		{"zero sessions", []string{"-fig", "16b", "-sessions", "0"}},
+		{"negative videos", []string{"-fig", "16b", "-videos", "-1"}},
+		{"zero watch", []string{"-fig", "16b", "-watch", "0s"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("args %v accepted", tt.args)
+			}
+		})
 	}
 }

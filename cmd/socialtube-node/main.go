@@ -64,6 +64,21 @@ func run(args []string, stop chan struct{}) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast on nonsensical counts before the trace is loaded.
+	switch {
+	case *sessions <= 0:
+		return fmt.Errorf("-sessions must be > 0, got %d", *sessions)
+	case *videos <= 0:
+		return fmt.Errorf("-videos must be > 0, got %d", *videos)
+	case *watch <= 0:
+		return fmt.Errorf("-watch must be > 0, got %v", *watch)
+	case *id < 0:
+		return fmt.Errorf("-id must be ≥ 0, got %d", *id)
+	case *shard < 0:
+		return fmt.Errorf("-shard must be ≥ 0, got %d", *shard)
+	case *replicaSelf < 0:
+		return fmt.Errorf("-replica-self must be ≥ 0, got %d", *replicaSelf)
+	}
 	if *tracePath == "" {
 		return fmt.Errorf("-trace is required")
 	}

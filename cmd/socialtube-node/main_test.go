@@ -57,6 +57,31 @@ func TestRunRequiresFlags(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadCounts pins the fail-fast flag validation: nonpositive
+// workload counts error out before the trace is even loaded (no trace
+// file is given, yet the count error must win).
+func TestRunRejectsBadCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"zero sessions", []string{"-role", "peer", "-sessions", "0"}},
+		{"negative sessions", []string{"-role", "peer", "-sessions", "-2"}},
+		{"zero videos", []string{"-role", "peer", "-videos", "0"}},
+		{"zero watch", []string{"-role", "peer", "-watch", "0s"}},
+		{"negative id", []string{"-role", "peer", "-id", "-1"}},
+		{"negative shard", []string{"-role", "tracker", "-shard", "-1"}},
+		{"negative replica-self", []string{"-role", "tracker", "-replica-self", "-1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, make(chan struct{})); err == nil {
+				t.Fatalf("args %v accepted", tt.args)
+			}
+		})
+	}
+}
+
 // TestTrackerAndPeerEndToEnd runs the daemon both ways: a tracker goroutine
 // plus a peer process loop against it.
 func TestTrackerAndPeerEndToEnd(t *testing.T) {

@@ -13,8 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"github.com/socialtube/socialtube/internal/figures"
+	"github.com/socialtube/socialtube/internal/load"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/trace"
 )
@@ -51,6 +55,72 @@ func runScaleSweep(scaleName string, seed int64, benchOut string, shards, users 
 	fmt.Println(f)
 	if benchOut != "" {
 		if err := figures.AppendScalePoints(benchOut, f.Points); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d points to %s\n", len(f.Points), benchOut)
+	}
+	return nil
+}
+
+// loadFlags carries the -fig load knobs from the flag set to the sweep.
+type loadFlags struct {
+	mode  string
+	rps   string
+	dur   time.Duration
+	cap   int
+	flash int
+}
+
+// runLoadSweep runs the open-loop load figure (-fig load): offered-RPS
+// columns for the three protocols against the bounded-queue server, with
+// per-cell points appended to the JSONL bench log. shards > 0 routes
+// every cell through the community-sharded engine; users > 0 overrides
+// the preset population.
+func runLoadSweep(scaleName string, seed int64, benchOut string, shards, users int, lf loadFlags) error {
+	var sw figures.LoadSweep
+	switch scaleName {
+	case "small":
+		sw = figures.DefaultLoadSweep()
+	case "paper":
+		sw = figures.PaperLoadSweep()
+	default:
+		return fmt.Errorf("unknown scale %q (-fig load wants small or paper)", scaleName)
+	}
+	sw.Seed = seed
+	sw.Shards = shards
+	if users > 0 {
+		sw.Users = users
+	}
+	if lf.mode != "" {
+		sw.Mode = load.Mode(lf.mode)
+	}
+	if lf.rps != "" {
+		sw.RPS = sw.RPS[:0]
+		for _, col := range strings.Split(lf.rps, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(col), 64)
+			if err != nil {
+				return fmt.Errorf("-load-rps %q: %w", lf.rps, err)
+			}
+			sw.RPS = append(sw.RPS, v)
+		}
+	}
+	if lf.dur > 0 {
+		sw.Duration = lf.dur
+	}
+	if lf.cap >= 0 {
+		sw.QueueCap = lf.cap
+	}
+	if lf.flash >= 0 {
+		sw.Flash = &load.FlashCrowd{Channel: lf.flash, At: sw.Duration / 4, For: sw.Duration / 4}
+	}
+	sw.Progress = func(msg string) { fmt.Println("# " + msg) }
+	f, err := figures.RunLoad(sw)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f)
+	if benchOut != "" {
+		if err := figures.AppendLoadPoints(benchOut, f.Points); err != nil {
 			return err
 		}
 		fmt.Printf("appended %d points to %s\n", len(f.Points), benchOut)
@@ -108,12 +178,17 @@ func checkTrace(path string) error {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, timeline, scale, table1 or all")
+		fig        = fs.String("fig", "all", "figure to regenerate: 16a, 17a, 18a, 15, churn, timeline, scale, load, table1 or all")
 		scale      = fs.String("scale", "small", "workload scale: small or paper (-fig scale also takes 10m)")
 		seed       = fs.Int64("seed", 1, "experiment seed")
-		shards     = fs.Int("shards", 0, "with -fig scale, run each point on the community-sharded engine with this many workers (0 = classic single-loop engine)")
-		users      = fs.Int("users", 0, "with -fig scale, replace the preset populations with this single size (0 = preset)")
-		benchOut   = fs.String("bench-out", "", "with -fig scale or -fig timeline, append per-point results to this JSONL file (default BENCH_scale.json / BENCH_timeline.json; empty string keeps the default, 'none' disables)")
+		shards     = fs.Int("shards", 0, "with -fig scale or -fig load, run each point on the community-sharded engine with this many workers (0 = classic single-loop engine)")
+		users      = fs.Int("users", 0, "with -fig scale or -fig load, replace the preset population with this single size (0 = preset)")
+		benchOut   = fs.String("bench-out", "", "with -fig scale, timeline or load, append per-point results to this JSONL file (default BENCH_<fig>.json; empty string keeps the default, 'none' disables)")
+		loadMode   = fs.String("load-mode", "", "with -fig load, the profile shape: steady, ramp, sweep, burst or diurnal (empty = preset)")
+		loadRPS    = fs.String("load-rps", "", "with -fig load, comma-separated offered-RPS columns (empty = preset)")
+		loadDur    = fs.Duration("load-dur", 0, "with -fig load, each column's offered window in virtual time (0 = preset)")
+		loadCap    = fs.Int("load-cap", -1, "with -fig load, the server admission-queue capacity (0 = unbounded, -1 = preset)")
+		loadFlash  = fs.Int("load-flash", -1, "with -fig load, layer a flash crowd on this channel id (-1 = off)")
 		jsonDump   = fs.Bool("json", false, "run the three protocols once and dump raw results as JSON")
 		traceOut   = fs.String("trace-out", "", "write every protocol event as JSON Lines to this file")
 		tracePrint = fs.String("trace-print", "", "pretty-print an existing JSONL event trace and exit")
@@ -124,10 +199,19 @@ func run(args []string) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Fail fast on nonsensical counts before any trace is built.
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", *shards)
+	}
+	if *users < 0 {
+		return fmt.Errorf("-users must be ≥ 0, got %d", *users)
+	}
 	// The bench log's default name follows the figure; "none" disables.
 	switch {
 	case *benchOut == "" && *fig == "timeline":
 		*benchOut = "BENCH_timeline.json"
+	case *benchOut == "" && *fig == "load":
+		*benchOut = "BENCH_load.json"
 	case *benchOut == "":
 		*benchOut = "BENCH_scale.json"
 	case *benchOut == "none":
@@ -167,8 +251,17 @@ func run(args []string) (retErr error) {
 	if *fig == "scale" {
 		return runScaleSweep(*scale, *seed, *benchOut, *shards, *users)
 	}
+	// The load sweep likewise owns its trace sizing.
+	if *fig == "load" {
+		return runLoadSweep(*scale, *seed, *benchOut, *shards, *users, loadFlags{
+			mode: *loadMode, rps: *loadRPS, dur: *loadDur, cap: *loadCap, flash: *loadFlash,
+		})
+	}
 	if *shards > 0 || *users > 0 {
-		return fmt.Errorf("-shards and -users apply to -fig scale only")
+		return fmt.Errorf("-shards and -users apply to -fig scale and -fig load only")
+	}
+	if *loadMode != "" || *loadRPS != "" || *loadDur != 0 || *loadCap >= 0 || *loadFlash >= 0 {
+		return fmt.Errorf("-load-* flags apply to -fig load only")
 	}
 	if *scale == "10m" {
 		return fmt.Errorf("-scale 10m applies to -fig scale only")
@@ -254,7 +347,7 @@ func run(args []string) (retErr error) {
 		case "table1":
 			fmt.Println(figures.Table1(s, tr))
 		default:
-			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, timeline, scale, table1 or all)", id)
+			return fmt.Errorf("unknown figure %q (want 15, 16a, 17a, 18a, churn, timeline, scale, load, table1 or all)", id)
 		}
 		return nil
 	}

@@ -31,6 +31,41 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunRejectsBadCounts pins the fail-fast flag validation: negative
+// counts and misplaced flags error out before any trace is built.
+func TestRunRejectsBadCounts(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"negative shards", []string{"-fig", "scale", "-shards", "-1"}},
+		{"negative users", []string{"-fig", "scale", "-users", "-4"}},
+		{"shards outside scale/load", []string{"-fig", "16a", "-shards", "2"}},
+		{"users outside scale/load", []string{"-fig", "16a", "-users", "100"}},
+		{"load flags outside fig load", []string{"-fig", "16a", "-load-rps", "3,18"}},
+		{"bad load rps", []string{"-fig", "load", "-load-rps", "3,banana"}},
+		{"bad load mode", []string{"-fig", "load", "-load-mode", "lunar"}},
+		{"bad load scale", []string{"-fig", "load", "-scale", "10m"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("args %v accepted", tt.args)
+			}
+		})
+	}
+}
+
+func TestRunLoadFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale load sweep")
+	}
+	if err := run([]string{"-fig", "load", "-bench-out", "none",
+		"-load-rps", "3,18", "-load-dur", "30s", "-load-flash", "0"}); err != nil {
+		t.Fatalf("fig load: %v", err)
+	}
+}
+
 func TestRunSimFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full small-scale simulation")

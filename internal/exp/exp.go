@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/load"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/sim"
@@ -172,6 +174,11 @@ type Result struct {
 	// are keyed by simulated time, so same-seed timelines are
 	// byte-identical — in sharded runs for any worker count.
 	Timeline *obs.Timeline `json:"timeline,omitempty"`
+	// Load carries the open-loop engine's accounting when Options.Load
+	// (or ShardedOptions.Load) installed an offered-load profile, or
+	// when a fault plan fired a flash crowd; nil otherwise, keeping the
+	// JSON of closed-loop runs unchanged.
+	Load *LoadInfo `json:"load,omitempty"`
 }
 
 // NormalizedPeerBandwidthPercentiles returns the paper's Fig. 16 triplet:
@@ -243,6 +250,18 @@ type runner struct {
 	// tl is the per-window telemetry recorder; nil unless
 	// Options.TimelineWindow is set, so untimed runs pay one comparison.
 	tl *timelineRec
+	// Open-loop load state (Options.Load / flash-crowd fault events);
+	// all nil/zero in closed-loop runs.
+	loadGen *load.Gen
+	// loadG is a dedicated RNG for arrival-side decisions (idle-node
+	// choice, session sampling) so installing a load profile never
+	// perturbs the main stream's draws.
+	loadG *dist.RNG
+	// flashChannel is the channel whose top video a flash arrival
+	// requests.
+	flashChannel int
+	// flashGens counts plan-driven flash generators still emitting.
+	flashGens int
 }
 
 // timelineRec bundles the runner's timeline series handles. The series
@@ -257,6 +276,11 @@ type timelineRec struct {
 	startup      *obs.Series
 	serverBytes  *obs.Series
 	breakerOpens *obs.Series
+	// offered counts open-loop arrivals per window; shed counts
+	// requests the bounded server queue turned away. Both stay flat
+	// zero in closed-loop, unbounded runs.
+	offered *obs.Series
+	shed    *obs.Series
 	// lastOpens is the previous breaker-open total, so each request
 	// files the delta into its own window.
 	lastOpens uint64
@@ -273,14 +297,24 @@ func newTimelineRec(window time.Duration) *timelineRec {
 		startup:      tl.Hist("startupDelayMs"),
 		serverBytes:  tl.Counter("serverBytes"),
 		breakerOpens: tl.Counter("breakerOpens"),
+		offered:      tl.Counter("offered"),
+		shed:         tl.Counter("serverShed"),
 	}
 }
 
 // record files one completed request into the window of its *issue* time
 // (reqAt): the request belongs to the load of the window that produced
 // it, even when a cross-cell barrier delays the reply.
-func (t *timelineRec) record(ctr *obs.Counters, res vod.RequestResult, reqAt, ready time.Duration, servedBytes int64) {
+func (t *timelineRec) record(ctr *obs.Counters, res vod.RequestResult, reqAt, ready time.Duration, servedBytes int64, shed bool) {
 	t.requests.Add(reqAt, 1)
+	if shed {
+		t.shed.Add(reqAt, 1)
+		if opens := ctr.BreakerOpens; opens != t.lastOpens {
+			t.breakerOpens.Add(reqAt, int64(opens-t.lastOpens))
+			t.lastOpens = opens
+		}
+		return
+	}
 	switch res.Source {
 	case vod.SourceCache:
 		t.cacheHits.Add(reqAt, 1)
@@ -330,12 +364,20 @@ func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol
 		r.tl = newTimelineRec(opts.TimelineWindow)
 		r.res.Timeline = r.tl.tl
 	}
-	for i := range tr.Users {
-		r.sessionsLeft[i] = cfg.Sessions
-		// Stagger initial arrivals across one mean off-period.
-		delay := time.Duration(dist.Exponential(r.g, float64(cfg.MeanOffTime)))
-		node := i
-		r.engine.At(delay, func(now time.Duration) { r.startSession(node, now) })
+	if opts.Load != nil {
+		// Open loop: arrivals come from the rate profile instead of
+		// per-user session chains (sessionsLeft stays 0 everywhere).
+		if err := r.installLoad(opts.Load); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range tr.Users {
+			r.sessionsLeft[i] = cfg.Sessions
+			// Stagger initial arrivals across one mean off-period.
+			delay := time.Duration(dist.Exponential(r.g, float64(cfg.MeanOffTime)))
+			node := i
+			r.engine.At(delay, func(now time.Duration) { r.startSession(node, now) })
+		}
 	}
 	if m, ok := proto.(Maintainer); ok {
 		r.engine.After(cfg.ProbeInterval, func(now time.Duration) { r.probeAll(m, now) })
@@ -344,6 +386,13 @@ func RunCtx(ctx context.Context, cfg Config, tr *trace.Trace, proto vod.Protocol
 		sched, err := opts.Faults.Compile(len(tr.Users))
 		if err != nil {
 			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		for _, ev := range sched.Events {
+			if ev.Kind == faults.KindFlashStart {
+				if err := r.checkFlashChannel(ev.Channel); err != nil {
+					return nil, fmt.Errorf("fault plan: %w", err)
+				}
+			}
 		}
 		if rp, ok := proto.(Repairer); ok {
 			r.repairer = rp
@@ -401,6 +450,7 @@ func newRunner(cfg Config, tr *trace.Trace, proto vod.Protocol, netCfg simnet.Co
 		crashed:       make([]bool, len(tr.Users)),
 		latencyFactor: 1,
 		mem:           obs.NewMemWatermark(watermarkEvery),
+		flashChannel:  -1,
 	}
 	if timed, ok := proto.(Timed); ok {
 		r.timed = timed
@@ -482,6 +532,7 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 	// would multiply the offered bitrate without scaling capacity.
 	chunkBytes := int64(float64(vod.ChunkBytes(video.Length, r.cfg.BitrateBps, r.cfg.ChunksPerVideo)) * r.cfg.WatchScale)
 	var ready time.Duration // when playback can start
+	var shed bool           // server admission queue turned the request away
 	switch res.Source {
 	case vod.SourceCache:
 		r.res.CacheHits.Inc()
@@ -491,12 +542,11 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 		if remotePeer {
 			ready = r.remote.deliverRemote(r, node, res, chunkBytes, now)
 		} else {
-			ready = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
+			ready, _ = r.deliver(node, simnet.NodeID(res.Provider), res, chunkBytes, now)
 		}
 		r.peerChunks[node] += int64(r.cfg.ChunksPerVideo)
 		r.ctr.ChunksPeer += uint64(r.cfg.ChunksPerVideo)
 	case vod.SourceServer:
-		r.res.ServerHits.Inc()
 		at := now
 		if r.outageUntil > now {
 			// The server is dark: the request retries until the
@@ -505,13 +555,28 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 			at = r.outageUntil
 			r.res.Resilience.ServerDeferred++
 		}
-		ready = r.deliver(node, simnet.ServerID, res, chunkBytes, at)
-		r.serverChunks[node] += int64(r.cfg.ChunksPerVideo)
-		r.ctr.ChunksServer += uint64(r.cfg.ChunksPerVideo)
+		ready, shed = r.deliver(node, simnet.ServerID, res, chunkBytes, at)
+		if shed {
+			// Queue full: the viewer gives up on this video. No bytes
+			// moved, so it counts neither as a server hit nor toward
+			// the node's chunk split or the startup-delay histogram.
+			r.ctr.ServerShed++
+			if r.res.Load != nil {
+				r.res.Load.ServerShed++
+			}
+		} else {
+			r.res.ServerHits.Inc()
+			r.ctr.ServerAdmitted++
+			if r.res.Load != nil {
+				r.res.Load.ServerAdmitted++
+			}
+			r.serverChunks[node] += int64(r.cfg.ChunksPerVideo)
+			r.ctr.ChunksServer += uint64(r.cfg.ChunksPerVideo)
+		}
 	default:
 		ready = now
 	}
-	if res.Source != vod.SourceCache {
+	if res.Source != vod.SourceCache && !shed {
 		r.res.StartupDelay.AddDuration(ready - reqAt)
 		if res.PrefixCached {
 			r.res.PrefixHits.Inc()
@@ -519,10 +584,25 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 	}
 	if r.tl != nil {
 		served := int64(0)
-		if res.Source == vod.SourceServer {
+		if res.Source == vod.SourceServer && !shed {
 			served = chunkBytes * int64(r.cfg.ChunksPerVideo)
+			if res.PrefixCached {
+				served -= chunkBytes
+			}
 		}
-		r.tl.record(r.ctr, res, reqAt, ready, served)
+		r.tl.record(r.ctr, res, reqAt, ready, served, shed)
+	}
+	if shed {
+		// The abandoned video still advances the session chain: the
+		// viewer moves on to the next one immediately.
+		r.engine.At(ready, func(at time.Duration) {
+			if !r.online[node] || r.gen[node] != gen {
+				return
+			}
+			r.tick(at)
+			r.watch(node, plan, idx+1, gen, at)
+		})
+		return
 	}
 
 	playback := time.Duration(float64(video.Length) * r.cfg.WatchScale)
@@ -544,34 +624,65 @@ func (r *runner) watchAccount(node int, plan vod.SessionPlan, idx int, gen uint6
 // overlay hops, then the video streams from the provider. Playback starts
 // once the playout buffer has arrived; the rest of the video streams during
 // playback (it still occupies the provider's uplink, so overload shows up
-// as queueing delay). A prefetched first chunk starts playback immediately.
-func (r *runner) deliver(node int, from simnet.NodeID, res vod.RequestResult, chunkBytes int64, now time.Duration) time.Duration {
+// as queueing delay). A prefetched first chunk starts playback immediately,
+// and only the remainder — total minus the local chunk — crosses the
+// provider's uplink. Server deliveries pass through the bounded admission
+// queue when the simnet configures one: shed=true means the queue was full,
+// no bytes moved and the viewer abandoned this video.
+func (r *runner) deliver(node int, from simnet.NodeID, res vod.RequestResult, chunkBytes int64, now time.Duration) (ready time.Duration, shed bool) {
 	to := simnet.NodeID(node)
 	// Query path: one one-way latency per overlay hop (server requests
 	// pay one round trip to the server).
 	lat := r.net.Latency(from, to)
-	if r.latencyFactor > 1 {
-		// A link burst is open: propagation is degraded everywhere.
+	if r.latencyFactor != 1 && r.latencyFactor > 0 {
+		// A link burst is open: propagation is degraded (factor > 1) or
+		// boosted (recovery factors in (0,1)) everywhere.
 		lat = time.Duration(float64(lat) * r.latencyFactor)
 	}
 	queryDelay := time.Duration(res.Hops+1) * lat
 	start := now + queryDelay
 
 	total := chunkBytes * int64(r.cfg.ChunksPerVideo)
-	buffer := int64(float64(r.cfg.BitrateBps) * r.cfg.PlayoutBuffer.Seconds() / 8 * r.cfg.WatchScale)
-	if buffer > total {
-		buffer = total
+	fetch := total
+	if res.PrefixCached {
+		// The leading chunk is already local: only the remainder is
+		// fetched over the provider's uplink.
+		fetch = total - chunkBytes
+		if fetch < 0 {
+			fetch = 0
+		}
 	}
-	bufferDone := r.net.Transfer(from, to, buffer, start)
-	if rest := total - buffer; rest > 0 {
-		r.net.Transfer(from, to, rest, start)
+	buffer := int64(float64(r.cfg.BitrateBps) * r.cfg.PlayoutBuffer.Seconds() / 8 * r.cfg.WatchScale)
+	if buffer > fetch {
+		buffer = fetch
+	}
+	if from == simnet.ServerID {
+		head := buffer
+		if res.PrefixCached {
+			// Playback starts from the local chunk; the whole fetch
+			// streams behind it.
+			head = 0
+		}
+		headDone, ok := r.net.ServerTransfer(to, head, fetch, start)
+		if !ok {
+			return now, true
+		}
+		if res.PrefixCached {
+			return now, false
+		}
+		return headDone, false
 	}
 	if res.PrefixCached {
-		// The leading chunk is already local: playback starts now;
-		// the network fetch above covers the remainder.
-		return now
+		if fetch > 0 {
+			r.net.Transfer(from, to, fetch, start)
+		}
+		return now, false
 	}
-	return bufferDone
+	bufferDone := r.net.Transfer(from, to, buffer, start)
+	if rest := fetch - buffer; rest > 0 {
+		r.net.Transfer(from, to, rest, start)
+	}
+	return bufferDone, false
 }
 
 // endSession closes a node's session chain. The usual caller is watch()
@@ -610,6 +721,12 @@ func (r *runner) probeAll(m Maintainer, now time.Duration) {
 	// sessions left will come back, so the probe loop must stay alive.
 	// (Without that clause a probe tick landing while the whole
 	// population is down ends maintenance for the rest of the run.)
+	// An open-loop arrival stream (or a still-running flash crowd) is
+	// future work too, even at an instant when nobody is online.
+	if (r.loadGen != nil && !r.loadGen.Done()) || r.flashGens > 0 {
+		r.engine.After(r.cfg.ProbeInterval, func(at time.Duration) { r.probeAll(m, at) })
+		return
+	}
 	rejoinable := r.rejoinsPending > 0
 	for node := range r.sessionsLeft {
 		if r.online[node] || (r.sessionsLeft[node] > 0 && (!r.crashed[node] || rejoinable)) {
@@ -629,6 +746,9 @@ func (r *runner) finalize() {
 	}
 	r.res.ServerBytes = r.net.ServerBytes()
 	r.res.PeerBytes = r.net.PeerBytes()
+	if r.res.Load != nil {
+		r.res.Load.QueuePeak = r.net.ServerQueuePeak()
+	}
 	r.res.SimulatedTime = r.engine.Now()
 	r.res.Obs = r.ctr.Snapshot()
 	r.res.Engine = r.engine.Stats()

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/load"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/vod"
@@ -23,6 +24,12 @@ type Options struct {
 	// keyed by simulated time into Result.Timeline. 0 disables the
 	// recorder and leaves the Result JSON unchanged.
 	TimelineWindow time.Duration
+	// Load, when non-nil, replaces the closed-loop session replay with
+	// open-loop arrivals from the rate profile (internal/load): the
+	// trace still supplies users, subscriptions and video popularity,
+	// but arrival times come from the profile and no longer wait for
+	// session completion. Result.Load carries the accounting.
+	Load *load.Profile
 }
 
 // Repairer is implemented by protocols with active self-repair: when
@@ -105,8 +112,11 @@ func (r *runner) scheduleFaults(sched *faults.Schedule) {
 		case faults.KindBurstStart:
 			r.engine.At(ev.At, func(time.Duration) {
 				r.windows++
+				// Compile normalized the factor: 1 for "unchanged",
+				// (0,1) for recovery windows, > 1 for degradation.
+				// All of them are honored here.
 				r.latencyFactor = ev.LatencyFactor
-				if r.latencyFactor < 1 {
+				if r.latencyFactor <= 0 {
 					r.latencyFactor = 1
 				}
 				r.burstLossP = ev.LossP
@@ -147,6 +157,13 @@ func (r *runner) scheduleFaults(sched *faults.Schedule) {
 				r.windows--
 				r.chaosLossP = 0
 			})
+		case faults.KindFlashStart:
+			r.engine.At(ev.At, func(now time.Duration) {
+				r.windows++
+				r.startPlanFlash(ev, now)
+			})
+		case faults.KindFlashEnd:
+			r.engine.At(ev.At, func(time.Duration) { r.windows-- })
 		}
 	}
 }

@@ -1,0 +1,196 @@
+// Open-loop load engine: arrivals come from a rate profile
+// (internal/load) instead of per-user closed-loop session chains, so
+// the offered rate no longer tracks the system's service rate and
+// overload — server queueing, shedding, tail startup delay — becomes
+// measurable. Each arrival claims an idle node, runs one session, and
+// the stream self-clocks: every arrival event schedules the next one,
+// so the event queue never holds more than one pending arrival.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/load"
+	"github.com/socialtube/socialtube/internal/trace"
+	"github.com/socialtube/socialtube/internal/vod"
+)
+
+// LoadInfo aggregates the open-loop engine's arrival and admission
+// accounting. In sharded runs the per-cell blocks merge in cell order
+// (sums, max for the queue peak), so the merged block is byte-identical
+// for any worker count.
+type LoadInfo struct {
+	// Offered counts profile arrivals; FlashOffered the subset that
+	// belonged to a flash crowd.
+	Offered      int64 `json:"offered"`
+	FlashOffered int64 `json:"flashOffered"`
+	// Busy counts arrivals dropped because every node was already
+	// mid-session — the population bound, not the server's.
+	Busy int64 `json:"busy"`
+	// ServerAdmitted / ServerShed mirror the obs counters: requests
+	// the bounded admission queue served vs turned away.
+	ServerAdmitted int64 `json:"serverAdmitted"`
+	ServerShed     int64 `json:"serverShed"`
+	// QueuePeak is the admission queue's high-water occupancy.
+	QueuePeak int `json:"queuePeak"`
+}
+
+// merge folds another cell's accounting into this one.
+func (l *LoadInfo) merge(o *LoadInfo) {
+	l.Offered += o.Offered
+	l.FlashOffered += o.FlashOffered
+	l.Busy += o.Busy
+	l.ServerAdmitted += o.ServerAdmitted
+	l.ServerShed += o.ServerShed
+	if o.QueuePeak > l.QueuePeak {
+		l.QueuePeak = o.QueuePeak
+	}
+}
+
+// installLoad switches the runner to open-loop arrivals from the
+// profile. Callers must not have seeded closed-loop sessions.
+func (r *runner) installLoad(p *load.Profile) error {
+	gen, err := load.NewGen(p)
+	if err != nil {
+		return err
+	}
+	if f := p.Flash; f != nil {
+		if err := r.checkFlashChannel(f.Channel); err != nil {
+			return err
+		}
+		r.flashChannel = f.Channel
+	}
+	r.loadGen = gen
+	r.ensureLoadState()
+	r.scheduleNextArrival()
+	return nil
+}
+
+// ensureLoadState lazily builds the arrival-side RNG and accounting
+// block shared by profile arrivals and plan-driven flash crowds.
+func (r *runner) ensureLoadState() {
+	if r.loadG == nil {
+		// A dedicated stream: arrival decisions must not perturb the
+		// main RNG's draws (closed-loop runs with a flash-crowd plan
+		// keep their session schedule byte-identical).
+		r.loadG = dist.NewRNG(r.cfg.Seed*7919 + 0x10ad)
+	}
+	if r.res.Load == nil {
+		r.res.Load = &LoadInfo{}
+	}
+}
+
+// checkFlashChannel validates a flash-crowd target against the trace.
+func (r *runner) checkFlashChannel(ch int) error {
+	if ch < 0 || ch >= len(r.tr.Channels) {
+		return fmt.Errorf("%w: flash channel %d outside [0, %d)", dist.ErrBadParameter, ch, len(r.tr.Channels))
+	}
+	if len(r.tr.Channels[ch].Videos) == 0 {
+		return fmt.Errorf("%w: flash channel %d has no videos", dist.ErrBadParameter, ch)
+	}
+	return nil
+}
+
+// scheduleNextArrival pulls the next profile arrival and schedules it;
+// the arrival event schedules its successor, bounding queue memory.
+func (r *runner) scheduleNextArrival() {
+	a, ok := r.loadGen.Next()
+	if !ok {
+		return
+	}
+	r.engine.At(a.At, func(now time.Duration) {
+		r.scheduleNextArrival()
+		r.applyArrival(a.Flash, now)
+	})
+}
+
+// applyArrival turns one offered arrival into a session on an idle
+// node: flash arrivals request the viral video, others sample a
+// regular session plan for the claimed user.
+func (r *runner) applyArrival(flash bool, now time.Duration) {
+	info := r.res.Load
+	info.Offered++
+	if flash {
+		info.FlashOffered++
+	}
+	if r.tl != nil {
+		r.tl.offered.Add(now, 1)
+	}
+	node, ok := r.pickIdleNode()
+	if !ok {
+		info.Busy++
+		return
+	}
+	r.tick(now)
+	r.online[node] = true
+	r.gen[node]++
+	r.proto.Join(node)
+	var plan vod.SessionPlan
+	if flash {
+		plan = vod.SessionPlan{Videos: []trace.VideoID{r.flashVideo()}}
+	} else {
+		user := &r.tr.Users[node]
+		plan = r.picker.PlanSession(r.loadG, user, r.cfg.VideosPerSession, r.cfg.MeanOffTime)
+	}
+	r.watch(node, plan, 0, r.gen[node], now)
+}
+
+// pickIdleNode claims a node that is neither online nor crashed,
+// scanning from a seeded random start so claims spread uniformly.
+func (r *runner) pickIdleNode() (int, bool) {
+	n := len(r.online)
+	start := r.loadG.Intn(n)
+	for i := 0; i < n; i++ {
+		node := start + i
+		if node >= n {
+			node -= n
+		}
+		if !r.online[node] && !r.crashed[node] {
+			return node, true
+		}
+	}
+	return 0, false
+}
+
+// flashVideo is the viral video: the flash channel's top-ranked one.
+func (r *runner) flashVideo() trace.VideoID {
+	return r.tr.Channels[r.flashChannel].Videos[0]
+}
+
+// startPlanFlash runs a plan-driven flash crowd (faults.KindFlashStart):
+// a steady arrival stream at ev.RPS against ev.Channel's viral video
+// over the event's window, layered on top of whatever workload —
+// closed-loop session replay or an open-loop profile — is running.
+func (r *runner) startPlanFlash(ev faults.Event, now time.Duration) {
+	prof := &load.Profile{
+		Mode:     load.Steady,
+		Seed:     r.cfg.Seed*104_729 + int64(ev.Channel+1),
+		RPS:      ev.RPS,
+		Duration: ev.Until - ev.At,
+	}
+	gen, err := load.NewGen(prof)
+	if err != nil {
+		// The plan validated RPS and the window at compile time;
+		// reaching this is a programming error.
+		panic(fmt.Sprintf("flash profile from compiled plan invalid: %v", err))
+	}
+	r.ensureLoadState()
+	r.flashChannel = ev.Channel
+	r.flashGens++
+	var next func()
+	next = func() {
+		a, ok := gen.Next()
+		if !ok {
+			r.flashGens--
+			return
+		}
+		r.engine.At(now+a.At, func(at time.Duration) {
+			next()
+			r.applyArrival(true, at)
+		})
+	}
+	next()
+}

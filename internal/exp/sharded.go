@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/socialtube/socialtube/internal/dist"
+	"github.com/socialtube/socialtube/internal/load"
 	"github.com/socialtube/socialtube/internal/metrics"
 	"github.com/socialtube/socialtube/internal/obs"
 	"github.com/socialtube/socialtube/internal/sim"
@@ -59,6 +60,13 @@ type ShardedOptions struct {
 	// Result.Timeline. Windows are keyed by simulated time, so the merged
 	// timeline is byte-identical for any Workers value.
 	TimelineWindow time.Duration
+	// Load, when non-nil, replaces every cell's closed-loop session
+	// replay with open-loop arrivals: the profile is split per capita
+	// across the community cells (load.Profile.Split), each cell
+	// drawing its own deterministic stream, and a flash crowd fires
+	// only in the cell that homes the viral channel. The merged
+	// Result.Load is byte-identical for any Workers value.
+	Load *load.Profile
 }
 
 // DefaultShardedEpoch is the default barrier interval.
@@ -113,6 +121,20 @@ func RunShardedCtx(ctx context.Context, cfg Config, tr *trace.Trace, factory Cel
 	part, err := trace.PartitionByCategory(tr)
 	if err != nil {
 		return nil, err
+	}
+	flashCell := -1
+	if opts.Load != nil {
+		if err := opts.Load.Validate(); err != nil {
+			return nil, err
+		}
+		if f := opts.Load.Flash; f != nil {
+			if f.Channel >= len(tr.Channels) || len(tr.Channels[f.Channel].Videos) == 0 {
+				return nil, fmt.Errorf("%w: flash channel %d missing or empty in trace", dist.ErrBadParameter, f.Channel)
+			}
+			// The flash fires in the community that homes the viral
+			// channel (its dominant category).
+			flashCell = int(tr.Channels[f.Channel].Primary)
+		}
 	}
 	epoch := opts.Epoch
 	if epoch == 0 {
@@ -189,11 +211,23 @@ func RunShardedCtx(ctx context.Context, cfg Config, tr *trace.Trace, factory Cel
 			router.remotes[c] = rs
 		}
 		router.runners[c] = r
-		for i := range cellTr.Users {
-			r.sessionsLeft[i] = cellCfg.Sessions
-			delay := time.Duration(dist.Exponential(r.g, float64(cellCfg.MeanOffTime)))
-			node := i
-			r.engine.At(delay, func(now time.Duration) { r.startSession(node, now) })
+		if opts.Load != nil {
+			cellProf := opts.Load.Split(c, len(cellTr.Users), len(tr.Users), c == flashCell)
+			if cellProf.Flash != nil {
+				// Channel ids are global across cells, so the flash
+				// target resolves in the cell's shared catalog.
+				cellProf.Flash.Channel = opts.Load.Flash.Channel
+			}
+			if err := r.installLoad(cellProf); err != nil {
+				return nil, fmt.Errorf("cell %d: %w", c, err)
+			}
+		} else {
+			for i := range cellTr.Users {
+				r.sessionsLeft[i] = cellCfg.Sessions
+				delay := time.Duration(dist.Exponential(r.g, float64(cellCfg.MeanOffTime)))
+				node := i
+				r.engine.At(delay, func(now time.Duration) { r.startSession(node, now) })
+			}
 		}
 		if m, ok := proto.(Maintainer); ok {
 			r.engine.After(cellCfg.ProbeInterval, func(now time.Duration) { r.probeAll(m, now) })
@@ -254,6 +288,12 @@ func mergeSharded(cfg Config, tr *trace.Trace, se *sim.ShardedEngine, router *re
 		merged.PeerBytes += res.PeerBytes
 		merged.Requests += res.Requests
 		merged.Obs.Merge(res.Obs)
+		if res.Load != nil {
+			if merged.Load == nil {
+				merged.Load = &LoadInfo{}
+			}
+			merged.Load.merge(res.Load)
+		}
 	}
 	// Cross-community providers are peers too; their bytes never crossed
 	// a cell simnet, so they are added here (RemoteBytes is the subset).
@@ -337,7 +377,15 @@ func (rt *remoteRouter) forward(r *runner, node int, plan vod.SessionPlan, idx i
 // approximation DESIGN.md §12 spells out.
 func (rt *remoteRouter) deliverRemote(r *runner, node int, res vod.RequestResult, chunkBytes int64, now time.Duration) time.Duration {
 	total := chunkBytes * int64(r.cfg.ChunksPerVideo)
-	rt.bytes[r.cell] += total
+	fetch := total
+	if res.PrefixCached {
+		// The leading chunk is already local — only the remainder
+		// crosses the remote provider's uplink.
+		if fetch = total - chunkBytes; fetch < 0 {
+			fetch = 0
+		}
+	}
+	rt.bytes[r.cell] += fetch
 	if res.PrefixCached {
 		return now
 	}

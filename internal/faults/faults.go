@@ -48,8 +48,10 @@ type ChurnWave struct {
 type LinkBurst struct {
 	At       time.Duration
 	Duration time.Duration
-	// LatencyFactor scales link latency during the burst (≥1; values
-	// below 1 are treated as 1).
+	// LatencyFactor scales link latency during the burst. Factors > 1
+	// degrade propagation; factors in (0,1) model a recovery/boost
+	// window. 0 means unchanged (treated as 1); negatives are
+	// rejected at Validate.
 	LatencyFactor float64
 	// LossP is the probability a located provider is unreachable
 	// through the degraded links, forcing server fallback.
@@ -108,6 +110,21 @@ type ChaosBurst struct {
 	StallFor time.Duration
 }
 
+// FlashCrowd slams one channel's most popular video with a sudden
+// extra request stream for a window — the "viral video" stressor. The
+// experiment engine turns the window into a seeded open-loop arrival
+// stream at RPS requests per second, all for the channel's top-ranked
+// video, layered on top of the run's normal workload. The emulation,
+// which has no per-channel request synthesizer, ignores flash events.
+type FlashCrowd struct {
+	At       time.Duration
+	Duration time.Duration
+	// Channel is the channel whose top video goes viral.
+	Channel int
+	// RPS is the flash stream's request rate (simulated seconds).
+	RPS float64
+}
+
 // Plan is a declarative, seeded description of every fault a run
 // suffers. The zero value is a healthy run.
 type Plan struct {
@@ -126,6 +143,7 @@ type Plan struct {
 	Outages     []Outage
 	Brownouts   []Brownout
 	Chaos       []ChaosBurst
+	Flash       []FlashCrowd
 }
 
 // Kind identifies what a compiled fault event does.
@@ -153,6 +171,10 @@ const (
 	// window (corrupt/truncate/duplicate/stall).
 	KindChaosStart
 	KindChaosEnd
+	// KindFlashStart / KindFlashEnd bracket a viral-video flash crowd
+	// (an extra open-loop request stream against one channel).
+	KindFlashStart
+	KindFlashEnd
 )
 
 func (k Kind) String() string {
@@ -179,6 +201,10 @@ func (k Kind) String() string {
 		return "chaos-start"
 	case KindChaosEnd:
 		return "chaos-end"
+	case KindFlashStart:
+		return "flash-start"
+	case KindFlashEnd:
+		return "flash-end"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -215,6 +241,11 @@ type Event struct {
 	DuplicateP float64       `json:"duplicateP,omitempty"`
 	StallP     float64       `json:"stallP,omitempty"`
 	StallFor   time.Duration `json:"stallFor,omitempty"`
+	// Channel and RPS carry a flash crowd's target and request rate
+	// (both on the start and end events). omitempty keeps archived
+	// flashless schedules byte-identical.
+	Channel int     `json:"channel,omitempty"`
+	RPS     float64 `json:"rps,omitempty"`
 }
 
 // Schedule is a compiled plan: events sorted by At (insertion order
@@ -297,6 +328,16 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: chaos burst %d StallFor %v negative", i, c.StallFor)
 		}
 	}
+	for i, f := range p.Flash {
+		switch {
+		case f.At < 0 || f.Duration <= 0:
+			return fmt.Errorf("faults: flash crowd %d needs At ≥ 0 and Duration > 0", i)
+		case f.Channel < 0:
+			return fmt.Errorf("faults: flash crowd %d Channel %d negative", i, f.Channel)
+		case f.RPS <= 0:
+			return fmt.Errorf("faults: flash crowd %d RPS %g must be positive", i, f.RPS)
+		}
+	}
 	return nil
 }
 
@@ -351,7 +392,9 @@ func (p *Plan) Compile(nodes int) (*Schedule, error) {
 	}
 	for _, b := range p.Bursts {
 		f := b.LatencyFactor
-		if f < 1 {
+		if f == 0 {
+			// Unset means latency unchanged; factors in (0,1) are
+			// preserved — they model a recovery/boost window.
 			f = 1
 		}
 		end := b.At + b.Duration
@@ -378,6 +421,12 @@ func (p *Plan) Compile(nodes int) (*Schedule, error) {
 				CorruptP: c.CorruptP, TruncateP: c.TruncateP,
 				DuplicateP: c.DuplicateP, StallP: c.StallP, StallFor: c.StallFor},
 			Event{At: end, Kind: KindChaosEnd, Node: -1})
+	}
+	for _, f := range p.Flash {
+		end := f.At + f.Duration
+		evs = append(evs,
+			Event{At: f.At, Kind: KindFlashStart, Node: -1, Until: end, Channel: f.Channel, RPS: f.RPS},
+			Event{At: end, Kind: KindFlashEnd, Node: -1, Channel: f.Channel})
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return &Schedule{Events: evs, Crashes: crashes}, nil
@@ -454,6 +503,18 @@ func ReplicaOutagePlan(seed int64, unit time.Duration, shard, replica int) *Plan
 		Seed: seed,
 		Outages: []Outage{
 			{At: unit, Duration: 2 * unit, Shard: shard, Replica: replica},
+		},
+	}
+}
+
+// FlashPlan is the viral-video stressor: the channel's top video draws
+// an extra rps-requests-per-second open-loop stream for two units
+// starting at one unit, with no other faults.
+func FlashPlan(seed int64, unit time.Duration, channel int, rps float64) *Plan {
+	return &Plan{
+		Seed: seed,
+		Flash: []FlashCrowd{
+			{At: unit, Duration: 2 * unit, Channel: channel, RPS: rps},
 		},
 	}
 }

@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/socialtube/socialtube/internal/load"
+)
+
+// TestLoadSweepDeterminism pins the figure's reproducibility: two
+// same-seed sweeps (flash crowd included) must render identical tables
+// and byte-identical canonical points.
+func TestLoadSweepDeterminism(t *testing.T) {
+	sw := SmokeLoadSweep()
+	sw.Flash = &load.FlashCrowd{Channel: 0, At: sw.Duration / 4, For: sw.Duration / 4}
+	a, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same-seed sweeps rendered different tables:\n%s\nvs\n%s", a, b)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		ja, _ := json.Marshal(a.Points[i].Canonical())
+		jb, _ := json.Marshal(b.Points[i].Canonical())
+		if string(ja) != string(jb) {
+			t.Fatalf("point %d differs across same-seed sweeps:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+	var flash int64
+	for _, p := range a.Points {
+		flash += p.FlashOffered
+	}
+	if flash == 0 {
+		t.Fatal("flash crowd configured but no flash arrivals offered")
+	}
+}
+
+// TestLoadSweepShape pins the overload arc's structural invariants over
+// the smoke sweep: every (rps, protocol) cell present in order, offered
+// arrivals conserved into busy drops plus protocol requests, the bounded
+// queue honored, and the top column actually saturating (sheds on every
+// protocol) while the bottom column stays clean.
+func TestLoadSweepShape(t *testing.T) {
+	sw := SmokeLoadSweep()
+	fig, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sw.RPS) * len(protoOrder); len(fig.Points) != want {
+		t.Fatalf("%d points, want %d", len(fig.Points), want)
+	}
+	for i, p := range fig.Points {
+		wantRPS := sw.RPS[i/len(protoOrder)]
+		wantProto := protoOrder[i%len(protoOrder)]
+		if p.RPS != wantRPS || p.Protocol != wantProto {
+			t.Fatalf("point %d is (%g, %s), want (%g, %s)", i, p.RPS, p.Protocol, wantRPS, wantProto)
+		}
+		if p.Offered == 0 {
+			t.Errorf("%g %s: no offered arrivals", p.RPS, p.Protocol)
+		}
+		if p.Offered != p.Busy+p.Requests {
+			t.Errorf("%g %s: offered %d != busy %d + requests %d",
+				p.RPS, p.Protocol, p.Offered, p.Busy, p.Requests)
+		}
+		if p.QueuePeak > sw.QueueCap {
+			t.Errorf("%g %s: queue peak %d exceeds cap %d", p.RPS, p.Protocol, p.QueuePeak, sw.QueueCap)
+		}
+		if p.ServerShed > 0 && p.ShedRate <= 0 {
+			t.Errorf("%g %s: shed %d but shed rate %g", p.RPS, p.Protocol, p.ServerShed, p.ShedRate)
+		}
+		low, high := i/len(protoOrder) == 0, i/len(protoOrder) == len(sw.RPS)-1
+		if low && p.ServerShed != 0 {
+			t.Errorf("%g %s: bottom column shed %d requests", p.RPS, p.Protocol, p.ServerShed)
+		}
+		if high && p.ServerShed == 0 {
+			t.Errorf("%g %s: top column shed nothing — sweep no longer saturates", p.RPS, p.Protocol)
+		}
+	}
+}
+
+// TestLoadSweepShardedWorkerInvariance pins the sharded engine's
+// layout-independence on the load figure: 1 vs 4 workers over the same
+// seed must produce byte-identical canonical points.
+func TestLoadSweepShardedWorkerInvariance(t *testing.T) {
+	sw := SmokeLoadSweep()
+	sw.RPS = sw.RPS[len(sw.RPS)-1:] // the saturating column exercises shed merging
+	sw.Shards = 1
+	a, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Shards = 4
+	b, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(protoOrder) || len(b.Points) != len(a.Points) {
+		t.Fatalf("point counts: %d and %d, want %d", len(a.Points), len(b.Points), len(protoOrder))
+	}
+	for i := range a.Points {
+		ja, _ := json.Marshal(a.Points[i].Canonical())
+		jb, _ := json.Marshal(b.Points[i].Canonical())
+		if string(ja) != string(jb) {
+			t.Fatalf("point %d differs between 1 and 4 workers:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+}
+
+// TestAppendLoadPoints pins the BENCH_load.json convention: appending
+// twice grows the JSONL log, every line parses back into a LoadPoint, and
+// the canonical form round-trips byte-identically.
+func TestAppendLoadPoints(t *testing.T) {
+	sw := SmokeLoadSweep()
+	sw.RPS = sw.RPS[:1]
+	fig, err := RunLoad(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := AppendLoadPoints(path, fig.Points); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendLoadPoints(path, fig.Points); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []LoadPoint
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var p LoadPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d: %v", len(got), err)
+		}
+		got = append(got, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(fig.Points); len(got) != want {
+		t.Fatalf("%d lines, want %d", len(got), want)
+	}
+	for i, p := range got {
+		ja, _ := json.Marshal(p.Canonical())
+		jb, _ := json.Marshal(fig.Points[i%len(fig.Points)].Canonical())
+		if string(ja) != string(jb) {
+			t.Fatalf("line %d did not round-trip:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+}

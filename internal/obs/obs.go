@@ -111,6 +111,11 @@ type Counters struct {
 	ChaosTruncated  uint64 `json:"chaosTruncated"`
 	ChaosDuplicated uint64 `json:"chaosDuplicated"`
 	ChaosStalled    uint64 `json:"chaosStalled"`
+	// Bounded server admission queue (open-loop load engine):
+	// server-sourced requests admitted to the queue, and requests shed
+	// on arrival with the queue full.
+	ServerAdmitted uint64 `json:"serverAdmitted"`
+	ServerShed     uint64 `json:"serverShed"`
 }
 
 // Merge adds every field of o into c (plain addition, not atomic). Used by

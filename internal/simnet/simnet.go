@@ -36,6 +36,14 @@ type Config struct {
 	// any two endpoints.
 	MinLatency time.Duration
 	MaxLatency time.Duration
+	// ServerQueueCap bounds the server's admission queue: the maximum
+	// number of admitted requests that may still be draining through
+	// the server uplink when a new request arrives. Arrivals beyond
+	// the bound are shed (see ServerTransfer). 0 keeps the legacy
+	// unbounded FIFO, whose queueing delay grows without limit under
+	// overload. The queue's service rate is the (brownout-scaled)
+	// server uplink, so SetServerUplinkFactor also slows draining.
+	ServerQueueCap int
 }
 
 // DefaultConfig returns the Table I network parameters.
@@ -58,6 +66,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: peerUplinkBps=%d", dist.ErrBadParameter, c.PeerUplinkBps)
 	case c.MinLatency <= 0 || c.MaxLatency < c.MinLatency:
 		return fmt.Errorf("%w: latency range [%v, %v]", dist.ErrBadParameter, c.MinLatency, c.MaxLatency)
+	case c.ServerQueueCap < 0:
+		return fmt.Errorf("%w: serverQueueCap=%d", dist.ErrBadParameter, c.ServerQueueCap)
 	}
 	return nil
 }
@@ -70,9 +80,14 @@ type Network struct {
 	// serverFactor throttles the server uplink during a brownout
 	// window (0 or 1 = full capacity). See SetServerUplinkFactor.
 	serverFactor float64
+	// serverQ holds the uplink-free times of admitted server requests,
+	// in ascending order, when ServerQueueCap > 0.
+	serverQ []time.Duration
 	// Stats.
 	serverBytes int64
 	peerBytes   int64
+	serverShed  int64
+	queuePeak   int
 }
 
 // New builds a network model from cfg.
@@ -153,6 +168,56 @@ func (n *Network) Transfer(from, to NodeID, bytes int64, now time.Duration) time
 	return done + n.Latency(from, to)
 }
 
+// drainServerQ drops admitted requests whose transfers have fully
+// drained through the server uplink by now.
+func (n *Network) drainServerQ(now time.Duration) {
+	i := 0
+	for i < len(n.serverQ) && n.serverQ[i] <= now {
+		i++
+	}
+	if i > 0 {
+		n.serverQ = append(n.serverQ[:0], n.serverQ[i:]...)
+	}
+}
+
+// ServerTransfer delivers one server-served video request through the
+// bounded admission queue: head bytes fill the playout buffer (the
+// returned time is when they land at to) and the remaining
+// total − head bytes stream behind them on the same FIFO reservation.
+// With ServerQueueCap > 0, a request arriving while the queue already
+// holds cap draining requests is shed — no bytes move and ok is
+// false. With cap 0 admission always succeeds and the call is
+// byte-identical to two legacy Transfer calls (head, then remainder).
+func (n *Network) ServerTransfer(to NodeID, head, total int64, now time.Duration) (headDone time.Duration, ok bool) {
+	if total < 0 {
+		total = 0
+	}
+	if head > total {
+		head = total
+	}
+	if qcap := n.cfg.ServerQueueCap; qcap > 0 {
+		n.drainServerQ(now)
+		if len(n.serverQ) >= qcap {
+			n.serverShed++
+			return 0, false
+		}
+	}
+	headDone = n.Transfer(ServerID, to, head, now)
+	if rest := total - head; rest > 0 {
+		n.Transfer(ServerID, to, rest, now)
+	}
+	if n.cfg.ServerQueueCap > 0 {
+		// The request occupies its slot until the uplink has pushed
+		// its last byte; busyUntil is monotonic, so the queue stays
+		// sorted by completion time.
+		n.serverQ = append(n.serverQ, n.busyUntil[ServerID])
+		if len(n.serverQ) > n.queuePeak {
+			n.queuePeak = len(n.serverQ)
+		}
+	}
+	return headDone, true
+}
+
 // QueueDelay returns how long a transfer from the endpoint would wait before
 // starting at virtual time now.
 func (n *Network) QueueDelay(id NodeID, now time.Duration) time.Duration {
@@ -168,9 +233,27 @@ func (n *Network) ServerBytes() int64 { return n.serverBytes }
 // PeerBytes returns the total bytes served by peers so far.
 func (n *Network) PeerBytes() int64 { return n.peerBytes }
 
+// ServerShed returns how many requests the bounded admission queue has
+// turned away so far.
+func (n *Network) ServerShed() int64 { return n.serverShed }
+
+// ServerQueuePeak returns the high-water occupancy of the bounded
+// admission queue (0 when unbounded).
+func (n *Network) ServerQueuePeak() int { return n.queuePeak }
+
+// ServerQueueLen returns the admission-queue occupancy at virtual time
+// now (0 when unbounded).
+func (n *Network) ServerQueueLen(now time.Duration) int {
+	n.drainServerQ(now)
+	return len(n.serverQ)
+}
+
 // Reset clears occupancy and statistics, keeping the latency model.
 func (n *Network) Reset() {
 	n.busyUntil = make(map[NodeID]time.Duration)
 	n.serverBytes = 0
 	n.peerBytes = 0
+	n.serverQ = nil
+	n.serverShed = 0
+	n.queuePeak = 0
 }

@@ -186,3 +186,94 @@ func TestTransferNeverTooFastProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestServerQueueNeverExceedsCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServerUplinkBps = 1_000_000 // ~8 s per MB: easy to saturate
+	cfg.ServerQueueCap = 4
+	n := mustNew(t, cfg)
+	var admitted, shed int64
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		if _, ok := n.ServerTransfer(NodeID(i%7), 64_000, 1_000_000, now); ok {
+			admitted++
+		} else {
+			shed++
+		}
+		if l := n.ServerQueueLen(now); l > cfg.ServerQueueCap {
+			t.Fatalf("queue length %d exceeds cap %d at arrival %d", l, cfg.ServerQueueCap, i)
+		}
+		now += 100 * time.Millisecond
+	}
+	if n.ServerQueuePeak() > cfg.ServerQueueCap {
+		t.Fatalf("queue peak %d exceeds cap %d", n.ServerQueuePeak(), cfg.ServerQueueCap)
+	}
+	if shed == 0 {
+		t.Fatal("saturating arrival pattern shed nothing")
+	}
+	if n.ServerShed() != shed {
+		t.Fatalf("ServerShed %d, counted %d", n.ServerShed(), shed)
+	}
+	if admitted+shed != 200 {
+		t.Fatalf("admitted %d + shed %d != offered 200", admitted, shed)
+	}
+	// Shed requests must not move bytes.
+	if got, want := n.ServerBytes(), admitted*1_000_000; got != want {
+		t.Fatalf("server bytes %d, want %d (admitted requests only)", got, want)
+	}
+}
+
+func TestServerQueueDrainsAndReadmits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServerUplinkBps = 8_000_000 // 1 MB/s
+	cfg.ServerQueueCap = 2
+	n := mustNew(t, cfg)
+	// Two 1 MB requests fill the queue; a third at t=0 is shed.
+	if _, ok := n.ServerTransfer(0, 0, 1_000_000, 0); !ok {
+		t.Fatal("first request shed")
+	}
+	if _, ok := n.ServerTransfer(1, 0, 1_000_000, 0); !ok {
+		t.Fatal("second request shed")
+	}
+	if _, ok := n.ServerTransfer(2, 0, 1_000_000, 0); ok {
+		t.Fatal("third request admitted with the queue full")
+	}
+	// By t=1.5s the first request (1 s of service) has drained.
+	if _, ok := n.ServerTransfer(2, 0, 1_000_000, 1500*time.Millisecond); !ok {
+		t.Fatal("request shed after the queue drained a slot")
+	}
+	if n.ServerShed() != 1 {
+		t.Fatalf("shed count %d, want 1", n.ServerShed())
+	}
+}
+
+func TestServerTransferUnboundedMatchesLegacyTransfers(t *testing.T) {
+	cfg := DefaultConfig()
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	const head, total = 40_000, 400_000
+	now := 3 * time.Second
+	gotHead, ok := a.ServerTransfer(5, head, total, now)
+	if !ok {
+		t.Fatal("unbounded admission refused")
+	}
+	wantHead := b.Transfer(ServerID, 5, head, now)
+	b.Transfer(ServerID, 5, total-head, now)
+	if gotHead != wantHead {
+		t.Fatalf("head completion %v, legacy %v", gotHead, wantHead)
+	}
+	if a.ServerBytes() != b.ServerBytes() {
+		t.Fatalf("bytes %d, legacy %d", a.ServerBytes(), b.ServerBytes())
+	}
+	if a.QueueDelay(ServerID, now) != b.QueueDelay(ServerID, now) {
+		t.Fatal("uplink occupancy diverged from legacy transfers")
+	}
+}
+
+func TestConfigRejectsNegativeQueueCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServerQueueCap = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected config error for negative queue cap")
+	}
+}

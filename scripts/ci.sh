@@ -83,6 +83,29 @@ test -s "$tracetmp/BENCH_failover.json" || { echo "sharded-outage figure emitted
 grep -o '"failed":[0-9]*' "$tracetmp/BENCH_failover.json" | grep -v '"failed":0' \
 	&& { echo "sharded-outage run lost requests with a replicated shard down"; exit 1; } || true
 
+echo "== open-loop load path (race, explicitly) =="
+# The thinning sampler, the bounded server admission queue, the
+# self-clocking arrival chain (shed conservation, worker invariance) and
+# the load figure's determinism, under the race detector.
+go test -race -count=1 -run 'Steady|Ramp|Sweep|Burst|Diurnal|FlashCrowd|Split|ServerQueue|OpenLoop|Deliver|LoadSweep|FlashPlan' \
+	./internal/load/ ./internal/simnet/ ./internal/exp/ ./internal/figures/
+
+echo "== load figure smoke (tiny sweep, canonical-stable points) =="
+# Same tiny sweep twice: every emitted line must parse as a point, and
+# the two runs must agree byte-for-byte once the env block (wall time,
+# workers) is stripped — the canonical form the determinism tests pin.
+go run ./cmd/socialtube-sim -fig load -load-rps 3,18 -load-dur 20s \
+	-bench-out "$tracetmp/BENCH_load_a.json" > /dev/null
+go run ./cmd/socialtube-sim -fig load -load-rps 3,18 -load-dur 20s \
+	-bench-out "$tracetmp/BENCH_load_b.json" > /dev/null
+test -s "$tracetmp/BENCH_load_a.json" || { echo "load figure emitted no bench points"; exit 1; }
+grep -v '"protocol":"' "$tracetmp/BENCH_load_a.json" \
+	&& { echo "load bench file contains non-point lines"; exit 1; } || true
+sed 's/,"env":{[^}]*}//' "$tracetmp/BENCH_load_a.json" > "$tracetmp/load_a.canon"
+sed 's/,"env":{[^}]*}//' "$tracetmp/BENCH_load_b.json" > "$tracetmp/load_b.canon"
+cmp -s "$tracetmp/load_a.canon" "$tracetmp/load_b.canon" \
+	|| { echo "load bench points not canonical-stable across reruns"; exit 1; }
+
 echo "== timeline figure smoke =="
 go run ./cmd/socialtube-sim -fig timeline -bench-out "$tracetmp/BENCH_timeline.json" > /dev/null
 test -s "$tracetmp/BENCH_timeline.json" || { echo "timeline figure emitted no bench points"; exit 1; }
