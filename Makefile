@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m load-demo emu faults-demo failover-demo outage-shard-demo fuzz-smoke trace-demo timeline-demo cover clean
+.PHONY: all build test race bench bench-short ci figures figures-paper scale-demo scale-paper scale-10m load-demo emu faults-demo failover-demo outage-shard-demo takeover-demo fuzz-smoke trace-demo timeline-demo cover clean
 
 all: build test
 
@@ -81,6 +81,16 @@ failover-demo:
 # in BENCH_failover.json. Seconds.
 outage-shard-demo:
 	$(GO) run ./cmd/socialtube-emu -fig outage-shard -bench-out BENCH_failover.json
+
+# Kill a WHOLE shard (both replicas) of the 2x2 plane mid-run, then
+# separately split the cluster into two sides: gossip liveness declares
+# the dead shard, peers re-rendezvous its channels onto the survivors
+# and re-register their home channels, and the partition heals with zero
+# lost registrations (hinted handoff + LWW merge). Every variant must
+# lose zero requests. Deterministic points land in BENCH_failover.json.
+# Seconds.
+takeover-demo:
+	$(GO) run ./cmd/socialtube-emu -fig takeover -bench-out BENCH_failover.json
 
 # Short fuzz passes over the wire layer: the frame decoder and the peer's
 # message handlers must survive arbitrary bytes without panicking.

@@ -210,6 +210,17 @@ func run(args []string) (retErr error) {
 			}
 			fmt.Printf("appended %d sharded-outage points to %s\n\n", len(eso.Points), *failOut)
 		}
+		eto, err := figures.FigTakeover(es, etr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eto)
+		if *failOut != "" {
+			if err := figures.AppendTakeoverPoints(*failOut, eto.Points); err != nil {
+				return err
+			}
+			fmt.Printf("appended %d takeover points to %s\n\n", len(eto.Points), *failOut)
+		}
 		ef, err := figures.FigFailover(es, etr)
 		if err != nil {
 			return err

@@ -29,7 +29,7 @@ func main() {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("socialtube-emu", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage, outage-shard, failover or all")
+		fig      = fs.String("fig", "all", "figure to regenerate: 16b, 17b, 18b, outage, outage-shard, takeover, failover or all")
 		benchOut = fs.String("bench-out", "", "append failover points to this JSONL file (empty disables)")
 		peers    = fs.Int("peers", 24, "number of TCP peers")
 		sessions = fs.Int("sessions", 2, "sessions per peer")
@@ -124,6 +124,18 @@ func run(args []string) (retErr error) {
 				}
 				fmt.Printf("appended %d sharded-outage points to %s\n\n", len(f.Points), *benchOut)
 			}
+		case "takeover":
+			f, err := figures.FigTakeover(s, tr)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f)
+			if *benchOut != "" {
+				if err := figures.AppendTakeoverPoints(*benchOut, f.Points); err != nil {
+					return err
+				}
+				fmt.Printf("appended %d takeover points to %s\n\n", len(f.Points), *benchOut)
+			}
 		case "failover":
 			f, err := figures.FigFailover(s, tr)
 			if err != nil {
@@ -137,12 +149,12 @@ func run(args []string) (retErr error) {
 				fmt.Printf("appended %d failover points to %s\n\n", len(f.Points), *benchOut)
 			}
 		default:
-			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b, outage, outage-shard, failover or all)", id)
+			return fmt.Errorf("unknown figure %q (want 16b, 17b, 18b, outage, outage-shard, takeover, failover or all)", id)
 		}
 		return nil
 	}
 	if *fig == "all" {
-		for _, id := range []string{"16b", "17b", "18b", "outage", "outage-shard", "failover"} {
+		for _, id := range []string{"16b", "17b", "18b", "outage", "outage-shard", "takeover", "failover"} {
 			if err := show(id); err != nil {
 				return err
 			}

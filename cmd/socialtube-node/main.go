@@ -123,9 +123,11 @@ func runTracker(tr *trace.Trace, addr, metricsAddr string, pprof bool, replicaSp
 		if replicaSelf < 0 || replicaSelf >= len(reps) {
 			return fmt.Errorf("-replica-self %d outside -replicas (%d entries)", replicaSelf, len(reps))
 		}
-		// Same per-shard gossip seed derivation StartControlPlane uses, so
+		// The node CLI only knows its own shard's replica list, so it runs a
+		// single-shard plane view (no cross-shard liveness) with the seed
+		// pre-mixed the way StartControlPlane would for this shard index —
 		// mixed in-process/cross-machine planes rotate partners alike.
-		tk.StartGossip(ringSeed+int64(shard)*7919, reps, replicaSelf, gossipEvery, 0)
+		tk.StartGossip(ringSeed+int64(shard)*7919, [][]string{reps}, 0, replicaSelf, gossipEvery, 0)
 		fmt.Printf("gossiping as replica %d of shard %d with %v every %v\n", replicaSelf, shard, reps, gossipEvery)
 	}
 	if metricsAddr != "" {

@@ -58,6 +58,35 @@ func (r *Ring) Owner(key int64) int {
 	return best
 }
 
+// OwnerExcluding returns the shard owning key when the shards named by
+// the dead bitmask (bit s set = shard s dead) are removed from the ring:
+// the HRW argmax over the survivors only. Because rendezvous hashing
+// scores every (key, shard) pair independently, removing a shard moves
+// exactly that shard's keys — each surviving key's argmax is unchanged —
+// and re-adding it restores the original assignment bit for bit. With an
+// empty mask, or one that would kill every shard, it falls back to the
+// plain owner (a caller with a nonsense mask gets the healthy answer,
+// not a panic). Shards >= 64 are always treated as live.
+func (r *Ring) OwnerExcluding(key int64, dead uint64) int {
+	if dead == 0 || r.shards == 1 {
+		return r.Owner(key)
+	}
+	best, bestScore, found := 0, uint64(0), false
+	for s := 0; s < r.shards; s++ {
+		if s < 64 && dead&(1<<uint(s)) != 0 {
+			continue
+		}
+		score := mix64(uint64(r.seed)*0x9E3779B97F4A7C15 ^ uint64(key)<<1 ^ uint64(s)*0xBF58476D1CE4E5B9)
+		if !found || score > bestScore {
+			best, bestScore, found = s, score, true
+		}
+	}
+	if !found {
+		return r.Owner(key)
+	}
+	return best
+}
+
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
 // mixer, plenty for spreading a few hundred channel keys over a handful
 // of shards.
@@ -114,6 +143,12 @@ func (d *Directory) NumShards() int { return len(d.replicas) }
 
 // Owner returns the shard index owning key.
 func (d *Directory) Owner(key int64) int { return d.ring.Owner(key) }
+
+// OwnerExcluding returns the shard owning key with the dead-bitmask
+// shards removed from the ring; see Ring.OwnerExcluding.
+func (d *Directory) OwnerExcluding(key int64, dead uint64) int {
+	return d.ring.OwnerExcluding(key, dead)
+}
 
 // Replicas returns shard's endpoints in failover order. The returned
 // slice is shared; callers must not mutate it.

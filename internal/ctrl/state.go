@@ -188,6 +188,52 @@ func (t *MemberTable) Snapshot() []SyncRecord {
 	return recs
 }
 
+// CompactTombstones deletes tombstones whose logical clock is more than
+// horizon ticks behind the table's current clock, and returns how many it
+// dropped. Convergence safety: every merge advances the local clock past
+// every received version, so two gossiping replicas' clocks stay within
+// one round of writes of each other; a tombstone horizon ticks old has
+// therefore survived on the order of horizon/writes-per-round gossip
+// rounds and been merged everywhere. Dropping it can only resurrect the
+// member if some replica still holds the pre-tombstone live entry, which
+// a generous horizon (the callers use thousands of ticks against
+// per-round divergence of at most a few hundred writes) makes impossible
+// in any schedule the emulator can produce. The horizon is compared on
+// clock ticks, not wall time, so GC is as deterministic as the write
+// schedule that fed the table.
+func (t *MemberTable) CompactTombstones(horizon uint64) (dropped int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clock <= horizon {
+		return 0
+	}
+	cut := t.clock - horizon
+	for key, row := range t.m {
+		for id, e := range row {
+			if e.Dead && e.Ver>>8 < cut {
+				delete(row, id)
+				dropped++
+			}
+		}
+		if len(row) == 0 {
+			delete(t.m, key)
+		}
+	}
+	return dropped
+}
+
+// Size returns the total number of stored rows, tombstones included —
+// the quantity tombstone GC bounds.
+func (t *MemberTable) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, row := range t.m {
+		n += len(row)
+	}
+	return n
+}
+
 // Merge folds a snapshot in: a record wins iff its version is strictly
 // newer than the local one. The local clock advances past every merged
 // version so subsequent local writes supersede merged state.

@@ -375,7 +375,17 @@ func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
 	interCount := len(p.inter)
 	p.mu.Unlock()
 
-	needJoin := subscribed && (home != ch || innerCount == 0)
+	p.mu.Lock()
+	joinedEpoch := p.joinedEpoch
+	p.mu.Unlock()
+	curEpoch, _ := p.planeView()
+
+	// An epoch change means the live shard set moved (a takeover or a
+	// revival): the home channel's membership row may live on a shard
+	// that never saw it, so re-join to repopulate the adopting shard's
+	// table — the server-assisted re-registration leg of the takeover.
+	epochMoved := subscribed && home == ch && joinedEpoch != curEpoch
+	needJoin := subscribed && (home != ch || innerCount == 0 || epochMoved)
 	needInter := interCount < p.cfg.InterLinks
 	needEntry := home != ch // a foreign channel needs an entry point
 	if !needJoin && !needInter && !needEntry {
@@ -392,6 +402,9 @@ func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
 		return nil
 	}
 	if needJoin {
+		if epochMoved {
+			atomic.AddUint64(&p.ctr.TakeoverRejoins, 1)
+		}
 		p.mu.Lock()
 		if p.home != ch {
 			p.home = ch
@@ -399,6 +412,7 @@ func (p *Peer) attachChannel(ch trace.ChannelID) []PeerInfo {
 			// Inter-links persist only within the same category; a
 			// category switch rebuilds them lazily below.
 		}
+		p.joinedEpoch = curEpoch
 		p.mu.Unlock()
 	}
 	for _, info := range resp.Peers {
@@ -676,9 +690,8 @@ func (p *Peer) LeaveOverlays() {
 	}
 	// Leave is plane-wide: every shard replica may hold membership rows
 	// for this peer (gossip also carries the departure between replicas).
-	for _, addr := range p.cp.All() {
-		rpc(addr, &Message{Type: MsgLeave, From: p.cfg.ID}, p.cfg.RPCTimeout)
-	}
+	// Unreachable replicas get the leave as a hinted handoff.
+	p.broadcastPlane(&Message{Type: MsgLeave, From: p.cfg.ID}, false)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.inner = make(map[int]PeerInfo)

@@ -181,6 +181,12 @@ type ClusterResult struct {
 	// Obs merges the tracker's and every peer's protocol-counter
 	// snapshots at the end of the run.
 	Obs obs.Counters
+	// TakeoverMs is the wall-clock delay between the first whole-shard
+	// outage beginning and the first surviving replica declaring the
+	// shard dead via gossip liveness — the time-to-takeover the failover
+	// figure reports. 0 when the run saw no whole-shard outage or no
+	// declaration.
+	TakeoverMs float64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -242,6 +248,10 @@ func RunCluster(cfg ClusterConfig, tr *trace.Trace) (*ClusterResult, error) {
 // is coming" signal; a nil driver (no plan) answers false everywhere.
 type faultDriver struct {
 	outage atomic.Bool
+	// shardOutageNano records (once) when the first whole-shard outage
+	// was applied, so the run can report time-to-takeover against the
+	// plane's first death declaration.
+	shardOutageNano atomic.Int64
 	// done closes when the last scheduled event has fired (or the run
 	// stopped), so a crashed peer whose rejoin will never come can give
 	// up instead of waiting forever.
@@ -330,6 +340,9 @@ func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan
 			cond.ClearBurst()
 		case faults.KindOutageStart:
 			f.outage.Store(true)
+			if ev.Shard > 0 && ev.Replica == 0 {
+				f.shardOutageNano.CompareAndSwap(0, time.Now().UnixNano())
+			}
 			setOutage(cp, ev, true)
 		case faults.KindOutageEnd:
 			f.outage.Store(false)
@@ -348,6 +361,15 @@ func (f *faultDriver) drive(sched *faults.Schedule, begin time.Time, stop <-chan
 			})
 		case faults.KindChaosEnd:
 			cond.ClearChaos()
+		case faults.KindPartitionStart:
+			cond.SetPartition(ev.Groups)
+		case faults.KindPartitionEnd:
+			cond.ClearPartition()
+			// The cut is healed: replay every hinted-handoff write the
+			// peers queued for replicas on the far side.
+			for _, p := range peers {
+				p.ReplayHints()
+			}
 		}
 	}
 }
@@ -532,6 +554,11 @@ func RunClusterCtx(ctx context.Context, cfg ClusterConfig, tr *trace.Trace) (*Cl
 
 	res.Elapsed = time.Since(begin)
 	res.ServerBytes = plane.ServedBytes()
+	if fd != nil {
+		if start, declared := fd.shardOutageNano.Load(), plane.TakeoverDeclaredAt(); start > 0 && declared > start {
+			res.TakeoverMs = float64(declared-start) / 1e6
+		}
+	}
 	res.Obs = plane.Counters()
 	for _, p := range peers {
 		res.PeerBytes += p.ServedBytes()

@@ -37,6 +37,11 @@ type Conditions struct {
 	// the same way lossCounter seeds Drop.
 	chaos        atomic.Pointer[ChaosMix]
 	chaosCounter atomic.Uint64
+	// partGroups holds an open network-partition window (0 means whole):
+	// nodes are split into that many sides by id modulo the group count,
+	// and messages between different sides are severed — skipped by
+	// senders that know both endpoints, dropped on arrival otherwise.
+	partGroups atomic.Int64
 }
 
 // ChaosMix is the frame-fault blend of an open chaos window: each frame
@@ -146,6 +151,52 @@ func (c *Conditions) ClearChaos() {
 		return
 	}
 	c.chaos.Store(nil)
+}
+
+// SetPartition opens a partition window splitting the network into
+// groups sides: node n (peer id, or tracker replica index) lands on side
+// n % groups, and traffic between different sides is severed. groups < 2
+// clears the window. Nil receivers are tolerated so the fault driver can
+// call this unconditionally.
+func (c *Conditions) SetPartition(groups int) {
+	if c == nil {
+		return
+	}
+	if groups < 2 {
+		groups = 0
+	}
+	c.partGroups.Store(int64(groups))
+}
+
+// ClearPartition heals the partition.
+func (c *Conditions) ClearPartition() {
+	if c == nil {
+		return
+	}
+	c.partGroups.Store(0)
+}
+
+// Severed reports whether a message between nodes a and b crosses the
+// open partition cut. Ids are peer ids on the peer plane and replica
+// indices on the tracker plane; negatives (the tracker sentinel -1, or
+// an unknown sender) are folded to side 0 so legacy single-tracker
+// traffic is never cut off from the id-0 side by accident. Healthy runs
+// take the zero-load branch and draw nothing.
+func (c *Conditions) Severed(a, b int) bool {
+	if c == nil {
+		return false
+	}
+	g := c.partGroups.Load()
+	if g == 0 {
+		return false
+	}
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	return a%int(g) != b%int(g)
 }
 
 // nextChaos picks the fault for the next written frame: chaosNone when no

@@ -31,6 +31,13 @@ type ControlPlaneConfig struct {
 	GossipInterval time.Duration
 	// GossipTimeout bounds one sync exchange (0 selects 1s).
 	GossipTimeout time.Duration
+	// SuspicionRounds is how many of a replica's own gossip rounds every
+	// beat of a shard must stay frozen before the shard is declared dead
+	// and its keys re-rendezvous onto survivors (0 selects the tracker
+	// default). Counted in rounds, not wall-clock, so detection latency
+	// is deterministic in the gossip schedule. Only meaningful on planes
+	// with >= 2 shards.
+	SuspicionRounds int
 }
 
 // DefaultControlPlaneConfig returns the 2x2 plane the sharded-outage
@@ -54,6 +61,10 @@ func (c ControlPlaneConfig) Validate() error {
 			dist.ErrBadParameter, c.Shards, c.Replicas)
 	case c.Replicas > 256:
 		return fmt.Errorf("%w: %d replicas exceed the 8-bit version stamp", dist.ErrBadParameter, c.Replicas)
+	case c.Shards > 64:
+		return fmt.Errorf("%w: %d shards exceed the 64-bit dead-shard mask", dist.ErrBadParameter, c.Shards)
+	case c.SuspicionRounds < 0:
+		return fmt.Errorf("%w: negative suspicion rounds", dist.ErrBadParameter)
 	case c.GossipInterval < 0 || c.GossipTimeout < 0:
 		return fmt.Errorf("%w: negative gossip timing", dist.ErrBadParameter)
 	}
@@ -116,7 +127,9 @@ func StartControlPlane(cfg ControlPlaneConfig, tc TrackerConfig, tr *trace.Trace
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Replicas > 1 && cfg.GossipInterval == 0 {
+	// Multi-replica planes need gossip for convergence; multi-shard
+	// planes need it for liveness (the cross-shard heartbeat leg).
+	if (cfg.Replicas > 1 || cfg.Shards > 1) && cfg.GossipInterval == 0 {
 		cfg.GossipInterval = DefaultControlPlaneConfig().GossipInterval
 	}
 	trackers := make([][]*Tracker, cfg.Shards)
@@ -154,7 +167,8 @@ func StartControlPlane(cfg ControlPlaneConfig, tc TrackerConfig, tr *trace.Trace
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		for r := 0; r < cfg.Replicas; r++ {
-			trackers[s][r].StartGossip(cfg.RingSeed+int64(s)*7919, addrs[s], r,
+			trackers[s][r].suspicionRounds = cfg.SuspicionRounds
+			trackers[s][r].StartGossip(cfg.RingSeed, addrs, s, r,
 				cfg.GossipInterval, cfg.GossipTimeout)
 		}
 	}
@@ -171,6 +185,43 @@ func (cp *ControlPlane) NumShards() int { return cp.dir.NumShards() }
 
 // Owner returns the shard index owning a channel key.
 func (cp *ControlPlane) Owner(key int64) int { return cp.dir.Owner(key) }
+
+// OwnerExcluding returns the shard owning key with the dead-bitmask
+// shards removed from the ring — the takeover owner peers route to after
+// a whole-shard death.
+func (cp *ControlPlane) OwnerExcluding(key int64, dead uint64) int {
+	return cp.dir.OwnerExcluding(key, dead)
+}
+
+// Epoch returns the highest ring epoch any replica of the plane has
+// reached (0 = no shard ever changed status). No-op zero on a
+// client-only plane.
+func (cp *ControlPlane) Epoch() uint64 {
+	var e uint64
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			if v := tk.Epoch(); v > e {
+				e = v
+			}
+		}
+	}
+	return e
+}
+
+// TakeoverDeclaredAt returns the earliest wall time (UnixNano) at which
+// any replica declared a shard dead, 0 if none ever did — the takeover
+// figure's detection timestamp.
+func (cp *ControlPlane) TakeoverDeclaredAt() int64 {
+	var at int64
+	for _, reps := range cp.trackers {
+		for _, tk := range reps {
+			if v := tk.TakeoverDeclaredAt(); v != 0 && (at == 0 || v < at) {
+				at = v
+			}
+		}
+	}
+	return at
+}
 
 // Replicas returns a shard's endpoints in failover order (shared slice —
 // do not mutate).

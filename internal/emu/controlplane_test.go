@@ -128,8 +128,8 @@ func TestTrackerGossipConvergesOverTCP(t *testing.T) {
 	ta := startTracker(t, tr, fastConditions())
 	tb := startTracker(t, tr, fastConditions())
 	addrs := []string{ta.Addr(), tb.Addr()}
-	ta.StartGossip(11, addrs, 0, 2*time.Millisecond, time.Second)
-	tb.StartGossip(11, addrs, 1, 2*time.Millisecond, time.Second)
+	ta.StartGossip(11, [][]string{addrs}, 0, 0, 2*time.Millisecond, time.Second)
+	tb.StartGossip(11, [][]string{addrs}, 0, 1, 2*time.Millisecond, time.Second)
 
 	ch := tr.Channels[0].ID
 	join := func(id int) {

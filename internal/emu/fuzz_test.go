@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/socialtube/socialtube/internal/ctrl"
 	"github.com/socialtube/socialtube/internal/trace"
 )
 
@@ -33,6 +34,20 @@ func fuzzSeedMessages() []*Message {
 		{Type: MsgOK, From: -1, Provider: 1, ProviderAddr: "127.0.0.1:9",
 			Providers: []PeerInfo{{ID: 1, Addr: "127.0.0.1:9", Channel: 3}}, Hops: 1},
 		{Type: MsgMiss, From: -1},
+		// Gossip anti-entropy frames: a liveness-only exchange (beats +
+		// status + epoch), a full table sync carrying liveness, and a
+		// tracker response stamped with the ring epoch and dead-shard
+		// mask a takeover propagates to peers.
+		{Type: MsgSync, From: -1,
+			Beats:  []ctrl.Beat{{Key: 0, Ver: 4}, {Key: 1<<8 | 1, Ver: 9}},
+			Status: []ctrl.ShardStatus{{Shard: 1, Dead: true, Ver: 5 << 8}},
+			Epoch:  1},
+		{Type: MsgSync, From: -1,
+			Sync: []ctrl.TableSync{{Table: "channels"}},
+			Beats: []ctrl.Beat{{Key: 2 << 8, Ver: 1}},
+			Epoch: 2},
+		{Type: MsgJoinOK, From: -1, Epoch: 3, DeadShards: 1 << 1,
+			Peers: []PeerInfo{{ID: 1, Addr: "127.0.0.1:9", Channel: 3}}},
 	}
 }
 

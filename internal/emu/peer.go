@@ -153,6 +153,23 @@ type Peer struct {
 	brkMu sync.Mutex
 	brk   *health.Set
 	tbrk  *health.Set
+	// prefRep overrides the configured preferred replica per shard after
+	// a breaker-driven demotion (guarded by brkMu).
+	prefRep map[int]int
+
+	// planeMu guards the peer's routing view of the control plane: the
+	// highest ring epoch seen on a tracker response and the dead-shard
+	// mask that came with it. joinedEpoch (under p.mu) tracks the epoch
+	// the current home-channel registration was made under, so an epoch
+	// change triggers re-registration with the adopting shard.
+	planeMu    sync.Mutex
+	planeEpoch int64
+	planeDead  uint64
+
+	// hintMu guards the hinted-handoff queue: plane-broadcast writes
+	// (register/leave) that could not reach a replica, replayed on heal.
+	hintMu sync.Mutex
+	hints  []hint
 
 	mu     sync.Mutex
 	g      *dist.RNG
@@ -167,6 +184,9 @@ type Peer struct {
 	home  trace.ChannelID
 	inner map[int]PeerInfo
 	inter map[int]PeerInfo
+	// joinedEpoch is the ring epoch the current home registration was
+	// made under; attachChannel re-joins when the plane's epoch moves.
+	joinedEpoch int64
 	// NetTube state: links per joined per-video overlay.
 	perVideo map[trace.VideoID]map[int]PeerInfo
 	// Uplink queue + accounting.
@@ -214,6 +234,7 @@ func NewPeerWithControlPlane(cfg PeerConfig, tr *trace.Trace, cp *ControlPlane, 
 			Threshold: cfg.BreakerThreshold,
 			OpenFor:   cfg.BreakerOpenFor,
 		}, 0),
+		prefRep:  make(map[int]int),
 		g:        dist.NewRNG(cfg.Seed),
 		online:   true,
 		watching: -1,
@@ -243,12 +264,109 @@ func (p *Peer) Start() error {
 	go p.acceptLoop()
 	// Registration is plane-wide (every shard replica tracks the address
 	// book) and best-effort: it is retried implicitly by later joins, so
-	// losing an RPC here mirrors a lossy network, not a fatal error.
-	reg := &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}
-	for _, addr := range p.cp.All() {
-		rpc(addr, reg, p.cfg.RPCTimeout)
-	}
+	// losing an RPC here mirrors a lossy network, not a fatal error. A
+	// replica the write cannot reach gets a hint instead, replayed when
+	// the partition heals.
+	p.broadcastPlane(&Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}, false)
 	return nil
+}
+
+// broadcastPlane sends req to every replica of every shard, shard-major
+// (register and leave are plane-wide writes). Replicas across an open
+// partition cut are skipped outright, and any replica the write fails to
+// reach is queued as a hinted handoff for replay on heal. retry selects
+// rpcRetry semantics per endpoint (Rejoin's re-registration) over the
+// single best-effort attempt (Start, LeaveOverlays).
+func (p *Peer) broadcastPlane(req *Message, retry bool) {
+	for s := 0; s < p.cp.NumShards(); s++ {
+		for r, addr := range p.cp.Replicas(s) {
+			if p.cond.Severed(p.cfg.ID, r) {
+				p.queueHint(addr, req)
+				continue
+			}
+			var err error
+			if retry {
+				_, err = p.rpcRetry(addr, req)
+			} else {
+				_, err = rpc(addr, req, p.cfg.RPCTimeout)
+			}
+			if err != nil {
+				p.queueHint(addr, req)
+			}
+		}
+	}
+}
+
+// hint is one queued hinted-handoff write: a plane-broadcast RPC that
+// could not reach addr while it was dark or severed.
+type hint struct {
+	addr string
+	msg  *Message
+}
+
+// queueHint queues req for later replay to addr, one slot per
+// (addr, message type) — a newer register to the same replica supersedes
+// the older one rather than queueing behind it.
+func (p *Peer) queueHint(addr string, req *Message) {
+	cp := *req // private copy: callers may reuse the message
+	p.hintMu.Lock()
+	for i := range p.hints {
+		if p.hints[i].addr == addr && p.hints[i].msg.Type == cp.Type {
+			p.hints[i].msg = &cp
+			p.hintMu.Unlock()
+			return
+		}
+	}
+	p.hints = append(p.hints, hint{addr: addr, msg: &cp})
+	p.hintMu.Unlock()
+	atomic.AddUint64(&p.ctr.HintsQueued, 1)
+}
+
+// ReplayHints redelivers every queued hinted-handoff write, requeueing
+// the ones that still fail. The cluster's fault driver calls it when a
+// partition heals; anti-entropy gossip then spreads the replayed writes
+// to the replicas that were dark rather than severed.
+func (p *Peer) ReplayHints() {
+	p.hintMu.Lock()
+	pending := p.hints
+	p.hints = nil
+	p.hintMu.Unlock()
+	var still []hint
+	for _, h := range pending {
+		if _, err := rpc(h.addr, h.msg, p.cfg.RPCTimeout); err != nil {
+			still = append(still, h)
+			continue
+		}
+		atomic.AddUint64(&p.ctr.HintsReplayed, 1)
+	}
+	if len(still) > 0 {
+		p.hintMu.Lock()
+		p.hints = append(still, p.hints...)
+		p.hintMu.Unlock()
+	}
+}
+
+// observePlane folds an epoch-stamped tracker response into the routing
+// view: a strictly newer epoch replaces the dead-shard mask. Healthy
+// planes stamp nothing, so the view stays (0, 0) and routing is
+// byte-identical to the pre-takeover walk.
+func (p *Peer) observePlane(resp *Message) {
+	if resp == nil || resp.Epoch == 0 {
+		return
+	}
+	p.planeMu.Lock()
+	if resp.Epoch > p.planeEpoch {
+		p.planeEpoch = resp.Epoch
+		p.planeDead = resp.DeadShards
+	}
+	p.planeMu.Unlock()
+}
+
+// planeView returns the peer's current (ring epoch, dead-shard mask).
+func (p *Peer) planeView() (int64, uint64) {
+	p.planeMu.Lock()
+	defer p.planeMu.Unlock()
+	return p.planeEpoch, p.planeDead
 }
 
 // Addr returns the peer's listen address (valid after Start).
@@ -421,9 +539,8 @@ func (p *Peer) Rejoin() {
 	p.perVideo = make(map[trace.VideoID]map[int]PeerInfo)
 	p.home = -1
 	p.mu.Unlock()
-	for _, addr := range p.cp.All() {
-		p.rpcRetry(addr, &Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()})
-	}
+	p.broadcastPlane(&Message{Type: MsgRegister, From: p.cfg.ID, Addr: p.Addr()}, true)
+	p.ReplayHints()
 	if p.cfg.Mode == ModeSocialTube && home >= 0 {
 		p.socialTubePrefetch(home, -1)
 	}
@@ -469,51 +586,46 @@ func (p *Peer) chanKey(v trace.VideoID) int64 {
 // legacy path) it reduces to exactly rpcRetry against that address — no
 // breaker is consulted, so legacy behaviour is unchanged.
 //
-// With replicas, each retry round walks the replica set starting from a
-// peer-stable preferred replica (spreading load across replicas), skips
-// endpoints whose breaker is open, and feeds transport outcomes back into
-// the endpoint breaker. If every breaker is open the preferred replica is
-// tried anyway — total shard darkness must keep probing for recovery.
-// Backoff doubles between rounds exactly like rpcRetry.
+// With replicas, each retry round walks the owning shard's replica set
+// (walkShard) starting from the preferred replica, then — if the whole
+// shard failed — walks the shard the key re-rendezvouses onto when the
+// owner is removed from the ring. That fallback is what bounds the
+// pre-takeover loss window: requests survive a whole-shard death even
+// before any survivor has declared it, at the cost of one extra walk.
+// Once a declaration has gossiped, responses carry the ring epoch and
+// dead-shard mask, the peer's plane view reroutes the request up front,
+// and the failed walk disappears. Backoff doubles between rounds exactly
+// like rpcRetry.
 func (p *Peer) trackerRPC(key int64, req *Message) (*Message, error) {
 	shard := p.cp.Owner(key)
-	reps := p.cp.Replicas(shard)
 	if p.cp.Endpoints() == 1 {
-		return p.rpcRetry(reps[0], req)
+		return p.rpcRetry(p.cp.Replicas(shard)[0], req)
 	}
-	pref := p.cfg.ID % len(reps)
-	if pref < 0 {
-		pref += len(reps)
+	_, dead := p.planeView()
+	if dead != 0 {
+		if alt := p.cp.OwnerExcluding(key, dead); alt != shard {
+			atomic.AddUint64(&p.ctr.TakeoverReroutes, 1)
+			shard = alt
+		}
 	}
 	backoff := p.cfg.RetryBackoff
 	var lastResp *Message
 	var lastErr error
 	for round := 0; ; round++ {
-		tried := false
-		for k := 0; k < len(reps); k++ {
-			r := (pref + k) % len(reps)
-			idx := p.cp.EndpointIndex(shard, r)
-			if !p.allowEndpoint(idx) {
-				continue
-			}
-			tried = true
-			resp, err := rpc(reps[r], req, p.cfg.RPCTimeout)
-			if err == nil {
-				p.endpointOK(idx)
-				return resp, nil
-			}
-			p.endpointFail(idx)
-			lastResp, lastErr = resp, err
+		resp, err := p.walkShard(shard, req)
+		if err == nil {
+			p.observePlane(resp)
+			return resp, nil
 		}
-		if !tried {
-			idx := p.cp.EndpointIndex(shard, pref)
-			resp, err := rpc(reps[pref], req, p.cfg.RPCTimeout)
-			if err == nil {
-				p.endpointOK(idx)
-				return resp, nil
+		lastResp, lastErr = resp, err
+		if shard < 64 {
+			if fb := p.cp.OwnerExcluding(key, dead|1<<uint(shard)); fb != shard {
+				if resp, err := p.walkShard(fb, req); err == nil {
+					atomic.AddUint64(&p.ctr.TakeoverReroutes, 1)
+					p.observePlane(resp)
+					return resp, nil
+				}
 			}
-			p.endpointFail(idx)
-			lastResp, lastErr = resp, err
 		}
 		if round >= p.cfg.MaxRetries {
 			atomic.AddUint64(&p.ctr.RPCFailures, 1)
@@ -526,6 +638,88 @@ func (p *Peer) trackerRPC(key int64, req *Message) (*Message, error) {
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+	}
+}
+
+// walkShard tries one request against every replica of shard, starting
+// from the preferred replica: replicas across a partition cut are
+// skipped, endpoints with open breakers are skipped, and transport
+// outcomes feed the endpoint breaker. If every breaker was open the
+// preferred replica is probed anyway — total shard darkness must keep
+// probing for recovery.
+func (p *Peer) walkShard(shard int, req *Message) (*Message, error) {
+	reps := p.cp.Replicas(shard)
+	pref := p.preferredReplica(shard, len(reps))
+	tried := false
+	var lastResp *Message
+	var lastErr error
+	for k := 0; k < len(reps); k++ {
+		r := (pref + k) % len(reps)
+		if p.cond.Severed(p.cfg.ID, r) {
+			continue
+		}
+		idx := p.cp.EndpointIndex(shard, r)
+		if !p.allowEndpoint(idx) {
+			continue
+		}
+		tried = true
+		resp, err := rpc(reps[r], req, p.cfg.RPCTimeout)
+		if err == nil {
+			p.endpointOK(idx)
+			p.maybeDemote(shard, pref, r)
+			return resp, nil
+		}
+		p.endpointFail(idx)
+		lastResp, lastErr = resp, err
+	}
+	if !tried && !p.cond.Severed(p.cfg.ID, pref) {
+		idx := p.cp.EndpointIndex(shard, pref)
+		resp, err := rpc(reps[pref], req, p.cfg.RPCTimeout)
+		if err == nil {
+			p.endpointOK(idx)
+			return resp, nil
+		}
+		p.endpointFail(idx)
+		lastResp, lastErr = resp, err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("emu: no reachable replica of shard %d", shard)
+	}
+	return lastResp, lastErr
+}
+
+// preferredReplica returns the replica of shard this peer tries first:
+// the ID-stable configured choice (spreading peers across replicas)
+// unless a breaker-driven demotion moved it.
+func (p *Peer) preferredReplica(shard, n int) int {
+	p.brkMu.Lock()
+	if v, ok := p.prefRep[shard]; ok && v >= 0 && v < n {
+		p.brkMu.Unlock()
+		return v
+	}
+	p.brkMu.Unlock()
+	pref := p.cfg.ID % n
+	if pref < 0 {
+		pref += n
+	}
+	return pref
+}
+
+// maybeDemote re-points the preferred replica of shard at winner when the
+// walk had to skip past an open-breaker preference: the old behaviour
+// kept the preference sticky, so every request during a long replica
+// outage paid the failover walk (a breaker-skip plus the wrap-around)
+// before reaching the healthy replica. Demotion is withdrawn naturally —
+// if the demoted-to replica fails later, the walk wraps to the recovered
+// original and demotes back to it.
+func (p *Peer) maybeDemote(shard, pref, winner int) {
+	if winner == pref {
+		return
+	}
+	p.brkMu.Lock()
+	defer p.brkMu.Unlock()
+	if p.tbrk.State(p.cp.EndpointIndex(shard, pref)) == health.Open {
+		p.prefRep[shard] = winner
 	}
 }
 
@@ -555,6 +749,9 @@ func (p *Peer) endpointFail(idx int) {
 func (p *Peer) dispatch(req *Message) *Message {
 	if p.crashed.Load() {
 		return nil // a crashed host answers nothing at all
+	}
+	if req.From >= 0 && p.cond.Severed(req.From, p.cfg.ID) {
+		return nil // partitioned: the sender is on the other side of the cut
 	}
 	p.mu.Lock()
 	up := p.online

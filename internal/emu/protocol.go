@@ -103,6 +103,17 @@ type Message struct {
 	// Sync carries membership-table snapshots between tracker replicas
 	// (MsgSync requests and responses only).
 	Sync []ctrl.TableSync `json:"sync,omitempty"`
+	// Liveness piggyback. Beats and Status ride MsgSync exchanges
+	// (heartbeat counters and shard-death verdicts, see ctrl.Liveness);
+	// Epoch and DeadShards are stamped on every tracker response once the
+	// plane has seen a status transition, so peers learn the live shard
+	// set — and when to re-resolve ring owners — from ordinary RPC
+	// traffic. All omitempty: a healthy plane's frames are byte-identical
+	// to the pre-liveness wire format.
+	Beats      []ctrl.Beat        `json:"beats,omitempty"`
+	Status     []ctrl.ShardStatus `json:"status,omitempty"`
+	Epoch      int64              `json:"epoch,omitempty"`
+	DeadShards uint64             `json:"deadShards,omitempty"`
 }
 
 // PeerInfo is a node id/address pair with the channel it currently serves.
@@ -139,6 +150,11 @@ const (
 	// pair at the largest emulated scale.
 	maxWireSyncTables = 8
 	maxWireSyncRecs   = 1 << 17
+	// maxWireBeats bounds one liveness exchange: one beat per endpoint of
+	// the largest plane the dead-mask wire form supports (64 shards x 256
+	// replicas).
+	maxWireBeats  = 1 << 14
+	maxWireShards = 64
 )
 
 // validWireTypes is the closed set of message types a handler dispatches
@@ -185,6 +201,22 @@ func (m *Message) Validate() error {
 		return fmt.Errorf("%w: videos len %d", ErrInvalidMessage, len(m.Videos))
 	case len(m.Sync) > maxWireSyncTables:
 		return fmt.Errorf("%w: sync tables %d", ErrInvalidMessage, len(m.Sync))
+	case len(m.Beats) > maxWireBeats:
+		return fmt.Errorf("%w: beats len %d", ErrInvalidMessage, len(m.Beats))
+	case len(m.Status) > maxWireShards:
+		return fmt.Errorf("%w: status len %d", ErrInvalidMessage, len(m.Status))
+	case m.Epoch < 0:
+		return fmt.Errorf("%w: epoch %d", ErrInvalidMessage, m.Epoch)
+	}
+	for _, b := range m.Beats {
+		if b.Key < 0 || b.Key >= maxWireShards<<8 || b.Ver < 0 {
+			return fmt.Errorf("%w: beat %+v", ErrInvalidMessage, b)
+		}
+	}
+	for _, st := range m.Status {
+		if st.Shard < 0 || st.Shard >= maxWireShards {
+			return fmt.Errorf("%w: status shard %d", ErrInvalidMessage, st.Shard)
+		}
 	}
 	for _, ts := range m.Sync {
 		if ts.Table == "" {

@@ -1,0 +1,215 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/faults"
+)
+
+// TestWholeShardTakeover kills every replica of one shard of a 2×2 plane
+// mid-run and checks the partition-tolerant control plane recovers end
+// to end: a surviving replica declares the shard dead within the
+// suspicion window (liveness gossip), peers reroute the dead shard's
+// channels onto the survivors (ring re-rendezvous + epoch adoption), and
+// the run finishes with zero failed requests — pre-declaration loss is
+// absorbed by the fallback walk, post-declaration routing is clean.
+func TestWholeShardTakeover(t *testing.T) {
+	tr := emuTrace(t)
+	cfg := fastClusterConfig(ModeSocialTube)
+	cfg.VideosPerSession = 20
+	cfg.WatchTime = 4 * time.Millisecond
+	cfg.MeanOffTime = 4 * time.Millisecond
+	cfg.ControlPlane = &ControlPlaneConfig{
+		Shards: 2, Replicas: 2, RingSeed: 1,
+		GossipInterval:  2 * time.Millisecond,
+		GossipTimeout:   10 * time.Millisecond,
+		SuspicionRounds: 3,
+	}
+	// Whole shard 1 (both replicas) goes dark from 40ms to 120ms.
+	cfg.Faults = faults.ShardOutagePlan(cfg.Seed, 40*time.Millisecond, 1)
+	cfg.RPCTimeout = 25 * time.Millisecond
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = 3 * time.Millisecond
+	res, err := RunCluster(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("lost %d requests across a whole-shard outage; want 0", res.FailedRequests)
+	}
+	if res.CacheHits+res.PeerHits+res.ServerHits == 0 {
+		t.Fatal("run served nothing")
+	}
+	if res.Obs.ShardsDeclaredDead == 0 {
+		t.Fatal("no survivor declared the dead shard within the suspicion window")
+	}
+	if res.TakeoverMs <= 0 {
+		t.Fatalf("time-to-takeover not measured: %v", res.TakeoverMs)
+	}
+	if res.Obs.TakeoverReroutes == 0 {
+		t.Fatal("no request was rerouted to a takeover owner")
+	}
+}
+
+// TestPartitionGossipSplitBrainHeals runs two live replicas of one shard
+// under a 2-group partition: writes on each side must NOT converge
+// across the cut while it holds (split brain is explicit, not hidden),
+// and after the heal the versioned LWW merge must re-converge both
+// member tables with zero lost registrations.
+func TestPartitionGossipSplitBrainHeals(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	ta := startTracker(t, tr, cond)
+	tb := startTracker(t, tr, cond)
+	addrs := []string{ta.Addr(), tb.Addr()}
+	ta.StartGossip(17, [][]string{addrs}, 0, 0, 2*time.Millisecond, 50*time.Millisecond)
+	tb.StartGossip(17, [][]string{addrs}, 0, 1, 2*time.Millisecond, 50*time.Millisecond)
+
+	ch := tr.Channels[0].ID
+	join := func(tk *Tracker, id int) {
+		t.Helper()
+		resp, err := rpc(tk.Addr(), &Message{
+			Type: MsgJoin, From: id, Addr: "127.0.0.1:9", Channel: int(ch), TTL: 1,
+		}, 2*time.Second)
+		if err != nil || resp.Type != MsgJoinOK {
+			t.Fatalf("join %d: %v %+v", id, err, resp)
+		}
+	}
+	waitLive := func(tk *Tracker, id int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if m := tk.channels.Live(int64(ch)); m[id] != "" {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("replica never learned member %d: %v", id, tk.channels.Live(int64(ch)))
+	}
+
+	// Healthy baseline: gossip converges.
+	join(ta, 2)
+	waitLive(tb, 2)
+
+	// Split: member 4 sits on side 0, member 5 on side 1 — each write
+	// lands on its own side's replica and must stay there.
+	cond.SetPartition(2)
+	join(ta, 4)
+	join(tb, 5)
+	time.Sleep(20 * time.Millisecond)
+	if m := tb.channels.Live(int64(ch)); m[4] != "" {
+		t.Fatal("gossip converged across the partition cut")
+	}
+	if m := ta.channels.Live(int64(ch)); m[5] != "" {
+		t.Fatal("gossip converged across the partition cut")
+	}
+
+	// Heal: both sides merge; no registration may be lost.
+	cond.ClearPartition()
+	waitLive(tb, 4)
+	waitLive(ta, 5)
+}
+
+// TestHintedHandoffReplaysOnHeal pins the write-side half of partition
+// tolerance: a plane-wide write (the peer's register broadcast) made
+// under a partition queues a hint for the unreachable replica instead of
+// silently dropping it, and ReplayHints delivers it after the heal.
+func TestHintedHandoffReplaysOnHeal(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	plane, err := StartControlPlane(ControlPlaneConfig{
+		Shards: 1, Replicas: 2, RingSeed: 3,
+		GossipInterval: 2 * time.Millisecond,
+		GossipTimeout:  50 * time.Millisecond,
+	}, DefaultTrackerConfig(), tr, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Stop()
+
+	cond.SetPartition(2)
+	pc := DefaultPeerConfig(0, ModeSocialTube) // side 0: replica 1 is cut off
+	p, err := NewPeerWithControlPlane(pc, tr, plane, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	ctr := p.Counters()
+	if ctr.HintsQueued != 1 {
+		t.Fatalf("register broadcast queued %d hints; want 1 (the severed replica)", ctr.HintsQueued)
+	}
+	far := plane.Shard(0).Replica(1)
+	far.mu.Lock()
+	_, leaked := far.addrs[0]
+	far.mu.Unlock()
+	if leaked {
+		t.Fatal("register crossed the partition cut")
+	}
+
+	cond.ClearPartition()
+	p.ReplayHints()
+	ctr = p.Counters()
+	if ctr.HintsReplayed != 1 {
+		t.Fatalf("replayed %d hints after heal; want 1", ctr.HintsReplayed)
+	}
+	far.mu.Lock()
+	addr := far.addrs[0]
+	far.mu.Unlock()
+	if addr != p.Addr() {
+		t.Fatalf("far-side replica never caught up: addr %q want %q", addr, p.Addr())
+	}
+}
+
+// TestBreakerDemotesPreferredReplica is the regression test for
+// preferred-replica demotion: once the configured preference's breaker
+// opens, the next successful walk re-points the preference at the
+// winning replica so steady-state requests stop paying the failover walk.
+func TestBreakerDemotesPreferredReplica(t *testing.T) {
+	tr := emuTrace(t)
+	cond := fastConditions()
+	plane, err := StartControlPlane(ControlPlaneConfig{
+		Shards: 1, Replicas: 2, RingSeed: 3,
+		GossipInterval: 2 * time.Millisecond,
+		GossipTimeout:  20 * time.Millisecond,
+	}, DefaultTrackerConfig(), tr, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Stop()
+
+	pc := DefaultPeerConfig(0, ModeSocialTube) // configured preference: replica 0
+	pc.RPCTimeout = 20 * time.Millisecond
+	pc.MaxRetries = 0
+	p, err := NewPeerWithControlPlane(pc, tr, plane, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	plane.Shard(0).Replica(0).SetDown(true)
+	req := &Message{Type: MsgRegister, From: 0, Addr: p.Addr()}
+	// Breaker threshold failures open the preference; the next walk's
+	// winner becomes the new preference.
+	for i := 0; i < 4; i++ {
+		if _, err := p.trackerRPC(1, req); err != nil {
+			t.Fatalf("call %d failed despite a live replica: %v", i, err)
+		}
+	}
+	p.brkMu.Lock()
+	v, ok := p.prefRep[0]
+	p.brkMu.Unlock()
+	if !ok || v != 1 {
+		t.Fatalf("preference not demoted to the surviving replica: got %v/%v", v, ok)
+	}
+	if got := p.preferredReplica(0, 2); got != 1 {
+		t.Fatalf("preferredReplica still answers %d after demotion", got)
+	}
+}

@@ -35,6 +35,12 @@ type TrackerConfig struct {
 	// redirects only point at watchers in the requester's ISP. Values
 	// below 2 disable locality.
 	ISPs int
+	// TombstoneHorizon is the version-clock age (in table ticks) past
+	// which the gossip loop garbage-collects membership tombstones; 0
+	// uses defaultTombstoneHorizon. Only replicas with gossip configured
+	// compact — a standalone tracker never ships snapshots, so its
+	// tombstones cost nothing on the wire.
+	TombstoneHorizon uint64
 }
 
 // DefaultTrackerConfig returns settings scaled for loopback experiments.
@@ -98,15 +104,49 @@ type Tracker struct {
 	// byCat indexes channels by primary category.
 	byCat map[trace.CategoryID][]trace.ChannelID
 
-	// Anti-entropy gossip between this replica and its shard siblings
-	// (configured by StartGossip; zero value = standalone tracker).
+	// Anti-entropy gossip across the plane (configured by StartGossip;
+	// zero value = standalone tracker). Same-shard siblings exchange full
+	// membership snapshots; cross-shard partners exchange liveness only
+	// (beats, shard-status verdicts, the ring epoch).
 	gossipMu       sync.Mutex
-	gossipAddrs    []string
-	gossipSelf     int
+	gossipAddrs    []string // own shard's replica endpoints
+	gossipSelf     int      // replica index within the shard
+	gossipShard    int
 	gossipInterval time.Duration
 	gossipTimeout  time.Duration
-	gossiper       *ctrl.Gossiper
+	gossiper       *ctrl.Gossiper // same-shard rotation (nil when single-replica)
+	gossipOthers   []gossipPeer   // other shards' endpoints, shard-major
+	gossipNext     int            // seeded rotation cursor over gossipOthers
+
+	// live is the plane failure detector (nil on 1-shard planes and
+	// standalone trackers); suspicionRounds tunes it (0 = default).
+	// declaredNano records the wall time of this replica's first shard
+	// death verdict — the takeover figure's time-to-takeover numerator.
+	live            atomic.Pointer[ctrl.Liveness]
+	suspicionRounds int
+	declaredNano    atomic.Int64
+	// side is this replica's partition side id (its replica index), read
+	// by the receive path's partition backstop.
+	side atomic.Int32
 }
+
+// gossipPeer is one cross-shard gossip partner.
+type gossipPeer struct {
+	addr           string
+	shard, replica int
+}
+
+// defaultSuspicionRounds is how many of a replica's own gossip rounds
+// every beat of a shard must stay frozen before the shard is declared
+// dead. Rounds, not wall-clock: detection latency is deterministic in
+// the gossip schedule.
+const defaultSuspicionRounds = 5
+
+// defaultTombstoneHorizon is the version-clock age past which gossiping
+// replicas compact tombstones — thousands of ticks against per-round
+// divergence of at most a few hundred writes (see
+// ctrl.MemberTable.CompactTombstones).
+const defaultTombstoneHorizon = 1 << 12
 
 // NewTracker builds a tracker over the trace. Call Start to begin serving.
 func NewTracker(cfg TrackerConfig, tr *trace.Trace, cond *Conditions) (*Tracker, error) {
@@ -147,31 +187,64 @@ func (t *Tracker) Start() error {
 	return nil
 }
 
-// StartGossip turns on anti-entropy with this replica's shard siblings:
-// replicaAddrs lists every replica of the shard (this one included) in
-// replica order, self is this replica's index. Every interval the replica
-// exchanges full membership snapshots with one seeded-rotation sibling
-// and both sides merge by version. Call after every replica of the shard
-// has Started (their addresses must be known) and before peers register,
-// so the tables' version stamps carry the replica id from the first
-// write. No-op for single-replica shards.
-func (t *Tracker) StartGossip(seed int64, replicaAddrs []string, self int, interval, timeout time.Duration) {
-	t.channels.SetNode(self)
-	t.videos.SetNode(self)
-	t.watchers.SetNode(self)
-	g := ctrl.NewGossiper(seed, self, len(replicaAddrs))
-	if g == nil || interval <= 0 {
+// StartGossip turns on anti-entropy for replica (shard, replica) of the
+// plane: plane lists every shard's replica endpoints in order (this
+// replica included). Every interval the replica exchanges full membership
+// snapshots with one seeded-rotation shard sibling, and — on multi-shard
+// planes — liveness (heartbeat versions, shard-status verdicts, the ring
+// epoch) with one seeded-rotation replica of another shard, so any
+// survivor can declare a whole shard dead after suspicionRounds of its
+// own rounds and the verdict gossips plane-wide. The per-shard gossip
+// seed is derived as seed + shard*7919, preserving the schedule the
+// sharded control plane has always used. Call after every replica of the
+// plane has Started and before peers register, so the tables' version
+// stamps carry the replica id from the first write. No-op for a 1x1
+// plane (the legacy single tracker's wire traffic stays byte-identical).
+func (t *Tracker) StartGossip(seed int64, plane [][]string, shard, replica int, interval, timeout time.Duration) {
+	t.channels.SetNode(replica)
+	t.videos.SetNode(replica)
+	t.watchers.SetNode(replica)
+	t.side.Store(int32(replica))
+	if shard < 0 || shard >= len(plane) {
+		return
+	}
+	eff := seed + int64(shard)*7919
+	g := ctrl.NewGossiper(eff, replica, len(plane[shard]))
+	var others []gossipPeer
+	if len(plane) > 1 {
+		for s, reps := range plane {
+			if s == shard {
+				continue
+			}
+			for r, addr := range reps {
+				others = append(others, gossipPeer{addr: addr, shard: s, replica: r})
+			}
+		}
+		sus := t.suspicionRounds
+		if sus <= 0 {
+			sus = defaultSuspicionRounds
+		}
+		t.live.Store(ctrl.NewLiveness(len(plane), shard, replica, sus))
+	}
+	if (g == nil && len(others) == 0) || interval <= 0 {
 		return
 	}
 	if timeout <= 0 {
 		timeout = time.Second
 	}
 	t.gossipMu.Lock()
-	t.gossipAddrs = append([]string(nil), replicaAddrs...)
-	t.gossipSelf = self
+	t.gossipAddrs = append([]string(nil), plane[shard]...)
+	t.gossipSelf = replica
+	t.gossipShard = shard
 	t.gossipInterval = interval
 	t.gossipTimeout = timeout
 	t.gossiper = g
+	t.gossipOthers = others
+	if len(others) > 0 {
+		// Seeded rotation start, like ctrl.NewGossiper's, so replicas
+		// spread their cross-shard probes instead of thundering.
+		t.gossipNext = dist.NewRNG(eff ^ int64(replica)*104_729).Intn(len(others))
+	}
 	t.gossipMu.Unlock()
 	t.wg.Add(1)
 	go t.gossipLoop()
@@ -179,8 +252,11 @@ func (t *Tracker) StartGossip(seed int64, replicaAddrs []string, self int, inter
 
 // gossipLoop drives the replica's anti-entropy rounds until Stop. A
 // replica in a simulated outage neither initiates nor (via handle's down
-// check) answers sync exchanges — it diverges while dark and re-converges
-// after recovery, exactly the takeover path the gossip exists for.
+// check) answers exchanges — its beats freeze everywhere, which is
+// exactly the signal the suspicion timeout turns into a death verdict.
+// Partition windows sever rounds at the sender: both gossip legs know
+// their partner's replica index, so a cut exchange is skipped outright
+// and the two sides' views diverge until heal.
 func (t *Tracker) gossipLoop() {
 	defer t.wg.Done()
 	ticker := time.NewTicker(t.gossipInterval)
@@ -195,15 +271,113 @@ func (t *Tracker) gossipLoop() {
 			continue
 		}
 		t.gossipMu.Lock()
-		partner := t.gossipAddrs[t.gossiper.Next()]
+		self := t.gossipSelf
 		timeout := t.gossipTimeout
-		t.gossipMu.Unlock()
-		resp, err := rpc(partner, &Message{Type: MsgSync, From: -1, Sync: t.syncSnapshot()}, timeout)
-		if err != nil || resp.Type != MsgOK {
-			continue
+		sibIdx := -1
+		var sibAddr string
+		if t.gossiper != nil {
+			sibIdx = t.gossiper.Next()
+			sibAddr = t.gossipAddrs[sibIdx]
 		}
-		t.syncMerge(resp.Sync)
+		var cross gossipPeer
+		hasCross := false
+		if len(t.gossipOthers) > 0 {
+			cross = t.gossipOthers[t.gossipNext%len(t.gossipOthers)]
+			t.gossipNext++
+			hasCross = true
+		}
+		t.gossipMu.Unlock()
+		if live := t.live.Load(); live != nil {
+			t.noteTransitions(live.Tick(), nil)
+		}
+		if sibIdx >= 0 && !t.cond.Severed(self, sibIdx) {
+			req := &Message{Type: MsgSync, From: -1, Sync: t.syncSnapshot()}
+			t.attachLiveness(req)
+			if resp, err := rpc(sibAddr, req, timeout); err == nil && resp.Type == MsgOK {
+				t.syncMerge(resp.Sync)
+				t.mergeLiveness(resp)
+			}
+		}
+		if hasCross && t.live.Load() != nil && !t.cond.Severed(self, cross.replica) {
+			req := &Message{Type: MsgSync, From: -1}
+			t.attachLiveness(req)
+			if resp, err := rpc(cross.addr, req, timeout); err == nil && resp.Type == MsgOK {
+				t.mergeLiveness(resp)
+			}
+		}
+		t.compactTables()
 	}
+}
+
+// attachLiveness piggybacks the detector's state on a sync exchange.
+func (t *Tracker) attachLiveness(m *Message) {
+	live := t.live.Load()
+	if live == nil {
+		return
+	}
+	m.Beats = live.Beats()
+	m.Status = live.Status()
+	m.Epoch = int64(live.Epoch())
+}
+
+// mergeLiveness folds a partner's piggybacked liveness in and accounts
+// the transitions it caused.
+func (t *Tracker) mergeLiveness(m *Message) {
+	live := t.live.Load()
+	if live == nil || (len(m.Beats) == 0 && len(m.Status) == 0 && m.Epoch == 0) {
+		return
+	}
+	revived := live.MergeBeats(m.Beats)
+	died, revived2 := live.MergeStatus(m.Status, uint64(m.Epoch))
+	t.noteTransitions(died, append(revived, revived2...))
+}
+
+// noteTransitions accounts shard death/revival verdicts this replica
+// observed (locally declared or adopted from gossip) and timestamps the
+// first death for the takeover figure.
+func (t *Tracker) noteTransitions(died, revived []int) {
+	if len(died) > 0 {
+		atomic.AddUint64(&t.ctr.ShardsDeclaredDead, uint64(len(died)))
+		t.declaredNano.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	if len(revived) > 0 {
+		atomic.AddUint64(&t.ctr.ShardsRevived, uint64(len(revived)))
+	}
+}
+
+// compactTables garbage-collects membership tombstones past the horizon.
+// Runs once per gossip round, so only replicas that gossip compact.
+func (t *Tracker) compactTables() {
+	h := t.cfg.TombstoneHorizon
+	if h == 0 {
+		h = defaultTombstoneHorizon
+	}
+	t.channels.CompactTombstones(h)
+	t.videos.CompactTombstones(h)
+	t.watchers.CompactTombstones(h)
+}
+
+// Epoch returns the plane's ring epoch as this replica knows it (0 when
+// liveness is off or no shard has ever changed status).
+func (t *Tracker) Epoch() uint64 {
+	if live := t.live.Load(); live != nil {
+		return live.Epoch()
+	}
+	return 0
+}
+
+// DeadShards returns the dead-shard bitmask as this replica knows it.
+func (t *Tracker) DeadShards() uint64 {
+	if live := t.live.Load(); live != nil {
+		return live.DeadMask()
+	}
+	return 0
+}
+
+// TakeoverDeclaredAt returns the wall time (UnixNano) of this replica's
+// first shard-death verdict, 0 if it never declared one.
+func (t *Tracker) TakeoverDeclaredAt() int64 {
+	return t.declaredNano.Load()
 }
 
 // Membership table names on the wire.
@@ -238,10 +412,18 @@ func (t *Tracker) syncMerge(ts []ctrl.TableSync) {
 }
 
 // handleSync is the receiving half of a push-pull round: merge the
-// sender's snapshot, answer with ours.
+// sender's snapshot and liveness, answer with ours. A liveness-only
+// request (no tables — the cross-shard leg) gets a liveness-only reply,
+// so cross-shard exchanges never ship membership snapshots.
 func (t *Tracker) handleSync(req *Message) *Message {
-	t.syncMerge(req.Sync)
-	return &Message{Type: MsgOK, From: -1, Sync: t.syncSnapshot()}
+	t.mergeLiveness(req)
+	resp := &Message{Type: MsgOK, From: -1}
+	if len(req.Sync) > 0 {
+		t.syncMerge(req.Sync)
+		resp.Sync = t.syncSnapshot()
+	}
+	t.attachLiveness(resp)
+	return resp
 }
 
 // Addr returns the tracker's listen address (valid after Start).
@@ -349,12 +531,25 @@ func (t *Tracker) handle(conn net.Conn) {
 	if t.down.Load() {
 		return // simulated outage: the request vanishes
 	}
+	if req.From >= 0 && t.cond.Severed(req.From, int(t.side.Load())) {
+		return // partitioned: the peer is on the other side of the cut
+	}
 	if t.cond.Drop() {
 		return // simulated loss: no response
 	}
 	time.Sleep(t.cond.Latency(-1, req.From))
 	resp := t.dispatch(req)
 	if resp != nil {
+		// Ride the current ring view on every peer-facing response, so
+		// peers learn about takeovers from ordinary traffic. Epoch 0
+		// (healthy plane or liveness off) stamps nothing: omitempty
+		// keeps the frames byte-identical to the pre-liveness wire.
+		if live := t.live.Load(); live != nil {
+			if e := live.Epoch(); e > 0 {
+				resp.Epoch = int64(e)
+				resp.DeadShards = live.DeadMask()
+			}
+		}
 		act, stall := t.cond.nextChaos()
 		writeMessageChaos(conn, resp, act, stall, &t.ctr)
 	}

@@ -125,6 +125,24 @@ type FlashCrowd struct {
 	RPS float64
 }
 
+// Partition splits the cluster — tracker replicas and peers alike —
+// into Groups sides for a window: traffic within a side flows normally,
+// traffic across the cut is dropped at the sender (and backstopped at
+// the receiver). Gossip must not converge across the cut; both sides
+// keep serving whatever shards they can reach, and the versioned LWW
+// merge re-converges the member tables after the heal. The emulation
+// applies the cut literally on its RPC paths; the simulator, which has
+// one global tracker state, ignores partition events.
+type Partition struct {
+	At       time.Duration
+	Duration time.Duration
+	// Groups is how many sides the cut creates (≥ 2). Node n — peer id
+	// or tracker replica index — lands on side n%Groups, matching
+	// emu.Conditions region assignment so sides are stable and seeded
+	// placement stays deterministic.
+	Groups int
+}
+
 // Plan is a declarative, seeded description of every fault a run
 // suffers. The zero value is a healthy run.
 type Plan struct {
@@ -144,6 +162,7 @@ type Plan struct {
 	Brownouts   []Brownout
 	Chaos       []ChaosBurst
 	Flash       []FlashCrowd
+	Partitions  []Partition
 }
 
 // Kind identifies what a compiled fault event does.
@@ -175,6 +194,10 @@ const (
 	// (an extra open-loop request stream against one channel).
 	KindFlashStart
 	KindFlashEnd
+	// KindPartitionStart / KindPartitionEnd bracket a network split: the
+	// cluster divides into Groups sides that cannot talk across the cut.
+	KindPartitionStart
+	KindPartitionEnd
 )
 
 func (k Kind) String() string {
@@ -205,6 +228,10 @@ func (k Kind) String() string {
 		return "flash-start"
 	case KindFlashEnd:
 		return "flash-end"
+	case KindPartitionStart:
+		return "partition-start"
+	case KindPartitionEnd:
+		return "partition-end"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -246,6 +273,10 @@ type Event struct {
 	// flashless schedules byte-identical.
 	Channel int     `json:"channel,omitempty"`
 	RPS     float64 `json:"rps,omitempty"`
+	// Groups carries a partition's side count (on both the start and end
+	// events). omitempty keeps archived partitionless schedules
+	// byte-identical.
+	Groups int `json:"groups,omitempty"`
 }
 
 // Schedule is a compiled plan: events sorted by At (insertion order
@@ -338,6 +369,14 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("faults: flash crowd %d RPS %g must be positive", i, f.RPS)
 		}
 	}
+	for i, pt := range p.Partitions {
+		switch {
+		case pt.At < 0 || pt.Duration <= 0:
+			return fmt.Errorf("faults: partition %d needs At ≥ 0 and Duration > 0", i)
+		case pt.Groups < 2:
+			return fmt.Errorf("faults: partition %d Groups %d must be ≥ 2", i, pt.Groups)
+		}
+	}
 	return nil
 }
 
@@ -428,6 +467,12 @@ func (p *Plan) Compile(nodes int) (*Schedule, error) {
 			Event{At: f.At, Kind: KindFlashStart, Node: -1, Until: end, Channel: f.Channel, RPS: f.RPS},
 			Event{At: end, Kind: KindFlashEnd, Node: -1, Channel: f.Channel})
 	}
+	for _, pt := range p.Partitions {
+		end := pt.At + pt.Duration
+		evs = append(evs,
+			Event{At: pt.At, Kind: KindPartitionStart, Node: -1, Until: end, Groups: pt.Groups},
+			Event{At: end, Kind: KindPartitionEnd, Node: -1, Groups: pt.Groups})
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	return &Schedule{Events: evs, Crashes: crashes}, nil
 }
@@ -515,6 +560,36 @@ func FlashPlan(seed int64, unit time.Duration, channel int, rps float64) *Plan {
 		Seed: seed,
 		Flash: []FlashCrowd{
 			{At: unit, Duration: 2 * unit, Channel: channel, RPS: rps},
+		},
+	}
+}
+
+// ShardOutagePlan darkens EVERY replica of one tracker shard (1-based)
+// for two units starting at one unit — the whole-shard-death stressor
+// behind the takeover figure. Unlike ReplicaOutagePlan there is no
+// surviving sibling: recovery requires the other shards' replicas to
+// declare the shard dead via gossip liveness and for peers to
+// re-rendezvous its channels onto the survivors.
+func ShardOutagePlan(seed int64, unit time.Duration, shard int) *Plan {
+	return &Plan{
+		Seed: seed,
+		Outages: []Outage{
+			{At: unit, Duration: 2 * unit, Shard: shard, Replica: 0},
+		},
+	}
+}
+
+// PartitionPlan splits the cluster into groups sides for two units
+// starting at one unit, with no churn and no other faults — the
+// split-brain stressor behind the takeover figure's partition variant.
+// Both sides keep serving their reachable replicas; the versioned LWW
+// merge plus hinted handoff must re-converge the member tables after
+// the heal with zero lost registrations.
+func PartitionPlan(seed int64, unit time.Duration, groups int) *Plan {
+	return &Plan{
+		Seed: seed,
+		Partitions: []Partition{
+			{At: unit, Duration: 2 * unit, Groups: groups},
 		},
 	}
 }

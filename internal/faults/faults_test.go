@@ -166,6 +166,9 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, CorruptP: 1.5}}},                 // P > 1
 		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, CorruptP: 0.6, TruncateP: 0.6}}}, // sum > 1
 		{Chaos: []ChaosBurst{{At: 0, Duration: time.Second, StallP: 0.5}}},                   // stall without StallFor
+		{Partitions: []Partition{{At: 0, Groups: 2}}},                                       // zero duration
+		{Partitions: []Partition{{At: 0, Duration: time.Second, Groups: 1}}},                // one side is no cut
+		{Partitions: []Partition{{At: -time.Second, Duration: time.Second, Groups: 2}}},     // negative At
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -293,5 +296,57 @@ func TestValidateRejectsBadTargets(t *testing.T) {
 	ok := &Plan{Seed: 1, Outages: []Outage{{At: time.Minute, Duration: time.Minute, Shard: 1, Replica: 2}}}
 	if err := ok.Validate(); err != nil {
 		t.Errorf("valid target rejected: %v", err)
+	}
+}
+
+// TestPartitionCompile pins the split-brain window added for the
+// partition-tolerant control plane: Groups survives compilation on both
+// the start and end events, the helper plans compile to sane schedules,
+// and a partitionless plan's wire form never mentions the new field.
+func TestPartitionCompile(t *testing.T) {
+	sched, err := PartitionPlan(5, time.Minute, 2).Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 2 {
+		t.Fatalf("partition plan compiled to %d events", len(sched.Events))
+	}
+	start, end := sched.Events[0], sched.Events[1]
+	if start.Kind != KindPartitionStart || end.Kind != KindPartitionEnd {
+		t.Fatalf("kinds = %v, %v", start.Kind, end.Kind)
+	}
+	if start.Groups != 2 || end.Groups != 2 {
+		t.Fatalf("partition lost its side count: start %d end %d", start.Groups, end.Groups)
+	}
+	if start.Until != end.At || start.Until <= start.At {
+		t.Fatalf("window [%v, until %v] vs end at %v", start.At, start.Until, end.At)
+	}
+
+	// ShardOutagePlan darkens every replica of the shard: Replica stays 0.
+	ss, err := ShardOutagePlan(5, time.Minute, 1).Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Events) != 2 {
+		t.Fatalf("shard outage compiled to %d events", len(ss.Events))
+	}
+	for _, ev := range ss.Events {
+		if ev.Shard != 1 || ev.Replica != 0 {
+			t.Fatalf("%s targeting: shard %d replica %d", ev.Kind, ev.Shard, ev.Replica)
+		}
+	}
+
+	// A partitionless schedule must serialize without any groups key, so
+	// archived schedules stay byte-comparable.
+	legacy, err := OutagePlan(5, time.Minute).Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(j, []byte(`"groups"`)) {
+		t.Fatalf("legacy schedule wire form grew a groups field:\n%s", j)
 	}
 }

@@ -1,0 +1,203 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/socialtube/socialtube/internal/emu"
+	"github.com/socialtube/socialtube/internal/faults"
+	"github.com/socialtube/socialtube/internal/metrics"
+	"github.com/socialtube/socialtube/internal/trace"
+)
+
+// TakeoverEnv carries a takeover point's environmental measurements:
+// wall time, time-to-takeover and every counter decided by real-socket
+// races (when a survivor's gossip round declares the shard, which
+// requests land before or after the declaration). They ride along in the
+// bench file but stay out of determinism comparisons.
+type TakeoverEnv struct {
+	WallMs float64 `json:"wallMs"`
+	// TakeoverMs is the delay between the shard outage beginning and the
+	// first surviving replica declaring it dead (0 on variants without a
+	// whole-shard outage).
+	TakeoverMs float64 `json:"takeoverMs"`
+	PeerHits   int64   `json:"peerHits"`
+	ServerHits int64   `json:"serverHits"`
+	CacheHits  int64   `json:"cacheHits"`
+	// Failure-detection and re-registration traffic.
+	DeclaredDead uint64 `json:"declaredDead"`
+	Revived      uint64 `json:"revived"`
+	Reroutes     uint64 `json:"reroutes"`
+	Rejoins      uint64 `json:"rejoins"`
+	HintsQueued  uint64 `json:"hintsQueued"`
+	HintsReplay  uint64 `json:"hintsReplayed"`
+	BreakerOpens uint64 `json:"breakerOpens"`
+	RPCFailures  uint64 `json:"rpcFailures"`
+}
+
+// TakeoverPoint is one cell of the takeover figure: SocialTube on a
+// sharded, replicated control plane losing a WHOLE shard (every replica)
+// or suffering a 2-way partition mid-run. HitRate is the fraction of
+// requests served at all; the figure's headline is that whole-shard
+// death costs ~nothing because the survivors adopt the dead shard's
+// channels, and a partition heals with zero lost registrations.
+type TakeoverPoint struct {
+	Variant  string `json:"variant"` // "baseline", "shardS-dead" or "partition-Gway"
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	// DeadShard names the killed shard (1-based; 0 when none) and Groups
+	// the partition's side count (0 when none).
+	DeadShard int `json:"deadShard,omitempty"`
+	Groups    int `json:"groups,omitempty"`
+	// Deterministic outcomes: the run is closed-loop, so the request
+	// total is fixed by the workload and the failure count by the fault
+	// schedule plus takeover.
+	Requests int64   `json:"requests"`
+	Failed   int64   `json:"failed"`
+	HitRate  float64 `json:"hitRate"`
+
+	Env TakeoverEnv `json:"env"`
+}
+
+// Canonical returns the point with its environmental block zeroed — the
+// form determinism comparisons use.
+func (p TakeoverPoint) Canonical() TakeoverPoint {
+	p.Env = TakeoverEnv{}
+	return p
+}
+
+// FigTakeoverResult bundles the figure's table with the raw points for
+// BENCH_failover.json.
+type FigTakeoverResult struct {
+	Table  *metrics.Table
+	Points []TakeoverPoint
+}
+
+// String renders the table.
+func (f *FigTakeoverResult) String() string { return f.Table.String() }
+
+func takeoverPoint(s EmuScale, cp emu.ControlPlaneConfig, variant string,
+	deadShard, groups int, res *emu.ClusterResult) TakeoverPoint {
+	requests := res.CacheHits + res.PeerHits + res.ServerHits
+	hitRate := 1.0
+	if requests > 0 {
+		hitRate = 1 - float64(res.FailedRequests)/float64(requests)
+	}
+	return TakeoverPoint{
+		Variant:   variant,
+		Protocol:  res.Protocol,
+		Seed:      s.Seed,
+		Shards:    cp.Shards,
+		Replicas:  cp.Replicas,
+		DeadShard: deadShard,
+		Groups:    groups,
+		Requests:  requests,
+		Failed:    res.FailedRequests,
+		HitRate:   hitRate,
+		Env: TakeoverEnv{
+			WallMs:       float64(res.Elapsed.Nanoseconds()) / 1e6,
+			TakeoverMs:   res.TakeoverMs,
+			PeerHits:     res.PeerHits,
+			ServerHits:   res.ServerHits,
+			CacheHits:    res.CacheHits,
+			DeclaredDead: res.Obs.ShardsDeclaredDead,
+			Revived:      res.Obs.ShardsRevived,
+			Reroutes:     res.Obs.TakeoverReroutes,
+			Rejoins:      res.Obs.TakeoverRejoins,
+			HintsQueued:  res.Obs.HintsQueued,
+			HintsReplay:  res.Obs.HintsReplayed,
+			BreakerOpens: res.Obs.BreakerOpens,
+			RPCFailures:  res.Obs.RPCFailures,
+		},
+	}
+}
+
+// FigTakeover measures the partition-tolerant control plane end to end
+// (default 2 shards x 2 replicas): one no-fault baseline, one run with a
+// WHOLE shard (both replicas) dead for two workload units — recovery
+// must come from gossip liveness declaring the shard dead and the
+// survivors adopting its channels — and one run with a 2-way partition
+// for two units, where both sides keep serving and hinted handoff plus
+// the LWW merge re-converge the tables on heal. The plans inject no
+// churn, so request totals are deterministic and hit rates compare
+// directly against the baseline.
+func FigTakeover(s EmuScale, tr *trace.Trace) (*FigTakeoverResult, error) {
+	cp := emu.DefaultControlPlaneConfig()
+	cp.RingSeed = s.Seed
+	unit := s.outageUnit()
+	// Suspicion timing scaled to the workload unit: gossip every unit/16
+	// with sync exchanges bounded by unit/8, so three suspicion rounds
+	// declare a dead shard well inside its two-unit outage even when
+	// every round stalls on a dark partner.
+	cp.GossipInterval = unit / 16
+	cp.GossipTimeout = unit / 8
+	cp.SuspicionRounds = 3
+	t := metrics.NewTable(
+		fmt.Sprintf("SocialTube hit rate, %dx%d control plane, whole-shard death and split brain for 2x%s (TCP emulation)",
+			cp.Shards, cp.Replicas, unit),
+		"variant", "requests", "failed", "hitRate", "deltaVsBaseline", "takeoverMs", "reroutes", "rejoins")
+	run := func(plan *faults.Plan) (*emu.ClusterResult, error) {
+		return s.runMode(tr, emu.ModeSocialTube, func(c *emu.ClusterConfig) {
+			c.ControlPlane = &cp
+			c.Faults = plan
+			// Same tight retry policy as FigShardedOutage: a request's
+			// budget is on the order of the suspicion window, so survival
+			// comes from the fallback walk and takeover, not patience.
+			c.RPCTimeout = 250 * time.Millisecond
+			c.MaxRetries = 1
+			c.RetryBackoff = 25 * time.Millisecond
+		})
+	}
+	addRow := func(pt, base TakeoverPoint) {
+		t.AddRow(pt.Variant, pt.Requests, pt.Failed, pt.HitRate,
+			pt.HitRate-base.HitRate, pt.Env.TakeoverMs, pt.Env.Reroutes, pt.Env.Rejoins)
+	}
+
+	base, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	basePoint := takeoverPoint(s, cp, "baseline", 0, 0, base)
+	points := []TakeoverPoint{basePoint}
+	addRow(basePoint, basePoint)
+
+	dead, err := run(faults.ShardOutagePlan(s.Seed, unit, 1))
+	if err != nil {
+		return nil, err
+	}
+	deadPoint := takeoverPoint(s, cp, "shard1-dead", 1, 0, dead)
+	points = append(points, deadPoint)
+	addRow(deadPoint, basePoint)
+
+	part, err := run(faults.PartitionPlan(s.Seed, unit, 2))
+	if err != nil {
+		return nil, err
+	}
+	partPoint := takeoverPoint(s, cp, "partition-2way", 0, 2, part)
+	points = append(points, partPoint)
+	addRow(partPoint, basePoint)
+
+	return &FigTakeoverResult{Table: t, Points: points}, nil
+}
+
+// AppendTakeoverPoints appends one JSON line per point to path — same
+// JSONL convention as AppendShardedOutagePoints, and by default the same
+// BENCH_failover.json file (the points are self-describing via Variant).
+func AppendTakeoverPoints(path string, points []TakeoverPoint) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

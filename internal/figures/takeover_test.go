@@ -1,0 +1,129 @@
+package figures
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func takeoverScale() EmuScale {
+	return EmuScale{
+		Peers:            24,
+		Sessions:         2,
+		VideosPerSession: 6,
+		WatchTime:        5 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+// TestTakeoverRecovers pins the takeover figure's headline on a small
+// scale: with a whole shard (every replica) dead for two units, the
+// survivors declare the shard, peers reroute onto them, and the run
+// loses zero requests — same for the 2-way partition variant.
+func TestTakeoverRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster runs")
+	}
+	s := takeoverScale()
+	tr, err := s.EmuTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FigTakeover(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 3 {
+		t.Fatalf("want baseline + shard-dead + partition points, got %d", len(f.Points))
+	}
+	for _, p := range f.Points {
+		if p.Failed != 0 {
+			t.Errorf("%s: lost %d requests; want 0", p.Variant, p.Failed)
+		}
+		if p.Requests == 0 {
+			t.Errorf("%s: served nothing", p.Variant)
+		}
+	}
+	dead := f.Points[1]
+	if dead.Variant != "shard1-dead" {
+		t.Fatalf("point order changed: %q", dead.Variant)
+	}
+	if dead.Env.DeclaredDead == 0 || dead.Env.TakeoverMs <= 0 {
+		t.Errorf("shard death never declared: declared=%d takeoverMs=%v",
+			dead.Env.DeclaredDead, dead.Env.TakeoverMs)
+	}
+	if dead.Env.Reroutes == 0 {
+		t.Error("no request rerouted to a takeover owner")
+	}
+}
+
+// TestTakeoverDeterministic runs the figure twice under one seed and
+// requires the canonical points (environmental block zeroed) to be
+// byte-identical JSON — the determinism contract of the bench file.
+func TestTakeoverDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster runs")
+	}
+	s := takeoverScale()
+	tr, err := s.EmuTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := func() []byte {
+		t.Helper()
+		f, err := FigTakeover(s, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]TakeoverPoint, len(f.Points))
+		for i, p := range f.Points {
+			pts[i] = p.Canonical()
+		}
+		b, err := json.Marshal(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := canonical(), canonical()
+	if string(a) != string(b) {
+		t.Fatalf("same-seed takeover points differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestAppendTakeoverPoints checks the BENCH_failover.json appender
+// writes one parseable JSON line per point and appends across calls.
+func TestAppendTakeoverPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "takeover.json")
+	pts := []TakeoverPoint{
+		{Variant: "baseline", Protocol: "SocialTube", Seed: 1, Shards: 2, Replicas: 2, Requests: 16, HitRate: 1},
+		{Variant: "shard1-dead", Protocol: "SocialTube", Seed: 1, Shards: 2, Replicas: 2, DeadShard: 1, Requests: 16, HitRate: 1,
+			Env: TakeoverEnv{TakeoverMs: 12.5, Reroutes: 3}},
+	}
+	if err := AppendTakeoverPoints(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTakeoverPoints(path, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	var lines int
+	sc := bufio.NewScanner(fl)
+	for sc.Scan() {
+		var p TakeoverPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d unparseable: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("want 3 JSONL lines, got %d", lines)
+	}
+}

@@ -116,6 +116,17 @@ type Counters struct {
 	// on arrival with the queue full.
 	ServerAdmitted uint64 `json:"serverAdmitted"`
 	ServerShed     uint64 `json:"serverShed"`
+	// Partition-tolerant control plane (whole-shard takeover): shard
+	// death/revival verdicts observed per tracker replica, requests a
+	// peer rerouted to a takeover owner, home channels re-registered
+	// after an epoch change, and hinted-handoff writes queued for an
+	// unreachable replica / replayed after heal.
+	ShardsDeclaredDead uint64 `json:"shardsDeclaredDead"`
+	ShardsRevived      uint64 `json:"shardsRevived"`
+	TakeoverReroutes   uint64 `json:"takeoverReroutes"`
+	TakeoverRejoins    uint64 `json:"takeoverRejoins"`
+	HintsQueued        uint64 `json:"hintsQueued"`
+	HintsReplayed      uint64 `json:"hintsReplayed"`
 }
 
 // Merge adds every field of o into c (plain addition, not atomic). Used by

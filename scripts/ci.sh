@@ -35,6 +35,13 @@ echo "== sharded control plane (race, explicitly) =="
 go test -race -count=1 -run 'Gossip|Shard|ControlPlane|Ring|Sync|Exclusive|MemberTable|ReplicaOutage' \
 	./internal/ctrl/ ./internal/emu/ ./internal/faults/ ./internal/figures/
 
+echo "== partition-tolerant takeover (race, explicitly) =="
+# Liveness suspicion/revival, whole-shard takeover, split-brain
+# partition + heal, hinted handoff and preferred-replica demotion under
+# the race detector.
+go test -race -count=1 -run 'Takeover|Liveness|Partition|Hint|Demotes|Tombstone' \
+	./internal/ctrl/ ./internal/emu/ ./internal/faults/ ./internal/figures/
+
 echo "== wire-layer fuzz smoke (30s per target) =="
 go test ./internal/emu -run '^$' -fuzz '^FuzzReadMessage$' -fuzztime 30s
 go test ./internal/emu -run '^$' -fuzz '^FuzzHandleMessage$' -fuzztime 30s
@@ -82,6 +89,19 @@ go run ./cmd/socialtube-emu -fig outage-shard -peers 12 -sessions 1 -videos 4 -w
 test -s "$tracetmp/BENCH_failover.json" || { echo "sharded-outage figure emitted no bench points"; exit 1; }
 grep -o '"failed":[0-9]*' "$tracetmp/BENCH_failover.json" | grep -v '"failed":0' \
 	&& { echo "sharded-outage run lost requests with a replicated shard down"; exit 1; } || true
+
+echo "== takeover smoke (whole shard dead + partition, zero failed requests) =="
+# A 2x2 plane losing an entire shard (both replicas) and, separately,
+# split into two sides: takeover + hinted handoff must keep every
+# request alive, so every point must report failed == 0, and the
+# shard-dead point must have measured a declaration (takeoverMs > 0).
+go run ./cmd/socialtube-emu -fig takeover -peers 12 -sessions 1 -videos 4 -watch 10ms \
+	-bench-out "$tracetmp/BENCH_takeover.json" > /dev/null
+test -s "$tracetmp/BENCH_takeover.json" || { echo "takeover figure emitted no bench points"; exit 1; }
+grep -o '"failed":[0-9]*' "$tracetmp/BENCH_takeover.json" | grep -v '"failed":0' \
+	&& { echo "takeover run lost requests"; exit 1; } || true
+grep '"variant":"shard1-dead"' "$tracetmp/BENCH_takeover.json" | grep -q '"takeoverMs":0[,}]' \
+	&& { echo "whole-shard death was never declared by a survivor"; exit 1; } || true
 
 echo "== open-loop load path (race, explicitly) =="
 # The thinning sampler, the bounded server admission queue, the
